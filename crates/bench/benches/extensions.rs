@@ -1,0 +1,193 @@
+//! Criterion benches for the extension APIs and the `denseMBB` ablations.
+//!
+//! * `dense_ablation` — DESIGN.md's design-choice ablations: the Lemma 3
+//!   polynomial case, the Lemma 1/2 reductions and the triviality-last
+//!   branching each removed in turn from `denseMBB`.
+//! * `enumerate` / `topk` — the maximal-biclique machinery.
+//! * `butterfly` / `profile` — the analysis metrics.
+//! * `incremental` — warm-started vs cold re-solve after one insertion.
+//!
+//! Run with `cargo bench -p mbb-bench --bench extensions`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbb_bigraph::bitset::BitSet;
+use mbb_bigraph::butterfly::count_butterflies;
+use mbb_bigraph::generators::{chung_lu_bipartite, dense_uniform, ChungLuParams};
+use mbb_bigraph::local::LocalGraph;
+use mbb_bigraph::metrics::GraphProfile;
+use mbb_core::dense::{dense_mbb_seeded, DenseConfig};
+use mbb_core::enumerate::{all_maximal_bicliques, EnumConfig};
+use mbb_core::incremental::IncrementalMbb;
+use mbb_core::topk::topk_balanced_bicliques;
+use mbb_core::{solve_mbb, MbbSolver};
+
+fn sparse_graph(n: u32, edges: usize, seed: u64) -> mbb_bigraph::BipartiteGraph {
+    chung_lu_bipartite(
+        &ChungLuParams {
+            num_left: n,
+            num_right: n,
+            num_edges: edges,
+            left_exponent: 0.75,
+            right_exponent: 0.75,
+        },
+        seed,
+    )
+}
+
+fn bench_dense_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_ablation");
+    group.sample_size(10);
+    let n = 28u32;
+    let g = dense_uniform(n, n, 0.85, 11);
+    let ids: Vec<u32> = (0..n).collect();
+    let local = LocalGraph::induced(&g, &ids, &ids);
+    let configs = [
+        ("full", DenseConfig::default()),
+        (
+            "no_poly_case",
+            DenseConfig {
+                use_polynomial_case: false,
+                ..DenseConfig::default()
+            },
+        ),
+        (
+            "no_reductions",
+            DenseConfig {
+                use_reductions: false,
+                ..DenseConfig::default()
+            },
+        ),
+        (
+            "first_candidate_branch",
+            DenseConfig {
+                branch_max_missing: false,
+                ..DenseConfig::default()
+            },
+        ),
+    ];
+    for (name, config) in configs {
+        group.bench_with_input(BenchmarkId::new("denseMBB", name), &config, |b, &config| {
+            b.iter(|| {
+                dense_mbb_seeded(
+                    &local,
+                    Vec::new(),
+                    Vec::new(),
+                    BitSet::full(local.num_left()),
+                    BitSet::full(local.num_right()),
+                    0,
+                    config,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("enumeration");
+    group.sample_size(10);
+    let g = sparse_graph(2_000, 8_000, 3);
+    group.bench_function("all_maximal_bicliques_2k", |b| {
+        b.iter(|| all_maximal_bicliques(&g, &EnumConfig::default()))
+    });
+    for k in [1usize, 10] {
+        group.bench_with_input(BenchmarkId::new("topk", k), &k, |b, &k| {
+            b.iter(|| topk_balanced_bicliques(&g, k, None))
+        });
+    }
+    group.finish();
+}
+
+fn bench_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    for &n in &[2_000u32, 8_000] {
+        let g = sparse_graph(n, n as usize * 4, 5);
+        group.bench_with_input(BenchmarkId::new("butterflies", n), &g, |b, g| {
+            b.iter(|| count_butterflies(g))
+        });
+        group.bench_with_input(BenchmarkId::new("profile_cheap", n), &g, |b, g| {
+            b.iter(|| GraphProfile::cheap(g))
+        });
+    }
+    group.finish();
+}
+
+/// The DESIGN.md representation ablation: candidate-set intersection —
+/// the inner-loop operation of every reduction and branch — on the bitset
+/// rows the workspace uses vs the sorted-adjacency alternative.
+fn bench_representation(c: &mut Criterion) {
+    use mbb_bigraph::graph::sorted_intersection_len;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut group = c.benchmark_group("representation");
+    for &(n, density) in &[(256usize, 0.1f64), (256, 0.5), (256, 0.9), (2048, 0.1)] {
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let mut row_bits = BitSet::new(n);
+        let mut cand_bits = BitSet::new(n);
+        let mut row_vec: Vec<u32> = Vec::new();
+        let mut cand_vec: Vec<u32> = Vec::new();
+        for i in 0..n {
+            if rng.gen_bool(density) {
+                row_bits.insert(i);
+                row_vec.push(i as u32);
+            }
+            if rng.gen_bool(density) {
+                cand_bits.insert(i);
+                cand_vec.push(i as u32);
+            }
+        }
+        let label = format!("{n}@{density}");
+        group.bench_with_input(
+            BenchmarkId::new("bitset_intersection", &label),
+            &(&row_bits, &cand_bits),
+            |b, (row, cand)| b.iter(|| row.intersection_len(cand)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sorted_vec_intersection", &label),
+            &(&row_vec, &cand_vec),
+            |b, (row, cand)| b.iter(|| sorted_intersection_len(row, cand)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental");
+    group.sample_size(10);
+    let g = sparse_graph(4_000, 16_000, 9);
+    group.bench_function("warm_resolve_after_insert", |b| {
+        let mut inc = IncrementalMbb::from_graph(&g);
+        inc.solve();
+        let mut toggle = false;
+        b.iter(|| {
+            // Alternate insert/remove of the same edge so graph size stays
+            // fixed across iterations.
+            if toggle {
+                inc.remove_edge(0, 0);
+            } else {
+                inc.insert_edge(0, 0).unwrap();
+            }
+            toggle = !toggle;
+            inc.solve().biclique.half_size()
+        })
+    });
+    group.bench_function("cold_resolve_after_insert", |b| {
+        b.iter(|| solve_mbb(&g).half_size())
+    });
+    group.bench_function("solver_cold_baseline", |b| {
+        b.iter(|| MbbSolver::new().solve(&g).biclique.half_size())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_dense_ablation,
+    bench_enumeration,
+    bench_metrics,
+    bench_representation,
+    bench_incremental
+);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks for the building blocks: decompositions,
+//! orders, reductions and the exhaustive-search kernels.
+//!
+//! Run with `cargo bench -p mbb-bench`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mbb_bigraph::bicore::bicore_decomposition;
+use mbb_bigraph::bitset::BitSet;
+use mbb_bigraph::core_decomp::core_decomposition;
+use mbb_bigraph::generators::{chung_lu_bipartite, dense_uniform, ChungLuParams};
+use mbb_bigraph::local::LocalGraph;
+use mbb_bigraph::order::{compute_order, SearchOrder};
+use mbb_core::basic::basic_bb;
+use mbb_core::dense::dense_mbb;
+use mbb_core::reduce::reduce_candidates;
+use mbb_core::stats::SearchStats;
+use mbb_core::MbbSolver;
+
+fn sparse_graph(n: u32, edges: usize, seed: u64) -> mbb_bigraph::BipartiteGraph {
+    chung_lu_bipartite(
+        &ChungLuParams {
+            num_left: n,
+            num_right: n,
+            num_edges: edges,
+            left_exponent: 0.75,
+            right_exponent: 0.75,
+        },
+        seed,
+    )
+}
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    for &n in &[1_000u32, 4_000, 8_000] {
+        let g = sparse_graph(n, n as usize * 4, 1);
+        group.bench_with_input(BenchmarkId::new("core", n), &g, |b, g| {
+            b.iter(|| core_decomposition(g))
+        });
+        group.bench_with_input(BenchmarkId::new("bicore", n), &g, |b, g| {
+            b.iter(|| bicore_decomposition(g))
+        });
+    }
+    group.finish();
+}
+
+fn bench_orders(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orders");
+    let g = sparse_graph(4_000, 16_000, 2);
+    for order in [
+        SearchOrder::Degree,
+        SearchOrder::Degeneracy,
+        SearchOrder::Bidegeneracy,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("compute", order.to_string()),
+            &order,
+            |b, &order| b.iter(|| compute_order(&g, order)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dense_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_kernels");
+    group.sample_size(10);
+    for &n in &[24u32, 32] {
+        let g = dense_uniform(n, n, 0.85, 3);
+        let ids: Vec<u32> = (0..n).collect();
+        let local = LocalGraph::induced(&g, &ids, &ids);
+        group.bench_with_input(BenchmarkId::new("denseMBB", n), &local, |b, local| {
+            b.iter(|| dense_mbb(local, 0))
+        });
+        if n <= 24 {
+            group.bench_with_input(BenchmarkId::new("basicBB", n), &local, |b, local| {
+                b.iter(|| basic_bb(local, 0))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_reductions(c: &mut Criterion) {
+    let g = dense_uniform(256, 256, 0.9, 5);
+    let ids: Vec<u32> = (0..256).collect();
+    let local = LocalGraph::induced(&g, &ids, &ids);
+    c.bench_function("reduce_candidates_256", |b| {
+        b.iter(|| {
+            let mut a = Vec::new();
+            let mut bb = Vec::new();
+            let mut ca = BitSet::full(256);
+            let mut cb = BitSet::full(256);
+            let mut stats = SearchStats::default();
+            reduce_candidates(&local, &mut a, &mut bb, &mut ca, &mut cb, 128, &mut stats);
+        })
+    });
+}
+
+fn bench_solver_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hbvMBB");
+    group.sample_size(10);
+    let g = sparse_graph(8_000, 32_000, 7);
+    let (planted, _, _) = mbb_bigraph::generators::plant_balanced_biclique(&g, 10);
+    group.bench_function("sparse_8k_planted10", |b| {
+        b.iter(|| MbbSolver::new().solve(&planted))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decompositions,
+    bench_orders,
+    bench_dense_kernels,
+    bench_reductions,
+    bench_solver_end_to_end
+);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Minimal `--key value` argument parsing shared by the harness binaries.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use mbb_datasets::ScaleCaps;
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and bare `--flag`s from `std::env::args`.
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                continue;
+            };
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    values.insert(key.to_string(), iter.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// String value of `--key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Presence of a bare `--flag`.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+
+    /// Parsed numeric value with default.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// Per-run time budget (`--budget-secs`, default given).
+    pub fn budget(&self, default_secs: u64) -> Duration {
+        Duration::from_secs(self.get_u64("budget-secs", default_secs))
+    }
+
+    /// Stand-in scale caps (`--caps small|default|large`).
+    pub fn caps(&self) -> ScaleCaps {
+        match self.get("caps") {
+            Some("small") => ScaleCaps::small(),
+            Some("large") => ScaleCaps {
+                max_edges: 200_000,
+                max_vertices: 150_000,
+            },
+            _ => ScaleCaps::default(),
+        }
+    }
+
+    /// Base random seed (`--seed`, default 42).
+    pub fn seed(&self) -> u64 {
+        self.get_u64("seed", 42)
+    }
+
+    /// Comma-separated list value.
+    pub fn get_list(&self, key: &str) -> Option<Vec<String>> {
+        self.get(key)
+            .map(|v| v.split(',').map(str::to_string).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(str::to_string))
+    }
+
+    #[test]
+    fn parses_key_values_and_flags() {
+        let a = parse("--budget-secs 30 --full --caps small");
+        assert_eq!(a.get("budget-secs"), Some("30"));
+        assert!(a.flag("full"));
+        assert_eq!(a.get("caps"), Some("small"));
+        assert!(!a.flag("missing"));
+    }
+
+    #[test]
+    fn numeric_defaults() {
+        let a = parse("--budget-secs x");
+        assert_eq!(a.get_u64("budget-secs", 7), 7);
+        assert_eq!(a.get_u64("absent", 9), 9);
+    }
+
+    #[test]
+    fn budget_and_caps() {
+        let a = parse("--budget-secs 5 --caps large");
+        assert_eq!(a.budget(60), Duration::from_secs(5));
+        assert_eq!(a.caps().max_edges, 200_000);
+        let d = parse("");
+        assert_eq!(d.budget(60), Duration::from_secs(60));
+        assert_eq!(d.caps().max_edges, ScaleCaps::default().max_edges);
+    }
+
+    #[test]
+    fn lists() {
+        let a = parse("--datasets github,jester");
+        assert_eq!(
+            a.get_list("datasets"),
+            Some(vec!["github".to_string(), "jester".to_string()])
+        );
+    }
+}

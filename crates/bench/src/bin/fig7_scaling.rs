@@ -1,0 +1,92 @@
+//! Extension experiment ("Figure 7") — empirical support for the
+//! O*(1.3803^δ̈) claim: solver cost tracks the bidegeneracy of the graph
+//! the exhaustive search actually runs on (the Lemma 4-reduced residual),
+//! not the vertex count.
+//!
+//! Two sweeps over seeded Chung–Lu graphs reaching the same maximum edge
+//! count (192 000):
+//!
+//! * **size sweep** — average degree held fixed while `n` grows 8×: the
+//!   residual after heuristic + reduction stays small, and so do the
+//!   search node counts and wall time;
+//! * **density sweep** — `n` held fixed while the edge count grows 8×:
+//!   the residual (and its δ̈) climbs, and the search cost climbs with it
+//!   — orders of magnitude at the same final |E| as the size sweep.
+//!
+//! ```text
+//! cargo run -p mbb-bench --release --bin fig7_scaling -- [--seed 42]
+//! ```
+
+use std::time::Instant;
+
+use mbb_bench::{fmt_seconds, Args, Table};
+use mbb_bigraph::bicore::bicore_decomposition;
+use mbb_bigraph::generators::{chung_lu_bipartite, ChungLuParams};
+use mbb_core::MbbSolver;
+
+fn run_row(table: &mut Table, label: String, n: u32, edges: usize, seed: u64) {
+    let graph = chung_lu_bipartite(
+        &ChungLuParams {
+            num_left: n,
+            num_right: n,
+            num_edges: edges,
+            left_exponent: 0.75,
+            right_exponent: 0.75,
+        },
+        seed,
+    );
+    let bidegeneracy = bicore_decomposition(&graph).bidegeneracy;
+    let start = Instant::now();
+    let result = MbbSolver::new().solve(&graph);
+    let seconds = start.elapsed().as_secs_f64();
+    // δ̈ of the Lemma 4-reduced residual — 0 when stage 1 already proved
+    // optimality (no residual survives).
+    let residual_bidegeneracy = result.stats.bidegeneracy;
+    table.row(vec![
+        label,
+        n.to_string(),
+        edges.to_string(),
+        bidegeneracy.to_string(),
+        residual_bidegeneracy.to_string(),
+        result.biclique.half_size().to_string(),
+        result.stats.search.nodes.to_string(),
+        result.stats.search.max_depth.to_string(),
+        fmt_seconds(Some(seconds)),
+    ]);
+}
+
+fn main() {
+    let args = Args::from_env();
+    let seed = args.seed();
+
+    println!("# Figure 7 (extension) — cost scales with the residual δ̈, not n\n");
+
+    let mut table = Table::new(&[
+        "sweep",
+        "n/side",
+        "|E|",
+        "δ̈ raw",
+        "δ̈ residual",
+        "MBB",
+        "search nodes",
+        "max depth",
+        "seconds",
+    ]);
+
+    // Size sweep: average degree 6 per left vertex throughout.
+    for &n in &[4_000u32, 8_000, 16_000, 32_000] {
+        run_row(&mut table, "size".into(), n, n as usize * 6, seed);
+    }
+    // Density sweep: n fixed, edges grow 8x.
+    for &edges in &[24_000usize, 48_000, 96_000, 192_000] {
+        run_row(&mut table, "density".into(), 4_000, edges, seed ^ 1);
+    }
+    table.print();
+    println!(
+        "\nReading: both sweeps end at |E| = 192k, but the size sweep's residual\n\
+         after heuristic + Lemma 4 reduction stays tiny (few search nodes, sub-\n\
+         second) while the density sweep's residual bidegeneracy climbs and the\n\
+         exhaustive-search cost climbs with it — cost follows δ̈ of what must be\n\
+         searched, not n or |E|."
+    );
+}

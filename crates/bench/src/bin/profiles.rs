@@ -1,0 +1,65 @@
+//! Dataset profile table — the structural quantities §6 characterises its
+//! workloads with (density, max degree, δ, δ̈, butterflies), computed over
+//! every KONECT stand-in, plus the paper-vs-found optimum column.
+//!
+//! ```text
+//! cargo run -p mbb-bench --release --bin profiles -- [--caps small] [--tough]
+//! ```
+
+use mbb_bench::{Args, Table};
+use mbb_bigraph::metrics::GraphProfile;
+use mbb_core::MbbSolver;
+use mbb_datasets::{catalog, stand_in, tough_datasets};
+
+fn main() {
+    let args = Args::from_env();
+    let caps = args.caps();
+    let seed = args.seed();
+    let specs: Vec<&'static mbb_datasets::DatasetSpec> = if args.flag("tough") {
+        tough_datasets()
+    } else {
+        catalog().iter().collect()
+    };
+
+    println!("# Dataset profiles (stand-ins; δ̈ and butterflies per §5.3.1 / analysis modules)\n");
+
+    let mut table = Table::new(&[
+        "Dataset",
+        "|L|",
+        "|R|",
+        "|E|",
+        "d_max",
+        "δ",
+        "δ̈",
+        "δ̈/d_max",
+        "butterflies",
+        "paper opt",
+        "found opt",
+    ]);
+
+    for spec in specs {
+        let standin = stand_in(spec, caps, seed);
+        let graph = &standin.graph;
+        let profile = GraphProfile::of(graph);
+        let d_max = profile.left_degrees.max.max(profile.right_degrees.max);
+        let found = MbbSolver::new().solve(graph);
+        table.row(vec![
+            spec.name.to_string(),
+            profile.num_left.to_string(),
+            profile.num_right.to_string(),
+            profile.num_edges.to_string(),
+            d_max.to_string(),
+            profile.degeneracy.to_string(),
+            profile.bidegeneracy.to_string(),
+            format!("{:.2}", profile.bidegeneracy as f64 / d_max.max(1) as f64),
+            profile.butterflies.to_string(),
+            spec.optimum.to_string(),
+            found.biclique.half_size().to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nδ̈ ≫ δ but δ̈ ≪ n throughout — the gap the O*(1.3803^δ̈) bound exploits.\n\
+         `found opt` is the stand-in's optimum (planted ≥ paper's value by construction)."
+    );
+}

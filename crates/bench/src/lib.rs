@@ -1,0 +1,26 @@
+//! Experiment harness regenerating every table and figure of the MBB paper.
+//!
+//! One binary per artefact:
+//!
+//! | Binary   | Paper artefact | What it prints |
+//! |----------|----------------|----------------|
+//! | `table4` | Table 4        | dense grid: extBBClq vs denseMBB seconds |
+//! | `table5` | Table 5        | 30 datasets: adp1–4, extBBClq, hbvMBB (+stage) |
+//! | `table6` | Table 6        | tough datasets: hMBB/degOrder/bdegOrder/bd1–bd5/hbvMBB |
+//! | `fig4`   | Figure 4       | heuristic gap to optimum (heuGlobal, heuLocal) |
+//! | `fig5`   | Figure 5       | average search depth over δ̈ per order |
+//! | `fig6`   | Figure 6       | average vertex-centred subgraph density per order |
+//!
+//! All binaries accept `--budget-secs N`, `--caps small|default|large`,
+//! `--seed N` and print GitHub-flavoured Markdown so results paste straight
+//! into `EXPERIMENTS.md`.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod report;
+pub mod runner;
+
+pub use args::Args;
+pub use report::{fmt_seconds, Table};
+pub use runner::{run_timed, run_with_timeout, TimedOutcome};

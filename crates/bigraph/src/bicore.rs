@@ -1,0 +1,357 @@
+//! Bicore decomposition — Definitions 3–5 and Algorithm 7 of the paper.
+//!
+//! The *bicore number* `bc(u)` is the largest `k` such that some subgraph
+//! `H ∋ u` has `min_v |N≤2(v, H)| ≥ k`; the *bidegeneracy* `δ̈(G)` is the
+//! maximum bicore number, and the peel order is a *bidegeneracy order*
+//! (Definition 5). Because `|N≤2(·, H)|` is monotone non-increasing under
+//! vertex deletion, greedy min-value peeling computes bicore numbers exactly
+//! (the same argument as for ordinary cores).
+//!
+//! The paper's Lemma 10 peeling tie-break (min `|N≤2|`, then min degree) is
+//! used to pick the next vertex; unlike the paper we do not *rely* on the
+//! lemma's "loses at most 1" claim for correctness — exact `|N≤2|` values
+//! are maintained through a common-neighbour multiplicity map, so removing a
+//! vertex that disconnects 2-hop paths decrements every affected count. The
+//! cost is `O(Σ deg² · log n)`, matching Lemma 9 up to the heap factor and
+//! common-neighbour multiplicity.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::graph::BipartiteGraph;
+
+/// Result of a bicore decomposition.
+#[derive(Debug, Clone)]
+pub struct BicoreDecomposition {
+    /// Bicore number per global vertex id.
+    pub bicore: Vec<u32>,
+    /// Global ids in peel order — a bidegeneracy order (Definition 5).
+    pub order: Vec<u32>,
+    /// `δ̈(G)`: the bidegeneracy (0 for empty graphs).
+    pub bidegeneracy: u32,
+}
+
+#[inline]
+fn pair_key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    ((hi as u64) << 32) | lo as u64
+}
+
+/// Runs the bicore decomposition (Algorithm 7).
+///
+/// ```
+/// use mbb_bigraph::{graph::BipartiteGraph, bicore::bicore_decomposition};
+/// // A 4-cycle: every vertex has one neighbour and one 2-hop neighbour.
+/// let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (0, 1), (1, 0)])?;
+/// let d = bicore_decomposition(&g);
+/// assert_eq!(d.bidegeneracy, 2);
+/// # Ok::<(), mbb_bigraph::graph::GraphError>(())
+/// ```
+#[allow(clippy::needless_range_loop)] // index loops mirror the array-based peeling
+pub fn bicore_decomposition(graph: &BipartiteGraph) -> BicoreDecomposition {
+    let nl = graph.num_left();
+    let n = graph.num_vertices();
+    if n == 0 {
+        return BicoreDecomposition {
+            bicore: Vec::new(),
+            order: Vec::new(),
+            bidegeneracy: 0,
+        };
+    }
+
+    // Global-id adjacency accessor.
+    let neighbors_global = |g: usize| -> (&[u32], usize) {
+        // Returns (opposite-side local indices, offset to globalise them).
+        if g < nl {
+            (graph.neighbors_left(g as u32), nl)
+        } else {
+            (graph.neighbors_right((g - nl) as u32), 0)
+        }
+    };
+
+    // Common-neighbour multiplicities for same-side pairs at distance 2,
+    // plus the distinct 2-hop adjacency lists.
+    let mut cn: HashMap<u64, u32> = HashMap::new();
+    for mid in 0..n {
+        let (adj, offset) = neighbors_global(mid);
+        for i in 0..adj.len() {
+            for j in (i + 1)..adj.len() {
+                let a = adj[i] + offset as u32;
+                let b = adj[j] + offset as u32;
+                *cn.entry(pair_key(a, b)).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut two_hop_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for &key in cn.keys() {
+        let a = (key & 0xffff_ffff) as u32;
+        let b = (key >> 32) as u32;
+        two_hop_adj[a as usize].push(b);
+        two_hop_adj[b as usize].push(a);
+    }
+
+    let mut alive = vec![true; n];
+    let mut deg: Vec<usize> = (0..n).map(|g| neighbors_global(g).0.len()).collect();
+    let mut n2count: Vec<usize> = two_hop_adj.iter().map(|v| v.len()).collect();
+    let mut nle2: Vec<usize> = (0..n).map(|g| deg[g] + n2count[g]).collect();
+
+    // Lazy min-heap keyed by (|N≤2|, degree) per Lemma 10's tie-break.
+    let mut heap: BinaryHeap<Reverse<(usize, usize, u32)>> = (0..n)
+        .map(|g| Reverse((nle2[g], deg[g], g as u32)))
+        .collect();
+
+    let mut bicore = vec![0u32; n];
+    let mut order = Vec::with_capacity(n);
+    let mut running_max = 0u32;
+    let mut scratch_alive_neighbors: Vec<u32> = Vec::new();
+
+    while let Some(Reverse((val, d, v))) = heap.pop() {
+        let v = v as usize;
+        if !alive[v] || val != nle2[v] || d != deg[v] {
+            continue; // stale entry
+        }
+        alive[v] = false;
+        running_max = running_max.max(nle2[v] as u32);
+        bicore[v] = running_max;
+        order.push(v as u32);
+
+        // 1. Direct neighbours lose v from N(·).
+        let (adj, offset) = neighbors_global(v);
+        scratch_alive_neighbors.clear();
+        for &w_local in adj {
+            let w = w_local as usize + offset;
+            if alive[w] {
+                scratch_alive_neighbors.push(w as u32);
+            }
+        }
+        for &w in &scratch_alive_neighbors {
+            let w = w as usize;
+            deg[w] -= 1;
+            nle2[w] -= 1;
+            heap.push(Reverse((nle2[w], deg[w], w as u32)));
+        }
+
+        // 2. Same-side 2-hop neighbours lose v from N2(·).
+        for &w in &two_hop_adj[v] {
+            let w = w as usize;
+            if !alive[w] {
+                continue;
+            }
+            let key = pair_key(v as u32, w as u32);
+            if cn.get(&key).copied().unwrap_or(0) > 0 {
+                cn.remove(&key);
+                n2count[w] -= 1;
+                nle2[w] -= 1;
+                heap.push(Reverse((nle2[w], deg[w], w as u32)));
+            }
+        }
+
+        // 3. Pairs of v's surviving neighbours lose a common neighbour; a
+        // pair whose count hits zero falls out of each other's N2.
+        for i in 0..scratch_alive_neighbors.len() {
+            for j in (i + 1)..scratch_alive_neighbors.len() {
+                let a = scratch_alive_neighbors[i];
+                let b = scratch_alive_neighbors[j];
+                let key = pair_key(a, b);
+                if let Some(count) = cn.get_mut(&key) {
+                    *count -= 1;
+                    if *count == 0 {
+                        cn.remove(&key);
+                        let (a, b) = (a as usize, b as usize);
+                        n2count[a] -= 1;
+                        nle2[a] -= 1;
+                        n2count[b] -= 1;
+                        nle2[b] -= 1;
+                        heap.push(Reverse((nle2[a], deg[a], a as u32)));
+                        heap.push(Reverse((nle2[b], deg[b], b as u32)));
+                    }
+                }
+            }
+        }
+    }
+
+    BicoreDecomposition {
+        bidegeneracy: running_max,
+        bicore,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::{BipartiteGraph, Vertex};
+    use crate::two_hop;
+
+    /// Brute-force bicore numbers straight from Definition 3: for each `k`,
+    /// iteratively delete vertices whose `|N≤2|` (recomputed in the
+    /// remaining induced subgraph) is below `k`; survivors have `bc ≥ k`.
+    fn brute_bicore(graph: &BipartiteGraph) -> Vec<u32> {
+        let n = graph.num_vertices();
+        let nl = graph.num_left();
+        let mut bicore = vec![0u32; n];
+        for k in 1..=n {
+            let mut alive = vec![true; n];
+            loop {
+                let mut removed = false;
+                for g in 0..n {
+                    if !alive[g] {
+                        continue;
+                    }
+                    let v = graph.vertex_of_global(g);
+                    // |N≤2(v)| within the alive-induced subgraph.
+                    let opposite_offset = if g < nl { nl } else { 0 };
+                    let alive_neighbors: Vec<u32> = graph
+                        .neighbors(v)
+                        .iter()
+                        .copied()
+                        .filter(|&w| alive[w as usize + opposite_offset])
+                        .collect();
+                    let mut two_hop = std::collections::HashSet::new();
+                    for &mid in &alive_neighbors {
+                        let mid_v = Vertex {
+                            side: v.side.opposite(),
+                            index: mid,
+                        };
+                        let same_offset = if g < nl { 0 } else { nl };
+                        for &w in graph.neighbors(mid_v) {
+                            if alive[w as usize + same_offset] && w != v.index {
+                                two_hop.insert(w);
+                            }
+                        }
+                    }
+                    if alive_neighbors.len() + two_hop.len() < k {
+                        alive[g] = false;
+                        removed = true;
+                    }
+                }
+                if !removed {
+                    break;
+                }
+            }
+            let mut any = false;
+            for g in 0..n {
+                if alive[g] {
+                    bicore[g] = k as u32;
+                    any = true;
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        bicore
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteGraph::from_edges(0, 0, []).unwrap();
+        let d = bicore_decomposition(&g);
+        assert_eq!(d.bidegeneracy, 0);
+        assert!(d.order.is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let g = BipartiteGraph::from_edges(1, 1, [(0, 0)]).unwrap();
+        let d = bicore_decomposition(&g);
+        // Each endpoint has |N≤2| = 1.
+        assert_eq!(d.bicore, vec![1, 1]);
+        assert_eq!(d.bidegeneracy, 1);
+    }
+
+    #[test]
+    fn complete_bipartite() {
+        let g = generators::complete(3, 4);
+        let d = bicore_decomposition(&g);
+        // Left vertex: 4 + 2 = 6; right: 3 + 3 = 6; all equal.
+        assert_eq!(d.bidegeneracy, 6);
+        assert!(d.bicore.iter().all(|&c| c == 6));
+    }
+
+    #[test]
+    fn star_bicore() {
+        // Star centre L0 with 4 leaves: leaves see 1 + 3 = 4, centre 4 + 0.
+        let g = BipartiteGraph::from_edges(1, 4, (0..4).map(|v| (0, v))).unwrap();
+        let d = bicore_decomposition(&g);
+        assert_eq!(d.bidegeneracy, 4);
+        assert!(d.bicore.iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_random_graphs() {
+        for seed in 0..12 {
+            let g = generators::uniform_edges(8, 8, 20, seed);
+            let fast = bicore_decomposition(&g);
+            let brute = brute_bicore(&g);
+            assert_eq!(fast.bicore, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_power_law_graphs() {
+        for seed in 0..6 {
+            let g = generators::chung_lu_bipartite(
+                &generators::ChungLuParams {
+                    num_left: 15,
+                    num_right: 12,
+                    num_edges: 35,
+                    left_exponent: 0.8,
+                    right_exponent: 0.8,
+                },
+                seed,
+            );
+            let fast = bicore_decomposition(&g);
+            let brute = brute_bicore(&g);
+            assert_eq!(fast.bicore, brute, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn bidegeneracy_upper_bounds_initial_min_nle2() {
+        // δ̈ ≥ min over all vertices of |N≤2| in the full graph.
+        let g = generators::uniform_edges(20, 20, 120, 5);
+        let d = bicore_decomposition(&g);
+        let sizes = two_hop::all_n_le2_sizes(&g);
+        let min = sizes.iter().copied().min().unwrap();
+        assert!(d.bidegeneracy as usize >= min);
+    }
+
+    #[test]
+    fn order_is_permutation() {
+        let g = generators::uniform_edges(25, 20, 100, 8);
+        let d = bicore_decomposition(&g);
+        let mut seen = vec![false; g.num_vertices()];
+        for &v in &d.order {
+            assert!(!seen[v as usize]);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bicore_at_least_core() {
+        // |N≤2| ≥ degree pointwise in every subgraph, so bc(u) ≥ core(u).
+        let g = generators::uniform_edges(20, 20, 110, 9);
+        let bi = bicore_decomposition(&g);
+        let co = crate::core_decomp::core_decomposition(&g);
+        for g_id in 0..g.num_vertices() {
+            assert!(
+                bi.bicore[g_id] >= co.core[g_id],
+                "vertex {g_id}: bc {} < core {}",
+                bi.bicore[g_id],
+                co.core[g_id]
+            );
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_peel_first_with_zero() {
+        let g = BipartiteGraph::from_edges(3, 3, [(0, 0)]).unwrap();
+        let d = bicore_decomposition(&g);
+        assert_eq!(d.bicore[1], 0);
+        assert_eq!(d.bicore[2], 0);
+        assert_eq!(d.bicore[0], 1);
+    }
+}

@@ -1,0 +1,363 @@
+//! Fixed-capacity bitset used as the workhorse of every exhaustive-search
+//! kernel.
+//!
+//! The paper's exhaustive search (Algorithms 1–3 and 8) only ever runs on
+//! subgraphs whose total size is bounded by the bidegeneracy `δ̈(G)` — a few
+//! hundred vertices on real sparse graphs — or on dense synthetic graphs of
+//! at most a few thousand vertices per side. A flat `Vec<u64>` bitset makes
+//! the hot operations (candidate intersection, degree counting, reduction
+//! scans) cost `O(n / 64)` words each.
+
+/// A fixed-capacity set of `usize` values in `0..capacity`.
+///
+/// The capacity is fixed at construction; all binary operations require both
+/// operands to have the same capacity (checked with `debug_assert!`).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Box<[u64]>,
+    capacity: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_count(capacity: usize) -> usize {
+    capacity.div_ceil(WORD_BITS)
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold values in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0u64; word_count(capacity)].into_boxed_slice(),
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every value in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        s.insert_all();
+        s
+    }
+
+    /// The fixed capacity (exclusive upper bound on stored values).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`. Panics in debug builds if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Removes `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        debug_assert!(i < self.capacity);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Tests membership of `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Inserts every value in `0..capacity`.
+    pub fn insert_all(&mut self) {
+        if self.capacity == 0 {
+            return;
+        }
+        for w in self.words.iter_mut() {
+            *w = u64::MAX;
+        }
+        let tail = self.capacity % WORD_BITS;
+        if tail != 0 {
+            let last = self.words.len() - 1;
+            self.words[last] = (1u64 << tail) - 1;
+        }
+    }
+
+    /// Removes every value.
+    pub fn clear(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = 0;
+        }
+    }
+
+    /// Number of stored values.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True when no value is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// `self ∪= other`.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// `self \= other`.
+    #[inline]
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= !*b;
+        }
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    #[inline]
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|self \ other|`.
+    #[inline]
+    pub fn difference_len(&self, other: &BitSet) -> usize {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .map(|(a, b)| (a & !b).count_ones() as usize)
+            .sum()
+    }
+
+    /// True when `self ⊆ other`.
+    #[inline]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// True when `self ∩ other = ∅`.
+    #[inline]
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & b == 0)
+    }
+
+    /// The smallest stored value, if any.
+    #[inline]
+    pub fn first(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates the stored values in increasing order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            words: &self.words,
+            word_index: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects into a `Vec<u32>` (convenient for local-vertex index lists).
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.iter().map(|i| i as u32).collect()
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is `max+1` of the items (0 for empty).
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().copied().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+/// Iterator over the values of a [`BitSet`], ascending.
+pub struct Iter<'a> {
+    words: &'a [u64],
+    word_index: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_index * WORD_BITS + bit);
+            }
+            self.word_index += 1;
+            if self.word_index >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_index];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_has_no_members() {
+        let s = BitSet::new(100);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.first(), None);
+        assert!(!s.contains(0));
+        assert!(!s.contains(99));
+    }
+
+    #[test]
+    fn insert_remove_contains_roundtrip() {
+        let mut s = BitSet::new(130);
+        for i in [0usize, 1, 63, 64, 65, 127, 128, 129] {
+            s.insert(i);
+            assert!(s.contains(i), "just inserted {i}");
+        }
+        assert_eq!(s.len(), 8);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 7);
+    }
+
+    #[test]
+    fn full_respects_tail_bits() {
+        let s = BitSet::full(70);
+        assert_eq!(s.len(), 70);
+        assert!(s.contains(69));
+        let s = BitSet::full(64);
+        assert_eq!(s.len(), 64);
+        let s = BitSet::full(0);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
+    fn iter_yields_sorted_members() {
+        let mut s = BitSet::new(200);
+        let values = [3usize, 64, 65, 100, 199];
+        for &v in &values {
+            s.insert(v);
+        }
+        let collected: Vec<usize> = s.iter().collect();
+        assert_eq!(collected, values);
+    }
+
+    #[test]
+    fn intersection_and_counts() {
+        let mut a = BitSet::new(128);
+        let mut b = BitSet::new(128);
+        for i in 0..128 {
+            if i % 2 == 0 {
+                a.insert(i);
+            }
+            if i % 3 == 0 {
+                b.insert(i);
+            }
+        }
+        assert_eq!(a.intersection_len(&b), (0..128).filter(|i| i % 6 == 0).count());
+        assert_eq!(a.difference_len(&b), a.len() - a.intersection_len(&b));
+        let mut c = a.clone();
+        c.intersect_with(&b);
+        assert_eq!(c.len(), a.intersection_len(&b));
+        assert!(c.is_subset(&a));
+        assert!(c.is_subset(&b));
+    }
+
+    #[test]
+    fn subtract_and_union() {
+        let mut a = BitSet::new(64);
+        a.insert(1);
+        a.insert(2);
+        let mut b = BitSet::new(64);
+        b.insert(2);
+        b.insert(3);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3]);
+        a.subtract(&b);
+        assert_eq!(a.to_vec(), vec![1]);
+    }
+
+    #[test]
+    fn disjoint_detection() {
+        let mut a = BitSet::new(64);
+        a.insert(5);
+        let mut b = BitSet::new(64);
+        b.insert(6);
+        assert!(a.is_disjoint(&b));
+        b.insert(5);
+        assert!(!a.is_disjoint(&b));
+    }
+
+    #[test]
+    fn first_finds_lowest_across_words() {
+        let mut s = BitSet::new(256);
+        s.insert(200);
+        assert_eq!(s.first(), Some(200));
+        s.insert(70);
+        assert_eq!(s.first(), Some(70));
+        s.insert(0);
+        assert_eq!(s.first(), Some(0));
+    }
+
+    #[test]
+    fn from_iterator_sizes_capacity() {
+        let s: BitSet = [4usize, 9, 2].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut s = BitSet::full(100);
+        s.clear();
+        assert!(s.is_empty());
+    }
+}

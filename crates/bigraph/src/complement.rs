@@ -1,0 +1,357 @@
+//! Path/cycle decomposition of near-complete candidate subgraphs
+//! (Observation 1 of the paper).
+//!
+//! When every candidate vertex misses at most two neighbours on the other
+//! candidate side, the bipartite complement restricted to the candidates has
+//! maximum degree ≤ 2, so its non-trivial part is a disjoint union of paths
+//! and (even-length) cycles. [`decompose_missing`] performs this
+//! decomposition, returning `None` the moment any vertex misses three or
+//! more neighbours — i.e. when the Lemma 3 polynomial case does not apply.
+
+use crate::bitset::BitSet;
+use crate::local::{LocalGraph, LocalVertex};
+
+/// Kind of a complement component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComponentKind {
+    /// A path with an odd number of edges (equal side counts).
+    OddPath,
+    /// A path with an even number of edges (side counts differ by one).
+    EvenPath,
+    /// An (even-length) cycle.
+    Cycle,
+}
+
+/// A single path or cycle of the complement graph.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Path order (for cycles, a cyclic order starting anywhere).
+    pub vertices: Vec<LocalVertex>,
+    /// Component kind.
+    pub kind: ComponentKind,
+}
+
+impl Component {
+    /// Number of edges `p` of the path/cycle (the paper's component length).
+    pub fn length(&self) -> usize {
+        match self.kind {
+            ComponentKind::Cycle => self.vertices.len(),
+            _ => self.vertices.len() - 1,
+        }
+    }
+
+    /// Count of left-side vertices in the component.
+    pub fn left_count(&self) -> usize {
+        self.vertices.iter().filter(|v| v.left).count()
+    }
+
+    /// Count of right-side vertices.
+    pub fn right_count(&self) -> usize {
+        self.vertices.len() - self.left_count()
+    }
+}
+
+/// Result of decomposing the candidate-restricted complement.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Path/cycle components of the non-trivial part.
+    pub components: Vec<Component>,
+    /// Left candidates with no missing neighbour (complement degree 0).
+    pub trivial_left: Vec<u32>,
+    /// Right candidates with no missing neighbour.
+    pub trivial_right: Vec<u32>,
+}
+
+/// Decomposes the complement of `graph[ca ∪ cb]` into paths and cycles.
+///
+/// Returns `None` if any candidate misses more than two neighbours on the
+/// other candidate side (Lemma 3 precondition violated). For an empty
+/// candidate pair the decomposition is trivially empty.
+pub fn decompose_missing(graph: &LocalGraph, ca: &BitSet, cb: &BitSet) -> Option<Decomposition> {
+    // Complement adjacency restricted to candidates; at most 2 entries each.
+    let mut missing_left: Vec<Vec<u32>> = Vec::with_capacity(ca.len());
+    let left_vertices: Vec<u32> = ca.to_vec();
+    let right_vertices: Vec<u32> = cb.to_vec();
+    let mut left_pos = vec![usize::MAX; graph.num_left()];
+    for (i, &u) in left_vertices.iter().enumerate() {
+        left_pos[u as usize] = i;
+    }
+    let mut right_pos = vec![usize::MAX; graph.num_right()];
+    for (j, &v) in right_vertices.iter().enumerate() {
+        right_pos[v as usize] = j;
+    }
+
+    for &u in &left_vertices {
+        let mut row = cb.clone();
+        row.subtract(graph.left_row(u));
+        if row.len() > 2 {
+            return None;
+        }
+        missing_left.push(row.to_vec());
+    }
+    let mut missing_right: Vec<Vec<u32>> = Vec::with_capacity(right_vertices.len());
+    for &v in &right_vertices {
+        let mut row = ca.clone();
+        row.subtract(graph.right_row(v));
+        if row.len() > 2 {
+            return None;
+        }
+        missing_right.push(row.to_vec());
+    }
+
+    // Walk the complement graph. Positions: left i → node i, right j → node
+    // |CA| + j.
+    let nl = left_vertices.len();
+    let total = nl + right_vertices.len();
+    let degree = |node: usize| -> usize {
+        if node < nl {
+            missing_left[node].len()
+        } else {
+            missing_right[node - nl].len()
+        }
+    };
+    let neighbors = |node: usize| -> Vec<usize> {
+        if node < nl {
+            missing_left[node]
+                .iter()
+                .map(|&v| nl + right_pos[v as usize])
+                .collect()
+        } else {
+            missing_right[node - nl]
+                .iter()
+                .map(|&u| left_pos[u as usize])
+                .collect()
+        }
+    };
+    let to_local = |node: usize| -> LocalVertex {
+        if node < nl {
+            LocalVertex::left(left_vertices[node])
+        } else {
+            LocalVertex::right(right_vertices[node - nl])
+        }
+    };
+
+    let mut visited = vec![false; total];
+    let mut decomposition = Decomposition {
+        components: Vec::new(),
+        trivial_left: Vec::new(),
+        trivial_right: Vec::new(),
+    };
+
+    // Trivial part (complement degree 0).
+    #[allow(clippy::needless_range_loop)] // `node` indexes several parallel arrays
+    for node in 0..total {
+        if degree(node) == 0 {
+            visited[node] = true;
+            let lv = to_local(node);
+            if lv.left {
+                decomposition.trivial_left.push(lv.index);
+            } else {
+                decomposition.trivial_right.push(lv.index);
+            }
+        }
+    }
+
+    // Paths: start from every unvisited endpoint (degree 1).
+    for start in 0..total {
+        if visited[start] || degree(start) != 1 {
+            continue;
+        }
+        let mut path = vec![start];
+        visited[start] = true;
+        let mut prev = usize::MAX;
+        let mut cur = start;
+        loop {
+            let next = neighbors(cur).into_iter().find(|&n| n != prev && !visited[n]);
+            match next {
+                Some(n) => {
+                    visited[n] = true;
+                    path.push(n);
+                    prev = cur;
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        let edges = path.len() - 1;
+        let kind = if edges % 2 == 1 {
+            ComponentKind::OddPath
+        } else {
+            ComponentKind::EvenPath
+        };
+        decomposition.components.push(Component {
+            vertices: path.into_iter().map(to_local).collect(),
+            kind,
+        });
+    }
+
+    // Cycles: everything left has degree 2.
+    for start in 0..total {
+        if visited[start] {
+            continue;
+        }
+        debug_assert_eq!(degree(start), 2);
+        let mut cycle = vec![start];
+        visited[start] = true;
+        let mut prev = usize::MAX;
+        let mut cur = start;
+        loop {
+            let next = neighbors(cur).into_iter().find(|&n| n != prev && !visited[n]);
+            match next {
+                Some(n) => {
+                    visited[n] = true;
+                    cycle.push(n);
+                    prev = cur;
+                    cur = n;
+                }
+                None => break,
+            }
+        }
+        decomposition.components.push(Component {
+            vertices: cycle.into_iter().map(to_local).collect(),
+            kind: ComponentKind::Cycle,
+        });
+    }
+
+    Some(decomposition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_sets(nl: usize, nr: usize) -> (BitSet, BitSet) {
+        (BitSet::full(nl), BitSet::full(nr))
+    }
+
+    #[test]
+    fn complete_graph_is_all_trivial() {
+        let g = LocalGraph::from_edges(3, 3, (0..3).flat_map(|u| (0..3).map(move |v| (u, v))));
+        let (ca, cb) = full_sets(3, 3);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert!(d.components.is_empty());
+        assert_eq!(d.trivial_left, vec![0, 1, 2]);
+        assert_eq!(d.trivial_right, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn single_missing_edge_is_odd_path() {
+        // Complete 2x2 minus edge (0,0): complement is a single edge
+        // L0-R0, an odd path of length 1.
+        let g = LocalGraph::from_edges(2, 2, [(0, 1), (1, 0), (1, 1)]);
+        let (ca, cb) = full_sets(2, 2);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.components[0].kind, ComponentKind::OddPath);
+        assert_eq!(d.components[0].length(), 1);
+        assert_eq!(d.trivial_left, vec![1]);
+        assert_eq!(d.trivial_right, vec![1]);
+    }
+
+    #[test]
+    fn even_path_detection() {
+        // Complement edges: L0-R0, R0-L1 → even path with 2 edges.
+        // Build complete 2x1 graph then remove nothing... easier: start
+        // complete 2x2 and remove (0,0),(1,0): complement = L0-R0-L1 path.
+        let g = LocalGraph::from_edges(2, 2, [(0, 1), (1, 1)]);
+        let (ca, cb) = full_sets(2, 2);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert_eq!(d.components.len(), 1);
+        let c = &d.components[0];
+        assert_eq!(c.kind, ComponentKind::EvenPath);
+        assert_eq!(c.length(), 2);
+        assert_eq!(c.left_count(), 2);
+        assert_eq!(c.right_count(), 1);
+        assert_eq!(d.trivial_right, vec![1]);
+    }
+
+    #[test]
+    fn four_cycle_detection() {
+        // Complement = 4-cycle on 2+2 vertices ⇔ graph has no edges on
+        // a 2x2... complement of empty 2x2 is complete 2x2 which is a
+        // 4-cycle: L0-R0-L1-R1-L0.
+        let g = LocalGraph::new(2, 2);
+        let (ca, cb) = full_sets(2, 2);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.components[0].kind, ComponentKind::Cycle);
+        assert_eq!(d.components[0].length(), 4);
+    }
+
+    #[test]
+    fn rejects_three_missing() {
+        // L0 misses all of 3 right vertices.
+        let g = LocalGraph::from_edges(2, 3, [(1, 0), (1, 1), (1, 2)]);
+        let (ca, cb) = full_sets(2, 3);
+        assert!(decompose_missing(&g, &ca, &cb).is_none());
+    }
+
+    #[test]
+    fn respects_candidate_restriction() {
+        // L0 misses 3 right vertices overall but only 2 inside CB.
+        let g = LocalGraph::from_edges(1, 4, [(0, 3)]);
+        let ca = BitSet::full(1);
+        let mut cb = BitSet::new(4);
+        cb.insert(0);
+        cb.insert(1);
+        cb.insert(3);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        // Complement inside candidates: L0-R0, L0-R1 → even path R0-L0-R1.
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.components[0].kind, ComponentKind::EvenPath);
+        assert_eq!(d.components[0].left_count(), 1);
+        assert_eq!(d.components[0].right_count(), 2);
+        assert_eq!(d.trivial_right, vec![3]);
+    }
+
+    #[test]
+    fn empty_candidates() {
+        let g = LocalGraph::new(3, 3);
+        let ca = BitSet::new(3);
+        let cb = BitSet::new(3);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert!(d.components.is_empty());
+        assert!(d.trivial_left.is_empty());
+        assert!(d.trivial_right.is_empty());
+    }
+
+    #[test]
+    fn path_order_is_consecutive() {
+        // Complement path of length 3: complete 2x2 minus edges
+        // (0,0),(1,0),(1,1) → complement edges L0-R0, R0-L1, L1-R1.
+        let g = LocalGraph::from_edges(2, 2, [(0, 1)]);
+        let (ca, cb) = full_sets(2, 2);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert_eq!(d.components.len(), 1);
+        let c = &d.components[0];
+        assert_eq!(c.kind, ComponentKind::OddPath);
+        // Adjacent path vertices must be complement edges, i.e. NON-edges
+        // of the graph.
+        for w in c.vertices.windows(2) {
+            let (a, b) = (w[0], w[1]);
+            assert_ne!(a.left, b.left);
+            let (u, v) = if a.left { (a.index, b.index) } else { (b.index, a.index) };
+            assert!(!g.has_edge(u, v), "path edge {a:?}-{b:?} should be missing");
+        }
+    }
+
+    #[test]
+    fn six_cycle() {
+        // Complement of C6: graph on 3+3 where each left i connects to
+        // right j except j ∈ {i, i+1 mod 3} → complement is a 6-cycle.
+        let mut g = LocalGraph::new(3, 3);
+        for u in 0..3u32 {
+            for v in 0..3u32 {
+                if v != u && v != (u + 1) % 3 {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        let (ca, cb) = full_sets(3, 3);
+        let d = decompose_missing(&g, &ca, &cb).unwrap();
+        assert_eq!(d.components.len(), 1);
+        assert_eq!(d.components[0].kind, ComponentKind::Cycle);
+        assert_eq!(d.components[0].length(), 6);
+        assert_eq!(d.components[0].left_count(), 3);
+    }
+}

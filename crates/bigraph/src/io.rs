@@ -1,0 +1,194 @@
+//! Edge-list I/O in the KONECT bipartite format.
+//!
+//! The paper's sparse experiments (§6.2) use 30 datasets from the Koblenz
+//! Network Collection. KONECT ships bipartite graphs as whitespace-separated
+//! `left right` pairs, 1-based, with `%`-prefixed comment lines. This module
+//! reads and writes that format so synthetic stand-ins can be persisted and
+//! real KONECT files can be dropped in unchanged if available.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+use crate::graph::{BipartiteGraph, Builder, GraphError};
+
+/// Errors raised while parsing an edge list.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A data line did not contain two integer fields.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+    /// An endpoint index was 0 (KONECT ids are 1-based) or out of range.
+    Graph(GraphError),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "line {line}: expected `left right`, got {content:?}")
+            }
+            IoError::Graph(e) => write!(f, "invalid edge: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            IoError::Graph(e) => Some(e),
+            IoError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<GraphError> for IoError {
+    fn from(e: GraphError) -> Self {
+        IoError::Graph(e)
+    }
+}
+
+/// Reads a KONECT-style bipartite edge list.
+///
+/// Lines starting with `%` or `#` are comments; blank lines are skipped.
+/// Vertex ids are 1-based and the side sizes are inferred from the maxima.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BipartiteGraph, IoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_l = 0u32;
+    let mut max_r = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        let parse = |s: &str| -> Option<u32> { s.parse::<u32>().ok().filter(|&v| v >= 1) };
+        let (Some(u), Some(v)) = (parse(a), parse(b)) else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                content: line.clone(),
+            });
+        };
+        max_l = max_l.max(u);
+        max_r = max_r.max(v);
+        edges.push((u - 1, v - 1));
+    }
+    let mut builder = Builder::new(max_l, max_r);
+    builder.reserve(edges.len());
+    for (u, v) in edges {
+        builder.add_edge(u, v)?;
+    }
+    Ok(builder.build())
+}
+
+/// Reads a bipartite edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<BipartiteGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(file))
+}
+
+/// Writes a graph as a KONECT-style edge list (1-based ids, `%` header).
+pub fn write_edge_list<W: Write>(graph: &BipartiteGraph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "% bip |L|={} |R|={} |E|={}",
+        graph.num_left(),
+        graph.num_right(),
+        graph.num_edges()
+    )?;
+    let mut buf = io::BufWriter::new(&mut writer);
+    for (u, v) in graph.edges() {
+        writeln!(buf, "{} {}", u + 1, v + 1)?;
+    }
+    buf.flush()
+}
+
+/// Writes a graph to a file path.
+pub fn write_edge_list_file(graph: &BipartiteGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(graph, io::BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_simple_list_with_comments() {
+        let text = "% bip comment\n# another\n1 1\n2 3\n\n3 2\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_left(), 3);
+        assert_eq!(g.num_right(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.has_edge(0, 0));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn ignores_extra_columns() {
+        // KONECT files often carry weight/timestamp columns.
+        let text = "1 1 1 1370000000\n2 2 5 1370000001\n";
+        let g = read_edge_list(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage_line() {
+        let err = read_edge_list(Cursor::new("1 x\n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_zero_based_id() {
+        let err = read_edge_list(Cursor::new("0 1\n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_single_field_line() {
+        let err = read_edge_list(Cursor::new("42\n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = read_edge_list(Cursor::new("% nothing\n")).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = BipartiteGraph::from_edges(4, 3, [(0, 0), (1, 2), (3, 1), (2, 2)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf)).unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(g2.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Dense bitset subgraphs for the exhaustive-search kernels.
+//!
+//! Every graph that reaches `basicBB` / `denseMBB` (Algorithms 1 and 3) is
+//! either a dense synthetic input or a vertex-centred subgraph of size
+//! ≲ δ̈(G), so a dense adjacency-bitset representation is the right trade:
+//! candidate intersection (`CB ∩ N(u)`), reduction degree counts and the
+//! Lemma 3 density test all become a handful of word operations per row.
+
+use crate::bitset::BitSet;
+use crate::graph::BipartiteGraph;
+
+/// A vertex of a [`LocalGraph`]: side flag plus local index.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct LocalVertex {
+    /// True for the left side.
+    pub left: bool,
+    /// Index within the side.
+    pub index: u32,
+}
+
+impl LocalVertex {
+    /// Left-side local vertex.
+    pub fn left(index: u32) -> Self {
+        LocalVertex { left: true, index }
+    }
+
+    /// Right-side local vertex.
+    pub fn right(index: u32) -> Self {
+        LocalVertex { left: false, index }
+    }
+}
+
+/// A small bipartite graph with bitset adjacency on both sides.
+#[derive(Clone, Debug)]
+pub struct LocalGraph {
+    /// `left_adj[u]` = bitset over right-local indices adjacent to `u`.
+    left_adj: Vec<BitSet>,
+    /// `right_adj[v]` = bitset over left-local indices adjacent to `v`.
+    right_adj: Vec<BitSet>,
+}
+
+impl LocalGraph {
+    /// An empty graph with the given side sizes.
+    pub fn new(num_left: usize, num_right: usize) -> LocalGraph {
+        LocalGraph {
+            left_adj: (0..num_left).map(|_| BitSet::new(num_right)).collect(),
+            right_adj: (0..num_right).map(|_| BitSet::new(num_left)).collect(),
+        }
+    }
+
+    /// Builds from an explicit edge list of `(left, right)` local indices.
+    pub fn from_edges(
+        num_left: usize,
+        num_right: usize,
+        edges: impl IntoIterator<Item = (u32, u32)>,
+    ) -> LocalGraph {
+        let mut g = LocalGraph::new(num_left, num_right);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+        }
+        g
+    }
+
+    /// Extracts the subgraph of `graph` induced by the given original-side
+    /// index lists. Local index `i` on each side corresponds to
+    /// `left_ids[i]` / `right_ids[i]`.
+    pub fn induced(graph: &BipartiteGraph, left_ids: &[u32], right_ids: &[u32]) -> LocalGraph {
+        let mut right_map = vec![u32::MAX; graph.num_right()];
+        for (i, &r) in right_ids.iter().enumerate() {
+            right_map[r as usize] = i as u32;
+        }
+        let mut local = LocalGraph::new(left_ids.len(), right_ids.len());
+        for (i, &l) in left_ids.iter().enumerate() {
+            for &r in graph.neighbors_left(l) {
+                let j = right_map[r as usize];
+                if j != u32::MAX {
+                    local.add_edge(i as u32, j);
+                }
+            }
+        }
+        local
+    }
+
+    /// Adds an edge between left `u` and right `v`.
+    pub fn add_edge(&mut self, u: u32, v: u32) {
+        self.left_adj[u as usize].insert(v as usize);
+        self.right_adj[v as usize].insert(u as usize);
+    }
+
+    /// Number of left vertices.
+    #[inline]
+    pub fn num_left(&self) -> usize {
+        self.left_adj.len()
+    }
+
+    /// Number of right vertices.
+    #[inline]
+    pub fn num_right(&self) -> usize {
+        self.right_adj.len()
+    }
+
+    /// Total vertex count.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_left() + self.num_right()
+    }
+
+    /// Number of edges (counted from the left rows).
+    pub fn num_edges(&self) -> usize {
+        self.left_adj.iter().map(|row| row.len()).sum()
+    }
+
+    /// Edge density relative to the complete bipartite graph.
+    pub fn density(&self) -> f64 {
+        let denom = self.num_left() as f64 * self.num_right() as f64;
+        if denom == 0.0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / denom
+        }
+    }
+
+    /// Adjacency row of left vertex `u` (bitset over right indices).
+    #[inline]
+    pub fn left_row(&self, u: u32) -> &BitSet {
+        &self.left_adj[u as usize]
+    }
+
+    /// Adjacency row of right vertex `v` (bitset over left indices).
+    #[inline]
+    pub fn right_row(&self, v: u32) -> &BitSet {
+        &self.right_adj[v as usize]
+    }
+
+    /// Edge test.
+    #[inline]
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.left_adj[u as usize].contains(v as usize)
+    }
+
+    /// Degree of left vertex `u` restricted to a right-side candidate set.
+    #[inline]
+    pub fn left_degree_in(&self, u: u32, candidates: &BitSet) -> usize {
+        self.left_adj[u as usize].intersection_len(candidates)
+    }
+
+    /// Degree of right vertex `v` restricted to a left-side candidate set.
+    #[inline]
+    pub fn right_degree_in(&self, v: u32, candidates: &BitSet) -> usize {
+        self.right_adj[v as usize].intersection_len(candidates)
+    }
+
+    /// Number of *missing* neighbours of left `u` within `candidates ⊆ R`.
+    #[inline]
+    pub fn left_missing_in(&self, u: u32, candidates: &BitSet) -> usize {
+        candidates.difference_len(&self.left_adj[u as usize])
+    }
+
+    /// Number of missing neighbours of right `v` within `candidates ⊆ L`.
+    #[inline]
+    pub fn right_missing_in(&self, v: u32, candidates: &BitSet) -> usize {
+        candidates.difference_len(&self.right_adj[v as usize])
+    }
+
+    /// Validates that `(a, b)` is a biclique (all local indices).
+    pub fn is_biclique(&self, a: &[u32], b: &[u32]) -> bool {
+        a.iter()
+            .all(|&u| b.iter().all(|&v| self.has_edge(u, v)))
+    }
+
+    /// The bipartite complement (edges flipped).
+    pub fn complement(&self) -> LocalGraph {
+        let nl = self.num_left();
+        let nr = self.num_right();
+        let mut out = LocalGraph::new(nl, nr);
+        for u in 0..nl {
+            let mut row = BitSet::full(nr);
+            row.subtract(&self.left_adj[u]);
+            for v in row.iter() {
+                out.add_edge(u as u32, v as u32);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn empty_local_graph() {
+        let g = LocalGraph::new(0, 0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.density(), 0.0);
+    }
+
+    #[test]
+    fn add_edge_updates_both_sides() {
+        let mut g = LocalGraph::new(3, 3);
+        g.add_edge(1, 2);
+        assert!(g.has_edge(1, 2));
+        assert!(g.left_row(1).contains(2));
+        assert!(g.right_row(2).contains(1));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges() {
+        let big = generators::uniform_edges(20, 20, 120, 3);
+        let left_ids = [2u32, 5, 7, 11];
+        let right_ids = [0u32, 3, 19];
+        let local = LocalGraph::induced(&big, &left_ids, &right_ids);
+        assert_eq!(local.num_left(), 4);
+        assert_eq!(local.num_right(), 3);
+        for (i, &l) in left_ids.iter().enumerate() {
+            for (j, &r) in right_ids.iter().enumerate() {
+                assert_eq!(
+                    local.has_edge(i as u32, j as u32),
+                    big.has_edge(l, r),
+                    "L{l}-R{r}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_in_candidate_sets() {
+        let g = LocalGraph::from_edges(2, 4, [(0, 0), (0, 1), (0, 2), (1, 3)]);
+        let mut cb = BitSet::new(4);
+        cb.insert(1);
+        cb.insert(3);
+        assert_eq!(g.left_degree_in(0, &cb), 1);
+        assert_eq!(g.left_degree_in(1, &cb), 1);
+        assert_eq!(g.left_missing_in(0, &cb), 1); // misses 3
+        let mut ca = BitSet::new(2);
+        ca.insert(0);
+        ca.insert(1);
+        assert_eq!(g.right_degree_in(0, &ca), 1);
+        assert_eq!(g.right_missing_in(0, &ca), 1);
+    }
+
+    #[test]
+    fn complement_involution() {
+        let g = LocalGraph::from_edges(3, 3, [(0, 0), (1, 1), (2, 2), (0, 2)]);
+        let cc = g.complement().complement();
+        for u in 0..3 {
+            for v in 0..3 {
+                assert_eq!(g.has_edge(u, v), cc.has_edge(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn complement_edge_count() {
+        let g = LocalGraph::from_edges(3, 4, [(0, 0), (1, 2)]);
+        let c = g.complement();
+        assert_eq!(c.num_edges(), 12 - 2);
+        assert!(!c.has_edge(0, 0));
+        assert!(c.has_edge(0, 1));
+    }
+
+    #[test]
+    fn is_biclique_checks_all_pairs() {
+        let g = LocalGraph::from_edges(2, 2, [(0, 0), (0, 1), (1, 0)]);
+        assert!(g.is_biclique(&[0], &[0, 1]));
+        assert!(!g.is_biclique(&[0, 1], &[0, 1]));
+        assert!(g.is_biclique(&[], &[0, 1]));
+    }
+
+    #[test]
+    fn density_matches_definition() {
+        let g = LocalGraph::from_edges(2, 5, [(0, 0), (1, 1), (1, 2)]);
+        assert!((g.density() - 0.3).abs() < 1e-12);
+    }
+}

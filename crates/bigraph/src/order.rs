@@ -1,0 +1,115 @@
+//! Total search orders (Lemmas 6–8 of the paper).
+//!
+//! Vertex-centred decomposition (Definition 6) is correct for *any* total
+//! order over `L ∪ R`; the order only controls how small and how dense the
+//! per-vertex subgraphs are. The paper compares three:
+//!
+//! * **degree order** (Lemma 6) — total subgraph size `O(n · d_max²)`;
+//! * **degeneracy order** (Lemma 7) — `O(n · δ(G) · d_max)`;
+//! * **bidegeneracy order** (Lemma 8) — `O(n · δ̈(G))`, the winner.
+//!
+//! Peeling orders process the sparsest vertices first, so the "degree"
+//! order here is min-degree-first — the degree-based analogue of the two
+//! peel orders (the paper's `bd4` ablation).
+
+use crate::bicore::bicore_decomposition;
+use crate::core_decomp::core_decomposition;
+use crate::graph::BipartiteGraph;
+
+/// Which total search order to use for vertex-centred decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchOrder {
+    /// Static min-degree-first order (Lemma 6; ablation `bd4`).
+    Degree,
+    /// Degeneracy (core peel) order (Lemma 7; ablation `bd5`).
+    Degeneracy,
+    /// Bidegeneracy (bicore peel) order (Lemma 8; the paper's choice).
+    #[default]
+    Bidegeneracy,
+}
+
+impl std::fmt::Display for SearchOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SearchOrder::Degree => write!(f, "maxDeg"),
+            SearchOrder::Degeneracy => write!(f, "degeneracy"),
+            SearchOrder::Bidegeneracy => write!(f, "bidegeneracy"),
+        }
+    }
+}
+
+/// Computes the chosen total order as a permutation of global ids.
+pub fn compute_order(graph: &BipartiteGraph, order: SearchOrder) -> Vec<u32> {
+    match order {
+        SearchOrder::Degree => {
+            let nl = graph.num_left();
+            let mut ids: Vec<u32> = (0..graph.num_vertices() as u32).collect();
+            let degree = |g: u32| -> usize {
+                let g = g as usize;
+                if g < nl {
+                    graph.degree_left(g as u32)
+                } else {
+                    graph.degree_right((g - nl) as u32)
+                }
+            };
+            ids.sort_by_key(|&g| (degree(g), g));
+            ids
+        }
+        SearchOrder::Degeneracy => core_decomposition(graph).order,
+        SearchOrder::Bidegeneracy => bicore_decomposition(graph).order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn every_order_is_a_permutation() {
+        let g = generators::uniform_edges(20, 15, 90, 2);
+        for order in [
+            SearchOrder::Degree,
+            SearchOrder::Degeneracy,
+            SearchOrder::Bidegeneracy,
+        ] {
+            let o = compute_order(&g, order);
+            assert_eq!(o.len(), g.num_vertices());
+            let mut seen = vec![false; g.num_vertices()];
+            for &v in &o {
+                assert!(!seen[v as usize], "{order}: duplicate {v}");
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn degree_order_is_non_decreasing() {
+        let g = generators::uniform_edges(25, 25, 150, 7);
+        let nl = g.num_left();
+        let o = compute_order(&g, SearchOrder::Degree);
+        let degree = |g_id: u32| -> usize {
+            let g_id = g_id as usize;
+            if g_id < nl {
+                g.degree_left(g_id as u32)
+            } else {
+                g.degree_right((g_id - nl) as u32)
+            }
+        };
+        for w in o.windows(2) {
+            assert!(degree(w[0]) <= degree(w[1]));
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper_labels() {
+        assert_eq!(SearchOrder::Degree.to_string(), "maxDeg");
+        assert_eq!(SearchOrder::Degeneracy.to_string(), "degeneracy");
+        assert_eq!(SearchOrder::Bidegeneracy.to_string(), "bidegeneracy");
+    }
+
+    #[test]
+    fn default_is_bidegeneracy() {
+        assert_eq!(SearchOrder::default(), SearchOrder::Bidegeneracy);
+    }
+}

@@ -1,0 +1,256 @@
+//! One-mode projection of a bipartite graph.
+//!
+//! The projection onto a side connects two same-side vertices with weight
+//! = their number of common neighbours. It is the bipartite analyst's
+//! bridge to unipartite tooling, and inside this workspace it gives a
+//! cheap certificate language: a balanced biclique of half-size `k` is a
+//! `k`-clique in the left projection restricted to weights ≥ `k`, so
+//! projection statistics bound the MBB from above.
+
+use crate::graph::{BipartiteGraph, Side};
+
+/// A weighted undirected graph over one side of a bipartite graph,
+/// stored as a sorted flat edge list (`u < v`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Projection {
+    /// Number of vertices (the projected side's size).
+    pub num_vertices: usize,
+    /// `(u, v, weight)` triples with `u < v`, sorted lexicographically;
+    /// `weight` = number of common neighbours in the bipartite graph.
+    pub edges: Vec<(u32, u32, u32)>,
+    /// Whether the underlying bipartite graph had any edge at all (a
+    /// perfect matching projects to nothing yet still has MBB half 1).
+    pub has_bipartite_edge: bool,
+}
+
+impl Projection {
+    /// Number of projected edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Weight of the pair `(u, v)` (0 when not adjacent).
+    pub fn weight(&self, u: u32, v: u32) -> u32 {
+        let key = (u.min(v), u.max(v));
+        self.edges
+            .binary_search_by_key(&key, |&(a, b, _)| (a, b))
+            .map(|i| self.edges[i].2)
+            .unwrap_or(0)
+    }
+
+    /// Weighted degree (sum of incident edge weights) per vertex.
+    pub fn weighted_degrees(&self) -> Vec<u64> {
+        let mut degrees = vec![0u64; self.num_vertices];
+        for &(u, v, w) in &self.edges {
+            degrees[u as usize] += w as u64;
+            degrees[v as usize] += w as u64;
+        }
+        degrees
+    }
+
+    /// The number of vertex pairs with weight ≥ `threshold` — the edge
+    /// count of the thresholded projection. A balanced biclique of
+    /// half-size `k` needs `C(k,2)` pairs of weight ≥ `k` on each side,
+    /// so `pairs_with_weight_at_least(k) < C(k,2)` refutes half-size `k`.
+    pub fn pairs_with_weight_at_least(&self, threshold: u32) -> usize {
+        self.edges.iter().filter(|&&(_, _, w)| w >= threshold).count()
+    }
+
+    /// Upper bound on the MBB half-size from this projection: the largest
+    /// `k ≥ 2` with at least `C(k,2)` pairs of weight ≥ `k`, falling back
+    /// to 1 when the bipartite graph has an edge and 0 otherwise.
+    pub fn mbb_half_upper_bound(&self) -> usize {
+        let mut k = self.num_vertices;
+        while k >= 2 {
+            let needed = k * (k - 1) / 2;
+            if self.pairs_with_weight_at_least(k as u32) >= needed {
+                return k;
+            }
+            k -= 1;
+        }
+        usize::from(self.has_bipartite_edge)
+    }
+}
+
+/// Projects `graph` onto the given side. Cost is `O(Σ_other deg²)` (one
+/// pair-count pass over the opposite side's adjacency rows).
+///
+/// ```
+/// use mbb_bigraph::generators::complete;
+/// use mbb_bigraph::graph::Side;
+/// use mbb_bigraph::projection::project;
+///
+/// let g = complete(3, 4);
+/// let p = project(&g, Side::Left);
+/// assert_eq!(p.num_edges(), 3); // the 3 left pairs
+/// assert_eq!(p.weight(0, 2), 4); // sharing all 4 right vertices
+/// ```
+pub fn project(graph: &BipartiteGraph, side: Side) -> Projection {
+    let (num_vertices, centre_count) = match side {
+        Side::Left => (graph.num_left(), graph.num_right()),
+        Side::Right => (graph.num_right(), graph.num_left()),
+    };
+    let row = |c: u32| match side {
+        Side::Left => graph.neighbors_right(c),
+        Side::Right => graph.neighbors_left(c),
+    };
+
+    // counts[v] = common neighbours of the current anchor u and v; reset
+    // per anchor via a touched list.
+    let mut transpose: Vec<Vec<u32>> = vec![Vec::new(); num_vertices];
+    for c in 0..centre_count as u32 {
+        for &e in row(c) {
+            transpose[e as usize].push(c);
+        }
+    }
+    let mut counts = vec![0u32; num_vertices];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut edges: Vec<(u32, u32, u32)> = Vec::new();
+    for (u, centres) in transpose.iter().enumerate() {
+        touched.clear();
+        for &c in centres {
+            for &v in row(c) {
+                let vi = v as usize;
+                if vi > u {
+                    if counts[vi] == 0 {
+                        touched.push(v);
+                    }
+                    counts[vi] += 1;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &v in &touched {
+            edges.push((u as u32, v, counts[v as usize]));
+            counts[v as usize] = 0;
+        }
+    }
+    Projection {
+        num_vertices,
+        edges,
+        has_bipartite_edge: graph.num_edges() > 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::sorted_intersection_len;
+
+    fn brute_projection(graph: &BipartiteGraph, side: Side) -> Vec<(u32, u32, u32)> {
+        let n = match side {
+            Side::Left => graph.num_left(),
+            Side::Right => graph.num_right(),
+        } as u32;
+        let neighbors = |u: u32| match side {
+            Side::Left => graph.neighbors_left(u),
+            Side::Right => graph.neighbors_right(u),
+        };
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in u + 1..n {
+                let w = sorted_intersection_len(neighbors(u), neighbors(v)) as u32;
+                if w > 0 {
+                    edges.push((u, v, w));
+                }
+            }
+        }
+        edges
+    }
+
+    #[test]
+    fn matches_brute_force_both_sides() {
+        for seed in 0..15u64 {
+            let g = generators::uniform_edges(9, 7, 30, seed);
+            assert_eq!(
+                project(&g, Side::Left).edges,
+                brute_projection(&g, Side::Left),
+                "left seed {seed}"
+            );
+            assert_eq!(
+                project(&g, Side::Right).edges,
+                brute_projection(&g, Side::Right),
+                "right seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn complete_graph_projection() {
+        let g = generators::complete(4, 3);
+        let p = project(&g, Side::Left);
+        assert_eq!(p.num_edges(), 6);
+        assert!(p.edges.iter().all(|&(_, _, w)| w == 3));
+        assert_eq!(p.weight(1, 3), 3);
+        assert_eq!(p.weight(3, 1), 3, "weight is symmetric");
+    }
+
+    #[test]
+    fn matching_projects_to_nothing() {
+        let g = BipartiteGraph::from_edges(4, 4, (0..4).map(|i| (i, i))).unwrap();
+        let p = project(&g, Side::Left);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.weight(0, 1), 0);
+        assert_eq!(p.mbb_half_upper_bound(), 1, "edges exist but no pair");
+    }
+
+    #[test]
+    fn star_projects_to_clique() {
+        // One right hub shared by all left vertices → complete projection
+        // with weight 1.
+        let g = BipartiteGraph::from_edges(4, 1, (0..4).map(|u| (u, 0))).unwrap();
+        let p = project(&g, Side::Left);
+        assert_eq!(p.num_edges(), 6);
+        assert!(p.edges.iter().all(|&(_, _, w)| w == 1));
+    }
+
+    #[test]
+    fn weighted_degrees_sum() {
+        let g = generators::uniform_edges(8, 8, 25, 3);
+        let p = project(&g, Side::Left);
+        let degrees = p.weighted_degrees();
+        let total: u64 = degrees.iter().sum();
+        let edge_weight_sum: u64 = p.edges.iter().map(|&(_, _, w)| w as u64).sum();
+        assert_eq!(total, 2 * edge_weight_sum);
+    }
+
+    #[test]
+    fn mbb_bound_is_sound() {
+        use crate::matching::maximum_vertex_biclique;
+        for seed in 0..10u64 {
+            let g = generators::uniform_edges(8, 8, 30, seed ^ 0x6);
+            let p = project(&g, Side::Left);
+            // Soundness against the exact optimum is checked in the
+            // integration suite; here check internal consistency.
+            let bound = p.mbb_half_upper_bound();
+            if bound >= 2 {
+                assert!(p.pairs_with_weight_at_least(bound as u32) >= bound * (bound - 1) / 2);
+            }
+            let _ = maximum_vertex_biclique(&g);
+        }
+    }
+
+    #[test]
+    fn empty_graph_projection() {
+        let g = BipartiteGraph::from_edges(0, 0, []).unwrap();
+        let p = project(&g, Side::Left);
+        assert_eq!(p.num_vertices, 0);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.mbb_half_upper_bound(), 0);
+    }
+
+    #[test]
+    fn planted_biclique_shows_up_as_heavy_pairs() {
+        let noise = generators::uniform_edges(20, 20, 40, 5);
+        let (g, left, _right) = generators::plant_balanced_biclique(&noise, 5);
+        let p = project(&g, Side::Left);
+        // Every pair of planted left vertices shares ≥ 5 right vertices.
+        for (i, &u) in left.iter().enumerate() {
+            for &v in &left[i + 1..] {
+                assert!(p.weight(u, v) >= 5, "pair ({u}, {v})");
+            }
+        }
+        assert!(p.mbb_half_upper_bound() >= 5);
+    }
+}

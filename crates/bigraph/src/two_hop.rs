@@ -1,0 +1,157 @@
+//! 2-hop neighbourhoods (`N2`, `N≤2` — Definitions 1 and 2).
+//!
+//! For a vertex `u` of a bipartite graph, `N2(u)` is the set of vertices at
+//! distance exactly 2 — necessarily on the *same* side as `u` — and
+//! `N≤2(u) = N(u) ∪ N2(u)`. Observation 4 of the paper: every biclique
+//! containing `u` lives inside `{u} ∪ N≤2(u)`, which is what makes
+//! vertex-centred subgraphs (Definition 6) a complete search decomposition.
+
+use crate::graph::{BipartiteGraph, Side, Vertex};
+
+/// Computes `N2(v)`: same-side vertices at distance exactly 2, sorted,
+/// excluding `v` itself.
+pub fn n2_neighbors(graph: &BipartiteGraph, v: Vertex) -> Vec<u32> {
+    let same_side_count = match v.side {
+        Side::Left => graph.num_left(),
+        Side::Right => graph.num_right(),
+    };
+    let mut mark = vec![false; same_side_count];
+    for &mid in graph.neighbors(v) {
+        let mid_vertex = Vertex {
+            side: v.side.opposite(),
+            index: mid,
+        };
+        for &w in graph.neighbors(mid_vertex) {
+            mark[w as usize] = true;
+        }
+    }
+    mark[v.index as usize] = false;
+    mark.iter()
+        .enumerate()
+        .filter_map(|(i, &m)| m.then_some(i as u32))
+        .collect()
+}
+
+/// `|N≤2(v)| = |N(v)| + |N2(v)|` (the two parts are disjoint: one is on the
+/// opposite side, the other on the same side).
+pub fn n_le2_size(graph: &BipartiteGraph, v: Vertex) -> usize {
+    graph.degree(v) + n2_neighbors(graph, v).len()
+}
+
+/// `|N≤2|` for every vertex, indexed by global id, sharing scratch space.
+///
+/// Cost is `O(Σ_v deg(v)²)`, the same bound as Lemma 9's
+/// `O(Σ |N≤2(v)|)` up to the multiplicity of common neighbours.
+pub fn all_n_le2_sizes(graph: &BipartiteGraph) -> Vec<usize> {
+    let nl = graph.num_left();
+    let nr = graph.num_right();
+    let mut sizes = vec![0usize; nl + nr];
+
+    let mut mark = vec![false; nl.max(nr)];
+    let mut touched: Vec<u32> = Vec::new();
+    for v in graph.vertices() {
+        touched.clear();
+        for &mid in graph.neighbors(v) {
+            let mid_vertex = Vertex {
+                side: v.side.opposite(),
+                index: mid,
+            };
+            for &w in graph.neighbors(mid_vertex) {
+                if !mark[w as usize] {
+                    mark[w as usize] = true;
+                    touched.push(w);
+                }
+            }
+        }
+        let mut n2 = touched.len();
+        if mark[v.index as usize] {
+            n2 -= 1; // exclude v itself
+        }
+        sizes[graph.global_id(v)] = graph.degree(v) + n2;
+        for &w in &touched {
+            mark[w as usize] = false;
+        }
+    }
+    sizes
+}
+
+/// The full `N≤2(v)` as a pair `(opposite-side neighbours, same-side 2-hop
+/// neighbours)`, both sorted.
+pub fn n_le2(graph: &BipartiteGraph, v: Vertex) -> (Vec<u32>, Vec<u32>) {
+    (graph.neighbors(v).to_vec(), n2_neighbors(graph, v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::graph::BipartiteGraph;
+
+    fn path_graph() -> BipartiteGraph {
+        // L0-R0, L1-R0, L1-R1, L2-R1 : a path L0 R0 L1 R1 L2.
+        BipartiteGraph::from_edges(3, 2, [(0, 0), (1, 0), (1, 1), (2, 1)]).unwrap()
+    }
+
+    #[test]
+    fn n2_on_a_path() {
+        let g = path_graph();
+        assert_eq!(n2_neighbors(&g, Vertex::left(0)), vec![1]);
+        assert_eq!(n2_neighbors(&g, Vertex::left(1)), vec![0, 2]);
+        assert_eq!(n2_neighbors(&g, Vertex::right(0)), vec![1]);
+    }
+
+    #[test]
+    fn n2_excludes_self() {
+        let g = generators::complete(4, 4);
+        let n2 = n2_neighbors(&g, Vertex::left(2));
+        assert_eq!(n2, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn n_le2_size_on_complete_graph() {
+        let g = generators::complete(3, 5);
+        // Left vertex: 5 neighbours + 2 same-side = 7.
+        assert_eq!(n_le2_size(&g, Vertex::left(0)), 7);
+        // Right vertex: 3 neighbours + 4 same-side = 7.
+        assert_eq!(n_le2_size(&g, Vertex::right(4)), 7);
+    }
+
+    #[test]
+    fn isolated_vertex_has_empty_n_le2() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0)]).unwrap();
+        assert_eq!(n_le2_size(&g, Vertex::left(1)), 0);
+        assert_eq!(n2_neighbors(&g, Vertex::left(1)), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn all_sizes_agree_with_single_vertex_queries() {
+        let g = generators::uniform_edges(20, 15, 80, 3);
+        let all = all_n_le2_sizes(&g);
+        for v in g.vertices() {
+            assert_eq!(all[g.global_id(v)], n_le2_size(&g, v), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn n2_is_symmetric() {
+        let g = generators::uniform_edges(15, 15, 60, 7);
+        for u in 0..15u32 {
+            for w in n2_neighbors(&g, Vertex::left(u)) {
+                let back = n2_neighbors(&g, Vertex::left(w));
+                assert!(back.contains(&u), "L{u} ∈ N2(L{w}) missing");
+            }
+        }
+    }
+
+    #[test]
+    fn n_le2_parts_are_disjoint_sides() {
+        let g = generators::uniform_edges(10, 12, 50, 1);
+        let (n1, n2) = n_le2(&g, Vertex::left(0));
+        assert_eq!(n1, g.neighbors_left(0));
+        // n2 indices are left-side; no overlap by construction.
+        for w in n2 {
+            assert!(w < 10);
+            assert_ne!(w, 0);
+        }
+    }
+}

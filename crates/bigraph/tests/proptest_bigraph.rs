@@ -1,0 +1,175 @@
+//! Property-based tests for the graph substrate.
+
+use mbb_bigraph::bicore::bicore_decomposition;
+use mbb_bigraph::bitset::BitSet;
+use mbb_bigraph::complement::decompose_missing;
+use mbb_bigraph::core_decomp::core_decomposition;
+use mbb_bigraph::graph::{sorted_intersection, BipartiteGraph, Vertex};
+use mbb_bigraph::local::LocalGraph;
+use mbb_bigraph::matching::{hopcroft_karp, minimum_vertex_cover};
+use mbb_bigraph::two_hop::{all_n_le2_sizes, n2_neighbors};
+use proptest::prelude::*;
+
+fn graph_strategy(max_side: u32) -> impl Strategy<Value = BipartiteGraph> {
+    (1..=max_side, 1..=max_side).prop_flat_map(move |(nl, nr)| {
+        proptest::collection::vec((0..nl, 0..nr), 0..=(nl * nr) as usize)
+            .prop_map(move |edges| BipartiteGraph::from_edges(nl, nr, edges).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn adjacency_is_symmetric(g in graph_strategy(12)) {
+        for u in 0..g.num_left() as u32 {
+            for &v in g.neighbors_left(u) {
+                prop_assert!(g.neighbors_right(v).contains(&u));
+            }
+        }
+        for v in 0..g.num_right() as u32 {
+            for &u in g.neighbors_right(v) {
+                prop_assert!(g.neighbors_left(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn edge_count_consistent_between_sides(g in graph_strategy(12)) {
+        let from_left: usize = (0..g.num_left() as u32).map(|u| g.degree_left(u)).sum();
+        let from_right: usize = (0..g.num_right() as u32).map(|v| g.degree_right(v)).sum();
+        prop_assert_eq!(from_left, g.num_edges());
+        prop_assert_eq!(from_right, g.num_edges());
+    }
+
+    #[test]
+    fn core_numbers_are_consistent(g in graph_strategy(10)) {
+        let d = core_decomposition(&g);
+        // Core number ≤ degree for every vertex.
+        for v in g.vertices() {
+            prop_assert!(d.core[g.global_id(v)] as usize <= g.degree(v));
+        }
+        // The k-core (k = degeneracy) is non-empty and has min degree ≥ k
+        // inside itself.
+        let k = d.degeneracy;
+        let members: Vec<Vertex> = g
+            .vertices()
+            .filter(|&v| d.core[g.global_id(v)] >= k)
+            .collect();
+        if k > 0 {
+            prop_assert!(!members.is_empty());
+            for &v in &members {
+                let inside = g
+                    .neighbors(v)
+                    .iter()
+                    .filter(|&&w| {
+                        let wv = Vertex { side: v.side.opposite(), index: w };
+                        d.core[g.global_id(wv)] >= k
+                    })
+                    .count();
+                prop_assert!(inside >= k as usize, "{v} has {inside} < {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn bicore_definition_holds_for_max(g in graph_strategy(8)) {
+        // The δ̈-bicore is non-empty and every member has |N≤2| ≥ δ̈ inside it.
+        let d = bicore_decomposition(&g);
+        if d.bidegeneracy == 0 { return Ok(()); }
+        let k = d.bidegeneracy;
+        let member = |v: Vertex, g_: &BipartiteGraph| d.bicore[g_.global_id(v)] >= k;
+        let mut any = false;
+        for v in g.vertices() {
+            if !member(v, &g) { continue; }
+            any = true;
+            let n1 = g.neighbors(v).iter().filter(|&&w| {
+                member(Vertex { side: v.side.opposite(), index: w }, &g)
+            }).count();
+            // 2-hop neighbours within the subgraph: need a common alive mid.
+            let mut n2 = 0;
+            for w in n2_neighbors(&g, v) {
+                let wv = Vertex { side: v.side, index: w };
+                if !member(wv, &g) { continue; }
+                let common_alive = sorted_intersection(g.neighbors(v), g.neighbors(wv))
+                    .iter()
+                    .any(|&mid| member(Vertex { side: v.side.opposite(), index: mid }, &g));
+                if common_alive { n2 += 1; }
+            }
+            prop_assert!(n1 + n2 >= k as usize, "{v}: {} < {k}", n1 + n2);
+        }
+        prop_assert!(any);
+    }
+
+    #[test]
+    fn n_le2_sizes_match_pointwise(g in graph_strategy(10)) {
+        let all = all_n_le2_sizes(&g);
+        for v in g.vertices() {
+            let expected = g.degree(v) + n2_neighbors(&g, v).len();
+            prop_assert_eq!(all[g.global_id(v)], expected);
+        }
+    }
+
+    #[test]
+    fn matching_size_bounded_by_min_side(g in graph_strategy(12)) {
+        let m = hopcroft_karp(&g);
+        prop_assert!(m.size <= g.num_left().min(g.num_right()));
+        // König: cover size equals matching size and covers all edges.
+        let (lc, rc) = minimum_vertex_cover(&g, &m);
+        for (u, v) in g.edges() {
+            prop_assert!(lc[u as usize] || rc[v as usize]);
+        }
+        let cover: usize =
+            lc.iter().filter(|&&c| c).count() + rc.iter().filter(|&&c| c).count();
+        prop_assert_eq!(cover, m.size);
+    }
+
+    #[test]
+    fn complement_decomposition_partitions_candidates(g in graph_strategy(8)) {
+        // Restrict to candidate sets where the decomposition applies; when
+        // it does, every candidate appears exactly once (trivial or in one
+        // component).
+        let ids_l: Vec<u32> = (0..g.num_left() as u32).collect();
+        let ids_r: Vec<u32> = (0..g.num_right() as u32).collect();
+        let local = LocalGraph::induced(&g, &ids_l, &ids_r);
+        let ca = BitSet::full(local.num_left());
+        let cb = BitSet::full(local.num_right());
+        if let Some(d) = decompose_missing(&local, &ca, &cb) {
+            let mut seen_l = vec![0u32; local.num_left()];
+            let mut seen_r = vec![0u32; local.num_right()];
+            for &u in &d.trivial_left { seen_l[u as usize] += 1; }
+            for &v in &d.trivial_right { seen_r[v as usize] += 1; }
+            for c in &d.components {
+                for lv in &c.vertices {
+                    if lv.left { seen_l[lv.index as usize] += 1; }
+                    else { seen_r[lv.index as usize] += 1; }
+                }
+            }
+            prop_assert!(seen_l.iter().all(|&c| c == 1), "{seen_l:?}");
+            prop_assert!(seen_r.iter().all(|&c| c == 1), "{seen_r:?}");
+        }
+    }
+
+    #[test]
+    fn local_graph_matches_parent(g in graph_strategy(10)) {
+        let ids_l: Vec<u32> = (0..g.num_left() as u32).step_by(2).collect();
+        let ids_r: Vec<u32> = (0..g.num_right() as u32).step_by(2).collect();
+        let local = LocalGraph::induced(&g, &ids_l, &ids_r);
+        for (i, &l) in ids_l.iter().enumerate() {
+            for (j, &r) in ids_r.iter().enumerate() {
+                prop_assert_eq!(local.has_edge(i as u32, j as u32), g.has_edge(l, r));
+            }
+        }
+    }
+
+    #[test]
+    fn io_roundtrip(g in graph_strategy(10)) {
+        let mut buf = Vec::new();
+        mbb_bigraph::io::write_edge_list(&g, &mut buf).unwrap();
+        let back = mbb_bigraph::io::read_edge_list(std::io::Cursor::new(buf)).unwrap();
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            prop_assert!(back.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! `mbb frontier` — the Pareto frontier of feasible biclique sizes.
+
+use std::time::Duration;
+
+use mbb_bigraph::io::read_edge_list_file;
+use mbb_core::frontier::SizeFrontier;
+use serde::Serialize;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "\
+usage: mbb frontier <edge-list-file> [--budget-secs <N>] [--json]
+
+Prints the Pareto-maximal feasible biclique size pairs (a, b): a biclique
+with |A| >= a and |B| >= b exists iff some frontier point dominates
+(a, b). The balanced corner is the MBB, the max-product corner the MEB,
+the max-sum corner the MVB.";
+
+/// Parsed `frontier` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontierOptions {
+    /// Input path.
+    pub input: String,
+    /// Time budget in seconds.
+    pub budget_secs: Option<u64>,
+    /// Emit JSON.
+    pub json: bool,
+}
+
+impl FrontierOptions {
+    /// Parses the subcommand's argv (after `frontier`).
+    pub fn parse(args: &[String]) -> Result<FrontierOptions, String> {
+        let mut options = FrontierOptions {
+            input: String::new(),
+            budget_secs: None,
+            json: false,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--json" => options.json = true,
+                "--budget-secs" => {
+                    let value = iter.next().ok_or("--budget-secs needs a value")?;
+                    options.budget_secs = Some(
+                        value
+                            .parse()
+                            .map_err(|_| format!("--budget-secs: bad number {value:?}"))?,
+                    );
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option {other:?}"));
+                }
+                path => {
+                    if !options.input.is_empty() {
+                        return Err(format!("unexpected extra argument {path:?}"));
+                    }
+                    options.input = path.to_string();
+                }
+            }
+        }
+        if options.input.is_empty() {
+            return Err("missing input file".to_string());
+        }
+        Ok(options)
+    }
+}
+
+#[derive(Serialize)]
+struct JsonFrontier {
+    complete: bool,
+    pairs: Vec<[usize; 2]>,
+    mbb_half: usize,
+    meb_edges: usize,
+    mvb_total: usize,
+}
+
+/// Runs the subcommand, returning the rendered output.
+pub fn run(options: &FrontierOptions) -> Result<String, String> {
+    let graph = read_edge_list_file(&options.input)
+        .map_err(|e| format!("{}: {e}", options.input))?;
+    let frontier = SizeFrontier::of(&graph, options.budget_secs.map(Duration::from_secs));
+    if options.json {
+        let mut out = serde_json::to_string_pretty(&JsonFrontier {
+            complete: frontier.complete,
+            pairs: frontier.pairs.iter().map(|&(a, b)| [a, b]).collect(),
+            mbb_half: frontier.mbb_half(),
+            meb_edges: frontier.meb_edges(),
+            mvb_total: frontier.mvb_total(),
+        })
+        .expect("frontier serialises");
+        out.push('\n');
+        return Ok(out);
+    }
+    let mut out = String::new();
+    out.push_str("feasible size frontier (a, b):\n");
+    for &(a, b) in &frontier.pairs {
+        out.push_str(&format!("  {a} x {b}\n"));
+    }
+    if frontier.pairs.is_empty() {
+        out.push_str("  (no bicliques — edgeless graph)\n");
+    }
+    out.push_str(&format!(
+        "corners: MBB half = {}, MEB edges = {}, MVB total = {}\n",
+        frontier.mbb_half(),
+        frontier.meb_edges(),
+        frontier.mvb_total()
+    ));
+    if !frontier.complete {
+        out.push_str("[stopped early — frontier is a lower bound]\n");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<FrontierOptions, String> {
+        FrontierOptions::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_options() {
+        let o = parse("g.txt --budget-secs 10 --json").unwrap();
+        assert_eq!(o.budget_secs, Some(10));
+        assert!(o.json);
+    }
+
+    #[test]
+    fn requires_input() {
+        assert!(parse("--json").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_option() {
+        assert!(parse("g.txt --fast").is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Subcommand implementations.
+//!
+//! `mbb` dispatches on its first argument: a known subcommand name routes
+//! here, anything else is treated as an input path for the default
+//! `solve` behaviour (back-compatible with the original single-command
+//! interface).
+
+pub mod anchored;
+pub mod enumerate;
+pub mod frontier;
+pub mod generate;
+pub mod stats;
+pub mod topk;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+usage: mbb <command> [args]   (or: mbb <edge-list-file> [solve options])
+
+commands:
+  solve      find the maximum balanced biclique (default command)
+  stats      structural profile: density, degrees, δ, δ̈, butterflies
+  generate   write a seeded synthetic bipartite graph
+  enumerate  stream maximal bicliques
+  topk       the k best balanced bicliques
+  anchored   largest balanced biclique through a given vertex
+  frontier   Pareto frontier of feasible biclique sizes
+
+`mbb <command> --help` prints per-command options.";
+
+/// Dispatch result: rendered output or an error message.
+pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
+    let wants_help = args.iter().any(|a| a == "--help" || a == "-h");
+    match command {
+        "stats" => {
+            if wants_help {
+                return Ok(format!("{}\n", stats::USAGE));
+            }
+            stats::run(&stats::StatsOptions::parse(args)?)
+        }
+        "generate" => {
+            if wants_help {
+                return Ok(format!("{}\n", generate::USAGE));
+            }
+            generate::run(&generate::GenerateOptions::parse(args)?)
+        }
+        "enumerate" => {
+            if wants_help {
+                return Ok(format!("{}\n", enumerate::USAGE));
+            }
+            enumerate::run(&enumerate::EnumerateOptions::parse(args)?)
+        }
+        "topk" => {
+            if wants_help {
+                return Ok(format!("{}\n", topk::USAGE));
+            }
+            topk::run(&topk::TopkOptions::parse(args)?)
+        }
+        "anchored" => {
+            if wants_help {
+                return Ok(format!("{}\n", anchored::USAGE));
+            }
+            anchored::run(&anchored::AnchoredOptions::parse(args)?)
+        }
+        "frontier" => {
+            if wants_help {
+                return Ok(format!("{}\n", frontier::USAGE));
+            }
+            frontier::run(&frontier::FrontierOptions::parse(args)?)
+        }
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+/// True when `name` is a recognised subcommand.
+pub fn is_command(name: &str) -> bool {
+    matches!(
+        name,
+        "solve" | "stats" | "generate" | "enumerate" | "topk" | "anchored" | "frontier"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recognises_commands() {
+        assert!(is_command("stats"));
+        assert!(is_command("solve"));
+        assert!(!is_command("graph.txt"));
+        assert!(!is_command("--help"));
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(dispatch("quantum", &[]).is_err());
+    }
+
+    #[test]
+    fn per_command_help() {
+        for cmd in ["stats", "generate", "enumerate", "topk", "anchored", "frontier"] {
+            let text = dispatch(cmd, &["--help".to_string()]).unwrap();
+            assert!(text.contains("usage:"), "{cmd}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! `mbb` — command-line maximum balanced biclique toolkit.
+//!
+//! ```text
+//! mbb <command> [args]            subcommands: solve stats generate
+//!                                 enumerate topk anchored
+//! mbb <edge-list> [solve options] back-compatible default (= solve)
+//! ```
+//!
+//! Edge lists are KONECT-style: 1-based `left right` pairs, `%`/`#`
+//! comments. All output ids are 1-based, matching the input file.
+
+use std::process::ExitCode;
+
+mod commands;
+mod options;
+mod output;
+mod run;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Subcommand dispatch; "solve" falls through to the legacy path so the
+    // original flat interface keeps working.
+    match args.first().map(String::as_str) {
+        None => {
+            eprintln!("{}", commands::USAGE);
+            return ExitCode::from(2);
+        }
+        Some("--help") | Some("-h") => {
+            println!("{}", commands::USAGE);
+            println!("\nsolve options:\n{}", options::USAGE);
+            return ExitCode::SUCCESS;
+        }
+        Some(first) if commands::is_command(first) && first != "solve" => {
+            return match commands::dispatch(first, &args[1..]) {
+                Ok(text) => {
+                    print!("{text}");
+                    ExitCode::SUCCESS
+                }
+                Err(message) => {
+                    eprintln!("error: {message}");
+                    ExitCode::from(2)
+                }
+            };
+        }
+        _ => {}
+    }
+
+    let solve_args = if args.first().map(String::as_str) == Some("solve") {
+        &args[1..]
+    } else {
+        &args[..]
+    };
+    let options = match options::Options::parse(solve_args) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("{}", options::USAGE);
+            return ExitCode::from(2);
+        }
+    };
+    if options.help {
+        println!("{}", options::USAGE);
+        return ExitCode::SUCCESS;
+    }
+    match run::run(&options) {
+        Ok(report) => {
+            print!("{}", output::render(&report, &options));
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Command-line option parsing (no external dependencies).
+
+use std::time::Duration;
+
+use mbb_bigraph::order::SearchOrder;
+
+/// Usage text.
+pub const USAGE: &str = "\
+usage: mbb <edge-list-file> [options]
+
+Finds the maximum balanced biclique of a bipartite graph given as a
+KONECT-style edge list (whitespace-separated 1-based `left right` pairs;
+lines starting with % or # are comments).
+
+options:
+  --algorithm <hbv|dense|basic|ext>  solver to use (default: hbv)
+      hbv    the hbvMBB framework (Algorithm 4) — for sparse graphs
+      dense  denseMBB directly (Algorithm 3)    — for dense graphs
+      basic  basicBB (Algorithm 1)              — reference, tiny graphs
+      ext    extBBClq baseline (Zhou et al. 2018)
+  --order <bidegeneracy|degeneracy|degree>  hbv search order (default: bidegeneracy)
+  --threads <N>       parallel verification workers (default: 1)
+  --budget-secs <N>   time budget for the ext baseline (default: none)
+  --json              machine-readable output
+  --stats             include solver statistics
+  --help              this text";
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// `hbvMBB` (Algorithm 4).
+    Hbv,
+    /// `denseMBB` on the whole graph (Algorithm 3).
+    Dense,
+    /// `basicBB` (Algorithm 1).
+    Basic,
+    /// The `extBBClq` baseline.
+    Ext,
+}
+
+/// Parsed options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Input path.
+    pub input: String,
+    /// Selected algorithm.
+    pub algorithm: Algorithm,
+    /// Search order for `hbv`.
+    pub order: SearchOrder,
+    /// Verification threads for `hbv`.
+    pub threads: usize,
+    /// Budget for the `ext` baseline.
+    pub budget: Option<Duration>,
+    /// Emit JSON.
+    pub json: bool,
+    /// Emit statistics.
+    pub stats: bool,
+    /// `--help` given.
+    pub help: bool,
+}
+
+impl Options {
+    /// Parses argv (without the program name).
+    pub fn parse(args: &[String]) -> Result<Options, String> {
+        let mut options = Options {
+            input: String::new(),
+            algorithm: Algorithm::Hbv,
+            order: SearchOrder::Bidegeneracy,
+            threads: 1,
+            budget: None,
+            json: false,
+            stats: false,
+            help: false,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--help" | "-h" => options.help = true,
+                "--json" => options.json = true,
+                "--stats" => options.stats = true,
+                "--algorithm" => {
+                    let value = iter.next().ok_or("--algorithm needs a value")?;
+                    options.algorithm = match value.as_str() {
+                        "hbv" => Algorithm::Hbv,
+                        "dense" => Algorithm::Dense,
+                        "basic" => Algorithm::Basic,
+                        "ext" => Algorithm::Ext,
+                        other => return Err(format!("unknown algorithm {other:?}")),
+                    };
+                }
+                "--order" => {
+                    let value = iter.next().ok_or("--order needs a value")?;
+                    options.order = match value.as_str() {
+                        "bidegeneracy" => SearchOrder::Bidegeneracy,
+                        "degeneracy" => SearchOrder::Degeneracy,
+                        "degree" => SearchOrder::Degree,
+                        other => return Err(format!("unknown order {other:?}")),
+                    };
+                }
+                "--threads" => {
+                    let value = iter.next().ok_or("--threads needs a value")?;
+                    options.threads = value
+                        .parse()
+                        .map_err(|_| format!("--threads: bad number {value:?}"))?;
+                }
+                "--budget-secs" => {
+                    let value = iter.next().ok_or("--budget-secs needs a value")?;
+                    let secs: u64 = value
+                        .parse()
+                        .map_err(|_| format!("--budget-secs: bad number {value:?}"))?;
+                    options.budget = Some(Duration::from_secs(secs));
+                }
+                other if other.starts_with('-') => {
+                    return Err(format!("unknown option {other:?}"));
+                }
+                path => {
+                    if !options.input.is_empty() {
+                        return Err(format!("unexpected extra argument {path:?}"));
+                    }
+                    options.input = path.to_string();
+                }
+            }
+        }
+        if !options.help && options.input.is_empty() {
+            return Err("missing input file".to_string());
+        }
+        Ok(options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Options, String> {
+        Options::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn minimal_invocation() {
+        let o = parse("graph.txt").unwrap();
+        assert_eq!(o.input, "graph.txt");
+        assert_eq!(o.algorithm, Algorithm::Hbv);
+        assert!(!o.json);
+    }
+
+    #[test]
+    fn full_invocation() {
+        let o = parse(
+            "g.txt --algorithm dense --order degree --threads 4 --budget-secs 30 --json --stats",
+        )
+        .unwrap();
+        assert_eq!(o.algorithm, Algorithm::Dense);
+        assert_eq!(o.order, SearchOrder::Degree);
+        assert_eq!(o.threads, 4);
+        assert_eq!(o.budget, Some(Duration::from_secs(30)));
+        assert!(o.json && o.stats);
+    }
+
+    #[test]
+    fn missing_input_is_an_error() {
+        assert!(parse("--json").is_err());
+    }
+
+    #[test]
+    fn help_without_input_is_fine() {
+        let o = parse("--help").unwrap();
+        assert!(o.help);
+    }
+
+    #[test]
+    fn unknown_algorithm_rejected() {
+        assert!(parse("g.txt --algorithm quantum").is_err());
+    }
+
+    #[test]
+    fn unknown_flag_rejected() {
+        assert!(parse("g.txt --frobnicate").is_err());
+    }
+
+    #[test]
+    fn double_input_rejected() {
+        assert!(parse("a.txt b.txt").is_err());
+    }
+}

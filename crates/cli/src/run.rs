@@ -1,0 +1,83 @@
+//! Solver dispatch for the CLI.
+
+use std::time::Instant;
+
+use mbb_bigraph::io::read_edge_list_file;
+use mbb_bigraph::local::LocalGraph;
+use mbb_core::basic::basic_bb;
+use mbb_core::biclique::Biclique;
+use mbb_core::stats::SolveStats;
+use mbb_core::{dense_mbb_graph, MbbSolver, SolverConfig};
+
+use crate::options::{Algorithm, Options};
+
+/// What the CLI reports.
+#[derive(Debug)]
+pub struct Report {
+    /// The optimum balanced biclique (1-based ids on output).
+    pub biclique: Biclique,
+    /// Graph shape.
+    pub num_left: usize,
+    /// Graph shape.
+    pub num_right: usize,
+    /// Graph shape.
+    pub num_edges: usize,
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// True when the run hit the budget (ext only) — result is a bound.
+    pub timed_out: bool,
+    /// Solver statistics when available (`hbv`/`dense`).
+    pub stats: Option<SolveStats>,
+    /// Algorithm label.
+    pub algorithm: &'static str,
+}
+
+/// Loads the graph and runs the selected solver.
+pub fn run(options: &Options) -> Result<Report, String> {
+    let graph = read_edge_list_file(&options.input)
+        .map_err(|e| format!("{}: {e}", options.input))?;
+    let start = Instant::now();
+    let (biclique, stats, timed_out, algorithm) = match options.algorithm {
+        Algorithm::Hbv => {
+            let solver = MbbSolver::with_config(SolverConfig {
+                order: options.order,
+                verify_threads: options.threads,
+                ..Default::default()
+            });
+            let result = solver.solve(&graph);
+            (result.biclique, Some(result.stats), false, "hbvMBB")
+        }
+        Algorithm::Dense => {
+            let result = dense_mbb_graph(&graph);
+            (result.biclique, Some(result.stats), false, "denseMBB")
+        }
+        Algorithm::Basic => {
+            let left_ids: Vec<u32> = (0..graph.num_left() as u32).collect();
+            let right_ids: Vec<u32> = (0..graph.num_right() as u32).collect();
+            let local = LocalGraph::induced(&graph, &left_ids, &right_ids);
+            let (found, _) = basic_bb(&local, 0);
+            (
+                Biclique::balanced(found.left, found.right),
+                None,
+                false,
+                "basicBB",
+            )
+        }
+        Algorithm::Ext => {
+            let out = mbb_baselines::ext_bbclq(&graph, options.budget);
+            (out.biclique, None, out.timed_out, "extBBClq")
+        }
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    debug_assert!(biclique.is_valid(&graph));
+    Ok(Report {
+        biclique,
+        num_left: graph.num_left(),
+        num_right: graph.num_right(),
+        num_edges: graph.num_edges(),
+        seconds,
+        timed_out,
+        stats,
+        algorithm,
+    })
+}

@@ -1,0 +1,292 @@
+//! Anchored MBB search: the largest balanced biclique *containing a given
+//! vertex or edge*.
+//!
+//! Observation 4 of the paper: every biclique through a vertex `v` lives
+//! inside the subgraph induced by `{v} ∪ N≤2(v)`. Anchored search is
+//! therefore a single vertex-centred problem — extract that subgraph,
+//! pin the anchor into the partial result, and run `denseMBB` seeded the
+//! same way Algorithm 8 seeds its verification calls. This is the
+//! building block for "why is this vertex (not) in the MBB" queries and
+//! per-entity bicluster reports.
+
+use mbb_bigraph::bitset::BitSet;
+use mbb_bigraph::graph::{BipartiteGraph, Side, Vertex};
+use mbb_bigraph::local::LocalGraph;
+use mbb_bigraph::two_hop::n_le2;
+
+use crate::biclique::Biclique;
+use crate::dense::{dense_mbb_seeded, DenseConfig};
+use crate::stats::SearchStats;
+
+/// The largest balanced biclique containing `anchor`, and the search
+/// statistics of the underlying `denseMBB` run.
+///
+/// Returns the empty biclique only when `anchor` has no incident edge.
+///
+/// ```
+/// use mbb_bigraph::graph::{BipartiteGraph, Vertex};
+/// use mbb_core::anchored::anchored_mbb;
+///
+/// // L0 is pendant; the 2×2 block lives on {1,2}×{1,2}.
+/// let g = BipartiteGraph::from_edges(
+///     3, 3,
+///     [(0, 0), (1, 1), (1, 2), (2, 1), (2, 2)],
+/// )?;
+/// let through_pendant = anchored_mbb(&g, Vertex::left(0)).0;
+/// assert_eq!(through_pendant.half_size(), 1);
+/// assert_eq!(through_pendant.left, vec![0]);
+/// let through_block = anchored_mbb(&g, Vertex::left(1)).0;
+/// assert_eq!(through_block.half_size(), 2);
+/// # Ok::<(), mbb_bigraph::graph::GraphError>(())
+/// ```
+pub fn anchored_mbb(graph: &BipartiteGraph, anchor: Vertex) -> (Biclique, SearchStats) {
+    let (neighbors, two_hop) = n_le2(graph, anchor);
+    if neighbors.is_empty() {
+        return (Biclique::empty(), SearchStats::default());
+    }
+
+    // Local index 0 on the anchor's side is the anchor itself.
+    let mut same_side = Vec::with_capacity(two_hop.len() + 1);
+    same_side.push(anchor.index);
+    same_side.extend_from_slice(&two_hop);
+
+    let mut same_cands = BitSet::new(same_side.len());
+    for i in 1..same_side.len() {
+        same_cands.insert(i);
+    }
+    let other_cands = BitSet::full(neighbors.len());
+
+    let (local_result, stats) = match anchor.side {
+        Side::Left => {
+            let local = LocalGraph::induced(graph, &same_side, &neighbors);
+            dense_mbb_seeded(
+                &local,
+                vec![0],
+                Vec::new(),
+                same_cands,
+                other_cands,
+                0,
+                DenseConfig::default(),
+            )
+        }
+        Side::Right => {
+            let local = LocalGraph::induced(graph, &neighbors, &same_side);
+            dense_mbb_seeded(
+                &local,
+                Vec::new(),
+                vec![0],
+                other_cands,
+                same_cands,
+                0,
+                DenseConfig::default(),
+            )
+        }
+    };
+
+    // Map local indices back to the original graph. The anchor has at
+    // least one neighbour, so the seeded search always finds half ≥ 1.
+    let (left_ids, right_ids): (&[u32], &[u32]) = match anchor.side {
+        Side::Left => (&same_side, &neighbors),
+        Side::Right => (&neighbors, &same_side),
+    };
+    let left = local_result
+        .left
+        .iter()
+        .map(|&i| left_ids[i as usize])
+        .collect();
+    let right = local_result
+        .right
+        .iter()
+        .map(|&i| right_ids[i as usize])
+        .collect();
+    (Biclique::balanced(left, right), stats)
+}
+
+/// The largest balanced biclique containing the edge `(u, v)` (left `u`,
+/// right `v`). Returns `None` when the edge is absent from the graph.
+pub fn anchored_mbb_edge(
+    graph: &BipartiteGraph,
+    u: u32,
+    v: u32,
+) -> Option<(Biclique, SearchStats)> {
+    if !graph.has_edge(u, v) {
+        return None;
+    }
+    let (u_neighbors, u_two_hop) = n_le2(graph, Vertex::left(u));
+
+    // Scope: left side {u} ∪ N2(u) restricted to N(v); right side N(u).
+    // Every biclique through the edge has A ⊆ N(v) and B ⊆ N(u).
+    let mut left_ids = Vec::with_capacity(u_two_hop.len() + 1);
+    left_ids.push(u);
+    left_ids.extend(u_two_hop.iter().copied().filter(|&w| graph.has_edge(w, v)));
+
+    let right_ids = u_neighbors;
+    let v_local = right_ids
+        .binary_search(&v)
+        .expect("v is a neighbour of u") as u32;
+    let local = LocalGraph::induced(graph, &left_ids, &right_ids);
+
+    let mut ca = BitSet::new(left_ids.len());
+    for i in 1..left_ids.len() {
+        ca.insert(i);
+    }
+    // Right candidates must be adjacent to the pinned u; all of N(u) are.
+    let mut cb = BitSet::full(right_ids.len());
+    cb.remove(v_local as usize);
+
+    let (local_result, stats) = dense_mbb_seeded(
+        &local,
+        vec![0],
+        vec![v_local],
+        ca,
+        cb,
+        0,
+        DenseConfig::default(),
+    );
+    let left = local_result
+        .left
+        .iter()
+        .map(|&i| left_ids[i as usize])
+        .collect();
+    let right = local_result
+        .right
+        .iter()
+        .map(|&i| right_ids[i as usize])
+        .collect();
+    Some((Biclique::balanced(left, right), stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_bigraph::generators;
+    use mbb_bigraph::graph::sorted_intersection;
+
+    /// Brute force: best balanced biclique whose left (right) side contains
+    /// the anchor, by enumerating left subsets.
+    fn brute_anchored(graph: &BipartiteGraph, anchor: Vertex) -> usize {
+        let nl = graph.num_left();
+        assert!(nl <= 14);
+        let mut best = 0;
+        for mask in 1u32..(1 << nl) {
+            let a: Vec<u32> = (0..nl as u32).filter(|u| mask >> u & 1 == 1).collect();
+            let mut common: Option<Vec<u32>> = None;
+            for &u in &a {
+                let n = graph.neighbors_left(u);
+                common = Some(match common {
+                    None => n.to_vec(),
+                    Some(c) => sorted_intersection(&c, n),
+                });
+            }
+            let common = common.unwrap_or_default();
+            let ok = match anchor.side {
+                Side::Left => a.contains(&anchor.index),
+                Side::Right => common.contains(&anchor.index),
+            };
+            if ok {
+                best = best.max(a.len().min(common.len()));
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn matches_brute_force_left_anchors() {
+        for seed in 0..15u64 {
+            let g = generators::uniform_edges(8, 8, 30, seed);
+            for u in 0..8u32 {
+                let anchor = Vertex::left(u);
+                let (b, _) = anchored_mbb(&g, anchor);
+                assert_eq!(
+                    b.half_size(),
+                    brute_anchored(&g, anchor),
+                    "seed {seed} anchor L{u}"
+                );
+                if !b.is_empty() {
+                    assert!(b.is_valid(&g));
+                    assert!(b.left.contains(&u));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_right_anchors() {
+        for seed in 20..30u64 {
+            let g = generators::uniform_edges(8, 8, 30, seed);
+            for v in 0..8u32 {
+                let anchor = Vertex::right(v);
+                let (b, _) = anchored_mbb(&g, anchor);
+                assert_eq!(
+                    b.half_size(),
+                    brute_anchored(&g, anchor),
+                    "seed {seed} anchor R{v}"
+                );
+                if !b.is_empty() {
+                    assert!(b.right.contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_anchor_returns_empty() {
+        let g = BipartiteGraph::from_edges(3, 3, [(0, 0)]).unwrap();
+        let (b, _) = anchored_mbb(&g, Vertex::left(2));
+        assert!(b.is_empty());
+        let (b, _) = anchored_mbb(&g, Vertex::right(1));
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn anchored_never_exceeds_global_mbb() {
+        let g = generators::uniform_edges(10, 10, 40, 3);
+        let global = crate::solver::solve_mbb(&g).half_size();
+        let mut best_anchored = 0;
+        for u in 0..10u32 {
+            best_anchored = best_anchored.max(anchored_mbb(&g, Vertex::left(u)).0.half_size());
+        }
+        // Some anchor lies inside the MBB, so the max over anchors equals it.
+        assert_eq!(best_anchored, global);
+    }
+
+    #[test]
+    fn edge_anchor_contains_the_edge() {
+        for seed in 0..10u64 {
+            let g = generators::uniform_edges(8, 8, 28, seed ^ 0x44);
+            for (u, v) in g.edges().take(10) {
+                let (b, _) = anchored_mbb_edge(&g, u, v).expect("edge exists");
+                assert!(b.left.contains(&u), "seed {seed} edge ({u},{v})");
+                assert!(b.right.contains(&v));
+                assert!(b.is_valid(&g));
+                assert!(b.half_size() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_anchor_missing_edge_is_none() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (1, 1)]).unwrap();
+        assert!(anchored_mbb_edge(&g, 0, 1).is_none());
+    }
+
+    #[test]
+    fn edge_anchor_matches_vertex_anchor_on_blocks() {
+        // In a complete block the edge anchor finds the whole block.
+        let g = generators::complete(4, 5);
+        let (b, _) = anchored_mbb_edge(&g, 1, 2).unwrap();
+        assert_eq!(b.half_size(), 4);
+    }
+
+    #[test]
+    fn pendant_edge_is_its_own_mbb() {
+        let mut edges: Vec<(u32, u32)> =
+            (0..3).flat_map(|u| (0..3).map(move |v| (u, v))).collect();
+        edges.push((3, 3));
+        let g = BipartiteGraph::from_edges(4, 4, edges).unwrap();
+        let (b, _) = anchored_mbb(&g, Vertex::left(3));
+        assert_eq!(b.half_size(), 1);
+        assert_eq!(b.left, vec![3]);
+        assert_eq!(b.right, vec![3]);
+    }
+}

@@ -1,0 +1,104 @@
+//! The balanced-biclique result type.
+
+use mbb_bigraph::graph::BipartiteGraph;
+use serde::{Deserialize, Serialize};
+
+/// A balanced biclique `(A ⊆ L, B ⊆ R)` with `|A| = |B|`, in original
+/// graph indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Biclique {
+    /// Left-side vertex indices, sorted.
+    pub left: Vec<u32>,
+    /// Right-side vertex indices, sorted; same length as `left`.
+    pub right: Vec<u32>,
+}
+
+impl Biclique {
+    /// The empty biclique.
+    pub fn empty() -> Biclique {
+        Biclique::default()
+    }
+
+    /// Builds a balanced biclique from possibly unbalanced sides by
+    /// trimming the larger side ("make (A, B) balance" in the paper's
+    /// Algorithms 1 and 2).
+    pub fn balanced(mut left: Vec<u32>, mut right: Vec<u32>) -> Biclique {
+        let k = left.len().min(right.len());
+        left.truncate(k);
+        right.truncate(k);
+        left.sort_unstable();
+        right.sort_unstable();
+        Biclique { left, right }
+    }
+
+    /// The half size `|A| (= |B|)`.
+    #[inline]
+    pub fn half_size(&self) -> usize {
+        debug_assert_eq!(self.left.len(), self.right.len());
+        self.left.len()
+    }
+
+    /// The total size `|A| + |B|`.
+    #[inline]
+    pub fn total_size(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// True when the biclique is empty.
+    pub fn is_empty(&self) -> bool {
+        self.left.is_empty()
+    }
+
+    /// Validates balance and completeness against a graph.
+    pub fn is_valid(&self, graph: &BipartiteGraph) -> bool {
+        self.left.len() == self.right.len() && graph.is_biclique(&self.left, &self.right)
+    }
+}
+
+impl std::fmt::Display for Biclique {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:?}, {:?})", self.left, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_biclique() {
+        let b = Biclique::empty();
+        assert!(b.is_empty());
+        assert_eq!(b.half_size(), 0);
+        assert_eq!(b.total_size(), 0);
+    }
+
+    #[test]
+    fn balanced_trims_larger_side() {
+        let b = Biclique::balanced(vec![3, 1, 2], vec![5, 4]);
+        assert_eq!(b.half_size(), 2);
+        // Truncation happens before sorting: the first two collected left
+        // vertices are kept.
+        assert_eq!(b.left.len(), 2);
+        assert_eq!(b.right, vec![4, 5]);
+    }
+
+    #[test]
+    fn validity_against_graph() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (0, 1), (1, 0), (1, 1)]).unwrap();
+        let b = Biclique::balanced(vec![0, 1], vec![0, 1]);
+        assert!(b.is_valid(&g));
+        let g2 = BipartiteGraph::from_edges(2, 2, [(0, 0), (1, 1)]).unwrap();
+        assert!(!b.is_valid(&g2));
+    }
+
+    #[test]
+    fn unbalanced_is_invalid() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (0, 1)]).unwrap();
+        let b = Biclique {
+            left: vec![0],
+            right: vec![0, 1],
+        };
+        assert!(!b.is_valid(&g));
+    }
+}

@@ -1,0 +1,513 @@
+//! `denseMBB` — Algorithm 3, the paper's O*(1.3803ⁿ) reduction, branch and
+//! bound algorithm for dense bipartite graphs.
+//!
+//! Per recursion:
+//!
+//! 1. **bound** — prune when the remaining material cannot beat the
+//!    incumbent half-size;
+//! 2. **reduce** — Lemmas 1 and 2 to fixpoint ([`crate::reduce`]);
+//! 3. **polynomial case** — if every candidate misses ≤ 2 neighbours
+//!    (Lemma 3), solve exactly with `dynamicMBB` and return;
+//! 4. **branch** — otherwise some vertex misses ≥ 3 neighbours; branching
+//!    on it kills ≥ 4 candidate vertices in the include branch and 1 in the
+//!    exclude branch — the (4, 1) branching factor that bounds the
+//!    recursion tree by O(1.3803ⁿ).
+//!
+//! The "triviality last" strategy picks the candidate with the *most*
+//! missing neighbours, steering the residual graph towards the polynomial
+//! case as fast as possible.
+
+use mbb_bigraph::bitset::BitSet;
+use mbb_bigraph::local::LocalGraph;
+
+use crate::basic::LocalBiclique;
+use crate::poly::dynamic_mbb;
+use crate::reduce::reduce_candidates;
+use crate::stats::SearchStats;
+
+/// Tuning/ablation knobs for [`dense_mbb`].
+#[derive(Debug, Clone, Copy)]
+pub struct DenseConfig {
+    /// Apply the Lemma 1/2 reduction loop (on by default).
+    pub use_reductions: bool,
+    /// Detect and solve the Lemma 3 polynomial case (on by default).
+    /// With this off the algorithm degenerates towards `basicBB` with
+    /// reductions.
+    pub use_polynomial_case: bool,
+    /// Branch on the candidate missing the *most* neighbours (the
+    /// triviality-last strategy). When off, the first candidate is taken —
+    /// the `bd3` "without branching technique" ablation.
+    pub branch_max_missing: bool,
+}
+
+impl Default for DenseConfig {
+    fn default() -> Self {
+        DenseConfig {
+            use_reductions: true,
+            use_polynomial_case: true,
+            branch_max_missing: true,
+        }
+    }
+}
+
+/// Runs `denseMBB` over a whole local graph.
+///
+/// `initial_half` seeds the incumbent bound; the result is a balanced
+/// biclique strictly larger than `initial_half` when one exists (empty
+/// otherwise).
+///
+/// ```
+/// use mbb_bigraph::local::LocalGraph;
+/// use mbb_core::dense::dense_mbb;
+/// // Complete 3×3 minus one corner edge: a 2×3 block remains, so the
+/// // balanced optimum is 2×2.
+/// let g = LocalGraph::from_edges(3, 3, [
+///     (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2), (2, 0), (2, 1),
+/// ]);
+/// let (found, stats) = dense_mbb(&g, 0);
+/// assert_eq!(found.half(), 2);
+/// assert!(stats.poly_solves >= 1); // solved via the Lemma 3 case
+/// ```
+pub fn dense_mbb(graph: &LocalGraph, initial_half: usize) -> (LocalBiclique, SearchStats) {
+    dense_mbb_seeded(
+        graph,
+        Vec::new(),
+        Vec::new(),
+        BitSet::full(graph.num_left()),
+        BitSet::full(graph.num_right()),
+        initial_half,
+        DenseConfig::default(),
+    )
+}
+
+/// Runs `denseMBB` from a partial state: `a`/`b` are already-fixed result
+/// vertices (every candidate in `ca` must be adjacent to all of `b` and
+/// vice versa — the Algorithm 8 caller seeds `a = [centre]`,
+/// `cb ⊆ N(centre)`).
+pub fn dense_mbb_seeded(
+    graph: &LocalGraph,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    ca: BitSet,
+    cb: BitSet,
+    initial_half: usize,
+    config: DenseConfig,
+) -> (LocalBiclique, SearchStats) {
+    debug_assert!(a.iter().all(|&u| {
+        cb.iter().all(|v| graph.has_edge(u, v as u32)) && b.iter().all(|&v| graph.has_edge(u, v))
+    }));
+    debug_assert!(b
+        .iter()
+        .all(|&v| ca.iter().all(|u| graph.has_edge(u as u32, v))));
+    let mut searcher = DenseSearcher {
+        graph,
+        best: LocalBiclique::default(),
+        best_half: initial_half,
+        stats: SearchStats::default(),
+        config,
+    };
+    let mut a = a;
+    let mut b = b;
+    searcher.recurse(&mut a, &mut b, ca, cb, 0);
+    let stats = searcher.stats;
+    (searcher.best.balance(), stats)
+}
+
+struct DenseSearcher<'g> {
+    graph: &'g LocalGraph,
+    best: LocalBiclique,
+    best_half: usize,
+    stats: SearchStats,
+    config: DenseConfig,
+}
+
+impl DenseSearcher<'_> {
+    fn record(&mut self, left: Vec<u32>, right: Vec<u32>) {
+        let half = left.len().min(right.len());
+        if half > self.best_half {
+            self.best_half = half;
+            self.best = LocalBiclique { left, right };
+        }
+    }
+
+    fn leaf(&mut self, depth: u64) {
+        self.stats.leaf_depth_sum += depth;
+        self.stats.leaf_count += 1;
+    }
+
+    /// Exclude branches iterate in place (they only shrink one candidate
+    /// set), so stack depth is bounded by the include chain — at most the
+    /// half-size of the biclique being built — not by the candidate count.
+    fn recurse(&mut self, a: &mut Vec<u32>, b: &mut Vec<u32>, mut ca: BitSet, mut cb: BitSet, mut depth: u64) {
+        let (a_mark, b_mark) = (a.len(), b.len());
+        loop {
+        self.stats.nodes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+
+        // Bounding (line 1).
+        let cap = (a.len() + ca.len()).min(b.len() + cb.len());
+        if cap <= self.best_half {
+            self.stats.bound_prunes += 1;
+            self.leaf(depth);
+            break;
+        }
+
+        // Reduction (line 2) and re-bound (line 3).
+        if self.config.use_reductions {
+            reduce_candidates(self.graph, a, b, &mut ca, &mut cb, self.best_half, &mut self.stats);
+            let cap = (a.len() + ca.len()).min(b.len() + cb.len());
+            if cap <= self.best_half {
+                self.stats.bound_prunes += 1;
+                self.leaf(depth);
+                break;
+            }
+        }
+
+        // One pass over both candidate sets computing missing-neighbour
+        // counts. It feeds three decisions at once: the degree-histogram
+        // bound, the Lemma 3 polynomial-case test (max missing ≤ 2) and
+        // the triviality-last branch choice (argmax missing).
+        let scan = scan_candidates(self.graph, a.len(), b.len(), &ca, &cb);
+        if scan.upper_bound <= self.best_half {
+            self.stats.bound_prunes += 1;
+            self.leaf(depth);
+            break;
+        }
+
+        // Polynomial case (lines 4–8).
+        if self.config.use_polynomial_case && scan.max_missing <= 2 {
+            if let Some(solution) =
+                dynamic_mbb(self.graph, &ca, &cb, a.len(), b.len(), &mut self.stats)
+            {
+                if solution.half() > self.best_half {
+                    let mut left = a.clone();
+                    left.extend_from_slice(&solution.chosen_left);
+                    let mut right = b.clone();
+                    right.extend_from_slice(&solution.chosen_right);
+                    self.record(left, right);
+                }
+                self.leaf(depth);
+                break;
+            }
+        }
+        if !self.config.use_polynomial_case && ca.is_empty() && cb.is_empty() {
+            self.record(a.clone(), b.clone());
+            self.leaf(depth);
+            break;
+        }
+
+        // Branching (lines 9–15): pick the candidate missing the most
+        // neighbours (guaranteed ≥ 3 here when the polynomial case is on).
+        let (on_left, u) = if self.config.branch_max_missing {
+            debug_assert!(
+                !self.config.use_polynomial_case || scan.max_missing >= 3,
+                "polynomial case should have caught missing = {}",
+                scan.max_missing
+            );
+            (scan.argmax_on_left, scan.argmax_vertex)
+        } else {
+            // bd3: naive first-candidate branching.
+            match ca.first() {
+                Some(u) => (true, u as u32),
+                None => (false, cb.first().expect("cb non-empty") as u32),
+            }
+        };
+
+        if on_left {
+            // Include u (recursive branch).
+            let mut ca_inc = ca.clone();
+            ca_inc.remove(u as usize);
+            let mut cb_inc = cb.clone();
+            cb_inc.intersect_with(self.graph.left_row(u));
+            a.push(u);
+            self.recurse(a, b, ca_inc, cb_inc, depth + 1);
+            a.pop();
+            // Exclude u: continue iterating in place.
+            ca.remove(u as usize);
+        } else {
+            let mut cb_inc = cb.clone();
+            cb_inc.remove(u as usize);
+            let mut ca_inc = ca.clone();
+            ca_inc.intersect_with(self.graph.right_row(u));
+            b.push(u);
+            self.recurse(a, b, ca_inc, cb_inc, depth + 1);
+            b.pop();
+            cb.remove(u as usize);
+        }
+        depth += 1;
+        }
+
+        a.truncate(a_mark);
+        b.truncate(b_mark);
+    }
+
+}
+
+/// Result of the per-node candidate scan.
+struct CandidateScan {
+    /// Largest missing-neighbour count over both candidate sets.
+    max_missing: usize,
+    /// Whether the argmax candidate is a left vertex.
+    argmax_on_left: bool,
+    /// The argmax candidate's local index.
+    argmax_vertex: u32,
+    /// Degree-histogram upper bound on the reachable half-size.
+    upper_bound: usize,
+}
+
+/// Single pass over the candidate sets: missing counts, argmax, and the
+/// degree-histogram bound.
+///
+/// The bound: a balanced biclique of half-size `k` reachable from this
+/// state needs, on each side, at least `k` vertices whose degree towards
+/// the other side's remaining material is at least `k` — specifically
+/// `avail_A(k) = |A| + #{u ∈ CA : |B| + deg(u, CB) ≥ k} ≥ k` and
+/// symmetrically. The largest `k` satisfying both dominates the plain
+/// `min(|A|+|CA|, |B|+|CB|)` bound at the cost of work this scan already
+/// does.
+fn scan_candidates(
+    graph: &LocalGraph,
+    a_len: usize,
+    b_len: usize,
+    ca: &BitSet,
+    cb: &BitSet,
+) -> CandidateScan {
+    let cb_len = cb.len();
+    let ca_len = ca.len();
+    let cap_a = a_len + ca_len;
+    let cap_b = b_len + cb_len;
+    let cap = cap_a.min(cap_b);
+
+    let mut max_missing = 0usize;
+    let mut argmax_on_left = true;
+    let mut argmax_vertex = u32::MAX;
+    // hist_a[d] = number of CA candidates with |B| + deg(u, CB) = d.
+    let mut hist_a = vec![0u32; cap_b + 1];
+    let mut hist_b = vec![0u32; cap_a + 1];
+
+    for u in ca.iter() {
+        let degree = graph.left_degree_in(u as u32, cb);
+        let missing = cb_len - degree;
+        if missing >= max_missing {
+            // `>=` keeps argmax defined even when all missings are 0.
+            max_missing = missing;
+            argmax_on_left = true;
+            argmax_vertex = u as u32;
+        }
+        hist_a[(b_len + degree).min(cap_b)] += 1;
+    }
+    for v in cb.iter() {
+        let degree = graph.right_degree_in(v as u32, ca);
+        let missing = ca_len - degree;
+        if missing > max_missing {
+            max_missing = missing;
+            argmax_on_left = false;
+            argmax_vertex = v as u32;
+        }
+        hist_b[(a_len + degree).min(cap_a)] += 1;
+    }
+
+    // Walk k from the cap downwards, accumulating histogram mass ≥ k with
+    // two suffix pointers; the first feasible k is the bound.
+    let mut upper_bound = 0usize;
+    let mut avail_a = a_len;
+    let mut avail_b = b_len;
+    let mut da = cap_b as isize;
+    let mut db = cap_a as isize;
+    let mut k = cap;
+    while k > 0 {
+        while da >= k as isize {
+            avail_a += hist_a[da as usize] as usize;
+            da -= 1;
+        }
+        while db >= k as isize {
+            avail_b += hist_b[db as usize] as usize;
+            db -= 1;
+        }
+        if avail_a >= k && avail_b >= k {
+            upper_bound = k;
+            break;
+        }
+        k -= 1;
+    }
+
+    CandidateScan {
+        max_missing,
+        argmax_on_left,
+        argmax_vertex,
+        upper_bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::basic::basic_bb;
+    use crate::testutil::brute_force_half_local as brute_force_half;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_graph(nl: usize, nr: usize, density: f64, seed: u64) -> LocalGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut g = LocalGraph::new(nl, nr);
+        for u in 0..nl as u32 {
+            for v in 0..nr as u32 {
+                if rng.gen_bool(density) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    #[test]
+    fn complete_graph_is_polynomially_solved() {
+        let mut g = LocalGraph::new(5, 7);
+        for u in 0..5 {
+            for v in 0..7 {
+                g.add_edge(u, v);
+            }
+        }
+        let (b, stats) = dense_mbb(&g, 0);
+        assert_eq!(b.half(), 5);
+        // The first recursion already hits the polynomial case: no branch.
+        assert_eq!(stats.nodes, 1);
+        assert_eq!(stats.poly_solves, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = LocalGraph::new(4, 4);
+        let (b, _) = dense_mbb(&g, 0);
+        assert_eq!(b.half(), 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+            let nl = rng.gen_range(1..=9usize);
+            let nr = rng.gen_range(1..=9usize);
+            let density = rng.gen_range(0.2..0.95);
+            let g = random_graph(nl, nr, density, seed);
+            let (found, _) = dense_mbb(&g, 0);
+            let brute = brute_force_half(&g);
+            assert_eq!(found.half(), brute, "seed {seed} nl {nl} nr {nr}");
+            assert!(g.is_biclique(&found.left, &found.right), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_basic_bb() {
+        for seed in 100..130u64 {
+            let g = random_graph(8, 8, 0.6, seed);
+            let (dense_result, _) = dense_mbb(&g, 0);
+            let (basic_result, _) = basic_bb(&g, 0);
+            assert_eq!(dense_result.half(), basic_result.half(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dense_explores_fewer_nodes_than_basic() {
+        let g = random_graph(14, 14, 0.85, 5);
+        let (r1, dense_stats) = dense_mbb(&g, 0);
+        let (r2, basic_stats) = basic_bb(&g, 0);
+        assert_eq!(r1.half(), r2.half());
+        assert!(
+            dense_stats.nodes < basic_stats.nodes,
+            "dense {} vs basic {}",
+            dense_stats.nodes,
+            basic_stats.nodes
+        );
+    }
+
+    #[test]
+    fn seeded_search_respects_fixed_vertices() {
+        // Fix a = [0] in a graph where the optimum avoids vertex 0: the
+        // seeded search must return the best biclique CONTAINING 0.
+        let mut g = LocalGraph::new(3, 3);
+        // L0 sees only R0; L1, L2 see R1, R2.
+        g.add_edge(0, 0);
+        for u in 1..3 {
+            for v in 1..3 {
+                g.add_edge(u, v);
+            }
+        }
+        let ca: BitSet = {
+            let mut s = BitSet::new(3);
+            s.insert(1);
+            s.insert(2);
+            s
+        };
+        let cb = {
+            let mut s = BitSet::new(3);
+            s.insert(0); // only N(L0)
+            s
+        };
+        let (b, _) = dense_mbb_seeded(
+            &g,
+            vec![0],
+            vec![],
+            ca,
+            cb,
+            0,
+            DenseConfig::default(),
+        );
+        assert_eq!(b.half(), 1);
+        assert!(b.left.contains(&0));
+    }
+
+    #[test]
+    fn initial_bound_suppresses_non_improving() {
+        let g = random_graph(6, 6, 0.7, 9);
+        let brute = brute_force_half(&g);
+        let (b, _) = dense_mbb(&g, brute);
+        assert_eq!(b.half(), 0, "nothing strictly better than the optimum");
+        if brute > 0 {
+            let (b, _) = dense_mbb(&g, brute - 1);
+            assert_eq!(b.half(), brute);
+        }
+    }
+
+    #[test]
+    fn ablation_without_polynomial_case_still_correct() {
+        for seed in 0..15u64 {
+            let g = random_graph(7, 7, 0.6, seed ^ 0x77);
+            let config = DenseConfig {
+                use_polynomial_case: false,
+                ..DenseConfig::default()
+            };
+            let (b, _) = dense_mbb_seeded(
+                &g,
+                vec![],
+                vec![],
+                BitSet::full(7),
+                BitSet::full(7),
+                0,
+                config,
+            );
+            assert_eq!(b.half(), brute_force_half(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn ablation_without_reductions_still_correct() {
+        for seed in 0..15u64 {
+            let g = random_graph(7, 7, 0.6, seed ^ 0x99);
+            let config = DenseConfig {
+                use_reductions: false,
+                ..DenseConfig::default()
+            };
+            let (b, _) = dense_mbb_seeded(
+                &g,
+                vec![],
+                vec![],
+                BitSet::full(7),
+                BitSet::full(7),
+                0,
+                config,
+            );
+            assert_eq!(b.half(), brute_force_half(&g), "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Incremental MBB maintenance over an evolving edge set.
+//!
+//! Real bipartite graphs (author–paper, user–item) change constantly.
+//! Re-running the full solver from scratch after every batch of updates
+//! wastes the strongest pruning signal available: the previous optimum.
+//! [`IncrementalMbb`] tracks an edge set, remembers the last solution,
+//! and warm-starts [`MbbSolver::solve_with_incumbent`] with it whenever
+//! it is still a biclique of the current graph:
+//!
+//! * **insertions** never invalidate the cached solution (edges are only
+//!   added), so it always seeds the next solve;
+//! * **deletions** invalidate it only when a cached pair loses its edge,
+//!   which is checked in O(|cached|²) at solve time.
+
+use std::collections::HashSet;
+
+use mbb_bigraph::graph::{BipartiteGraph, Builder, GraphError};
+
+use crate::biclique::Biclique;
+use crate::solver::{MbbSolver, SolveResult};
+
+/// An evolving bipartite graph with warm-started MBB re-solving.
+#[derive(Debug, Clone)]
+pub struct IncrementalMbb {
+    num_left: u32,
+    num_right: u32,
+    edges: HashSet<(u32, u32)>,
+    solver: MbbSolver,
+    /// Last solve's optimum; `None` until the first solve or after a
+    /// structural change that emptied it.
+    cached: Option<Biclique>,
+    /// True when the edge set changed since `cached` was computed.
+    dirty: bool,
+}
+
+impl IncrementalMbb {
+    /// An empty evolving graph with fixed side sizes.
+    pub fn new(num_left: u32, num_right: u32) -> IncrementalMbb {
+        IncrementalMbb::with_solver(num_left, num_right, MbbSolver::new())
+    }
+
+    /// Uses a custom-configured solver for the re-solves.
+    pub fn with_solver(num_left: u32, num_right: u32, solver: MbbSolver) -> IncrementalMbb {
+        IncrementalMbb {
+            num_left,
+            num_right,
+            edges: HashSet::new(),
+            solver,
+            cached: None,
+            dirty: false,
+        }
+    }
+
+    /// Seeds the edge set from an existing graph.
+    pub fn from_graph(graph: &BipartiteGraph) -> IncrementalMbb {
+        let mut inc = IncrementalMbb::new(graph.num_left() as u32, graph.num_right() as u32);
+        inc.edges.extend(graph.edges());
+        inc
+    }
+
+    /// Inserts edge `(u, v)`; returns `false` when it was already present.
+    ///
+    /// # Errors
+    ///
+    /// Fails when an endpoint is out of range.
+    pub fn insert_edge(&mut self, u: u32, v: u32) -> Result<bool, GraphError> {
+        self.check_bounds(u, v)?;
+        let added = self.edges.insert((u, v));
+        if added {
+            self.dirty = true;
+        }
+        Ok(added)
+    }
+
+    /// Removes edge `(u, v)`; returns `false` when it was absent.
+    pub fn remove_edge(&mut self, u: u32, v: u32) -> bool {
+        let removed = self.edges.remove(&(u, v));
+        if removed {
+            self.dirty = true;
+            // Deletion can break the cached biclique; drop it eagerly if
+            // the removed edge spans two cached vertices.
+            if let Some(cached) = &self.cached {
+                if cached.left.binary_search(&u).is_ok()
+                    && cached.right.binary_search(&v).is_ok()
+                {
+                    self.cached = None;
+                }
+            }
+        }
+        removed
+    }
+
+    /// Number of edges currently present.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Edge membership test.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Materialises the current graph (CSR snapshot).
+    pub fn snapshot(&self) -> BipartiteGraph {
+        let mut builder = Builder::new(self.num_left, self.num_right);
+        builder.reserve(self.edges.len());
+        for &(u, v) in &self.edges {
+            builder
+                .add_edge(u, v)
+                .expect("edges were bounds-checked on insert");
+        }
+        builder.build()
+    }
+
+    /// Solves the current graph, warm-starting with the cached previous
+    /// optimum when it is still valid. The result is cached for the next
+    /// call; repeated calls without modifications return the cache
+    /// without re-solving.
+    ///
+    /// ```
+    /// use mbb_core::incremental::IncrementalMbb;
+    ///
+    /// let mut inc = IncrementalMbb::new(3, 3);
+    /// for u in 0..2 {
+    ///     for v in 0..2 {
+    ///         inc.insert_edge(u, v)?;
+    ///     }
+    /// }
+    /// assert_eq!(inc.solve().biclique.half_size(), 2);
+    /// inc.insert_edge(2, 2)?; // pendant edge: optimum unchanged
+    /// assert_eq!(inc.solve().biclique.half_size(), 2);
+    /// # Ok::<(), mbb_bigraph::graph::GraphError>(())
+    /// ```
+    pub fn solve(&mut self) -> SolveResult {
+        let graph = self.snapshot();
+        if !self.dirty {
+            if let Some(cached) = &self.cached {
+                // Nothing changed: the cache is the optimum.
+                let stats = crate::stats::SolveStats {
+                    optimum_half: cached.half_size(),
+                    ..Default::default()
+                };
+                return SolveResult {
+                    biclique: cached.clone(),
+                    stats,
+                };
+            }
+        }
+        let incumbent = match self.cached.take() {
+            Some(cached) if cached.is_valid(&graph) => cached,
+            _ => Biclique::empty(),
+        };
+        let result = self.solver.solve_with_incumbent(&graph, incumbent);
+        self.cached = Some(result.biclique.clone());
+        self.dirty = false;
+        result
+    }
+
+    fn check_bounds(&self, u: u32, v: u32) -> Result<(), GraphError> {
+        // Reuse the builder's validation by constructing a throwaway; the
+        // check itself is trivial, so do it inline instead.
+        if u >= self.num_left || v >= self.num_right {
+            // Build the same error the Builder reports for consistency.
+            let mut builder = Builder::new(self.num_left, self.num_right);
+            return builder.add_edge(u, v).map(|_| ());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::solve_mbb;
+    use mbb_bigraph::generators;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matches_from_scratch_under_insertions() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut inc = IncrementalMbb::new(10, 10);
+        for _ in 0..60 {
+            let u = rng.gen_range(0..10);
+            let v = rng.gen_range(0..10);
+            inc.insert_edge(u, v).unwrap();
+            let fresh = solve_mbb(&inc.snapshot());
+            let warm = inc.solve();
+            assert_eq!(warm.biclique.half_size(), fresh.half_size());
+            assert!(warm.biclique.is_valid(&inc.snapshot()));
+        }
+    }
+
+    #[test]
+    fn matches_from_scratch_under_mixed_updates() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::uniform_edges(10, 10, 45, 5);
+        let mut inc = IncrementalMbb::from_graph(&g);
+        for step in 0..40 {
+            let u = rng.gen_range(0..10u32);
+            let v = rng.gen_range(0..10u32);
+            if rng.gen_bool(0.4) {
+                inc.remove_edge(u, v);
+            } else {
+                inc.insert_edge(u, v).unwrap();
+            }
+            let fresh = solve_mbb(&inc.snapshot());
+            let warm = inc.solve();
+            assert_eq!(
+                warm.biclique.half_size(),
+                fresh.half_size(),
+                "step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn deletion_inside_cached_solution_invalidates() {
+        let mut inc = IncrementalMbb::new(2, 2);
+        for u in 0..2 {
+            for v in 0..2 {
+                inc.insert_edge(u, v).unwrap();
+            }
+        }
+        assert_eq!(inc.solve().biclique.half_size(), 2);
+        inc.remove_edge(0, 0);
+        assert!(inc.cached.is_none(), "cache dropped eagerly");
+        assert_eq!(inc.solve().biclique.half_size(), 1);
+    }
+
+    #[test]
+    fn deletion_outside_cached_solution_keeps_cache() {
+        let mut inc = IncrementalMbb::new(3, 3);
+        for u in 0..2 {
+            for v in 0..2 {
+                inc.insert_edge(u, v).unwrap();
+            }
+        }
+        inc.insert_edge(2, 2).unwrap();
+        assert_eq!(inc.solve().biclique.half_size(), 2);
+        inc.remove_edge(2, 2);
+        assert!(inc.cached.is_some());
+        assert_eq!(inc.solve().biclique.half_size(), 2);
+    }
+
+    #[test]
+    fn repeated_solves_use_cache() {
+        let mut inc = IncrementalMbb::new(4, 4);
+        inc.insert_edge(0, 0).unwrap();
+        let first = inc.solve();
+        let second = inc.solve();
+        assert_eq!(first.biclique, second.biclique);
+    }
+
+    #[test]
+    fn duplicate_insert_reports_false() {
+        let mut inc = IncrementalMbb::new(2, 2);
+        assert!(inc.insert_edge(0, 0).unwrap());
+        assert!(!inc.insert_edge(0, 0).unwrap());
+        assert!(!inc.remove_edge(1, 1));
+    }
+
+    #[test]
+    fn out_of_range_insert_fails() {
+        let mut inc = IncrementalMbb::new(2, 2);
+        assert!(inc.insert_edge(2, 0).is_err());
+        assert!(inc.insert_edge(0, 2).is_err());
+        assert_eq!(inc.num_edges(), 0);
+    }
+
+    #[test]
+    fn empty_graph_solves_empty() {
+        let mut inc = IncrementalMbb::new(5, 5);
+        assert_eq!(inc.solve().biclique.half_size(), 0);
+    }
+
+    #[test]
+    fn snapshot_matches_edge_set() {
+        let mut inc = IncrementalMbb::new(3, 3);
+        inc.insert_edge(0, 1).unwrap();
+        inc.insert_edge(2, 0).unwrap();
+        let g = inc.snapshot();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(2, 0));
+        assert!(inc.has_edge(0, 1));
+        assert!(!inc.has_edge(1, 1));
+    }
+}

@@ -1,0 +1,555 @@
+//! `hbvMBB` — Algorithm 4: the heuristic / bridge / verify framework for
+//! large sparse bipartite graphs, with every ablation of Table 3 exposed
+//! through [`SolverConfig`].
+
+use std::time::Instant;
+
+use mbb_bigraph::bicore::bicore_decomposition;
+use mbb_bigraph::graph::BipartiteGraph;
+use mbb_bigraph::local::LocalGraph;
+use mbb_bigraph::order::{compute_order, SearchOrder};
+use mbb_bigraph::subgraph::InducedSubgraph;
+
+use crate::biclique::Biclique;
+use crate::bridge::{bridge_mbb, BridgeConfig};
+use crate::dense::{dense_mbb_seeded, DenseConfig};
+use crate::heuristic::{greedy_balanced, hmbb, map_to_parent, DEFAULT_SEEDS};
+use crate::stats::{SolveStats, Stage};
+use crate::verify::{verify_mbb, VerifyConfig};
+
+/// Configuration of the `hbvMBB` framework. The defaults are the paper's
+/// full algorithm; each `bd*` constructor disables one ingredient for the
+/// §6.3 breaking-down experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverConfig {
+    /// Run the `hMBB` heuristic-and-reduce stage (off = `bd1`).
+    pub use_heuristic_stage: bool,
+    /// Use core/bicore machinery: Lemma 4 reductions, degeneracy pruning,
+    /// Lemma 5 early termination (off = `bd2`; the order falls back to
+    /// degree order since bidegeneracy is itself a bicore optimisation).
+    pub use_core_optimizations: bool,
+    /// Use the §4 branching technique (polynomial case + triviality-last
+    /// branching) in verification (off = `bd3`).
+    pub use_dense_branching: bool,
+    /// Total search order for the vertex-centred decomposition
+    /// (`bd4` = degree, `bd5` = degeneracy, default bidegeneracy).
+    pub order: SearchOrder,
+    /// Seeds for the global and local greedy heuristics.
+    pub heuristic_seeds: usize,
+    /// Worker threads for verification (1 = the paper's algorithm).
+    pub verify_threads: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            use_heuristic_stage: true,
+            use_core_optimizations: true,
+            use_dense_branching: true,
+            order: SearchOrder::Bidegeneracy,
+            heuristic_seeds: DEFAULT_SEEDS,
+            verify_threads: 1,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// `bd1`: framework without step 1 (no global heuristic/reduction).
+    pub fn bd1() -> Self {
+        SolverConfig {
+            use_heuristic_stage: false,
+            ..Default::default()
+        }
+    }
+
+    /// `bd2`: without core and bicore based optimisations.
+    pub fn bd2() -> Self {
+        SolverConfig {
+            use_core_optimizations: false,
+            order: SearchOrder::Degree,
+            ..Default::default()
+        }
+    }
+
+    /// `bd3`: without the §4 branching technique.
+    pub fn bd3() -> Self {
+        SolverConfig {
+            use_dense_branching: false,
+            ..Default::default()
+        }
+    }
+
+    /// `bd4`: degree order instead of bidegeneracy order.
+    pub fn bd4() -> Self {
+        SolverConfig {
+            order: SearchOrder::Degree,
+            ..Default::default()
+        }
+    }
+
+    /// `bd5`: degeneracy order instead of bidegeneracy order.
+    pub fn bd5() -> Self {
+        SolverConfig {
+            order: SearchOrder::Degeneracy,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of a solve: the optimum balanced biclique plus instrumentation.
+#[derive(Debug, Clone)]
+pub struct SolveResult {
+    /// The maximum balanced biclique, in input-graph ids.
+    pub biclique: Biclique,
+    /// Statistics (stage, heuristic gaps, search depths, …).
+    pub stats: SolveStats,
+}
+
+/// The `hbvMBB` solver.
+#[derive(Debug, Clone, Default)]
+pub struct MbbSolver {
+    /// Configuration used by [`solve`](Self::solve).
+    pub config: SolverConfig,
+}
+
+impl MbbSolver {
+    /// A solver with the paper's default configuration.
+    pub fn new() -> MbbSolver {
+        MbbSolver::default()
+    }
+
+    /// A solver with an explicit configuration.
+    pub fn with_config(config: SolverConfig) -> MbbSolver {
+        MbbSolver { config }
+    }
+
+    /// Finds a maximum balanced biclique of `graph` (Algorithm 4).
+    ///
+    /// ```
+    /// use mbb_core::MbbSolver;
+    /// let g = mbb_bigraph::generators::uniform_edges(50, 50, 300, 7);
+    /// let result = MbbSolver::new().solve(&g);
+    /// assert!(result.biclique.is_valid(&g));
+    /// assert_eq!(result.stats.optimum_half, result.biclique.half_size());
+    /// ```
+    pub fn solve(&self, graph: &BipartiteGraph) -> SolveResult {
+        self.solve_with_incumbent(graph, Biclique::empty())
+    }
+
+    /// Like [`solve`](Self::solve), but warm-started with a known balanced
+    /// biclique of `graph` (for instance the optimum of a previous version
+    /// of the graph that is still valid — the incremental use case). The
+    /// incumbent seeds every pruning bound, so re-solving after small
+    /// changes is much cheaper than solving cold.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `incumbent` is not a valid balanced biclique of
+    /// `graph`.
+    pub fn solve_with_incumbent(&self, graph: &BipartiteGraph, incumbent: Biclique) -> SolveResult {
+        assert!(
+            incumbent.is_empty() || incumbent.is_valid(graph),
+            "warm-start incumbent must be a balanced biclique of the graph"
+        );
+        let config = self.config;
+        let mut stats = SolveStats::default();
+
+        // ---- Step 1: heuristic + reduction (Algorithm 5). ----
+        let stage1_start = Instant::now();
+        let (mut best, reduced) = if config.use_heuristic_stage {
+            let outcome = hmbb(
+                graph,
+                config.heuristic_seeds,
+                config.use_core_optimizations,
+            );
+            stats.degeneracy = outcome.degeneracy;
+            if outcome.proven_optimal
+                && config.use_core_optimizations
+                && outcome.best.half_size() >= incumbent.half_size()
+            {
+                stats.stage = Stage::S1;
+                stats.heuristic_global_half = outcome.best.half_size();
+                stats.heuristic_local_half = outcome.best.half_size();
+                stats.optimum_half = outcome.best.half_size();
+                stats.stage_seconds[0] = stage1_start.elapsed().as_secs_f64();
+                return SolveResult {
+                    biclique: outcome.best,
+                    stats,
+                };
+            }
+            let best = if incumbent.half_size() > outcome.best.half_size() {
+                incumbent
+            } else {
+                outcome.best
+            };
+            (best, outcome.reduced)
+        } else {
+            (incumbent, InducedSubgraph::identity(graph))
+        };
+        stats.heuristic_global_half = best.half_size();
+        stats.stage_seconds[0] = stage1_start.elapsed().as_secs_f64();
+
+        // An empty reduced graph means the incumbent is optimal.
+        if reduced.graph.num_left() == 0 || reduced.graph.num_right() == 0 {
+            stats.stage = Stage::S1;
+            stats.heuristic_local_half = best.half_size();
+            stats.optimum_half = best.half_size();
+            return SolveResult { biclique: best, stats };
+        }
+
+        // ---- Step 2: bridge to maximality (Algorithms 6 and 7). ----
+        let stage2_start = Instant::now();
+        let order = compute_order(&reduced.graph, config.order);
+        if config.order == SearchOrder::Bidegeneracy {
+            stats.bidegeneracy = bicore_decomposition(&reduced.graph).bidegeneracy;
+        }
+        // Translate the incumbent into reduced-graph ids for local pruning;
+        // its vertices may have been reduced away, but only its *size*
+        // matters for pruning, so a placeholder of equal size suffices.
+        let incumbent_local = Biclique {
+            left: vec![u32::MAX; best.half_size()],
+            right: vec![u32::MAX; best.half_size()],
+        };
+        let bridged = bridge_mbb(
+            &reduced.graph,
+            &order,
+            incumbent_local,
+            BridgeConfig {
+                use_core_pruning: config.use_core_optimizations,
+                heuristic_seeds: config.heuristic_seeds.min(4),
+            },
+        );
+        stats.subgraphs_generated = bridged.stats.generated;
+        stats.avg_subgraph_density = bridged.stats.average_density();
+        stats.avg_subgraph_size = bridged.stats.average_size();
+        stats.max_subgraph_size = bridged.stats.max_size;
+        if bridged.best.half_size() > best.half_size() {
+            best = map_to_parent(&bridged.best, &reduced);
+        }
+        stats.heuristic_local_half = best.half_size();
+        stats.subgraphs_verified = bridged.survivors.len();
+        stats.stage_seconds[1] = stage2_start.elapsed().as_secs_f64();
+
+        if bridged.survivors.is_empty() {
+            stats.stage = Stage::S2;
+            stats.optimum_half = best.half_size();
+            return SolveResult { biclique: best, stats };
+        }
+
+        // ---- Step 3: maximality verification (Algorithm 8). ----
+        let stage3_start = Instant::now();
+        let dense_config = DenseConfig {
+            use_polynomial_case: config.use_dense_branching,
+            branch_max_missing: config.use_dense_branching,
+            use_reductions: true,
+        };
+        let incumbent_local = Biclique {
+            left: vec![u32::MAX; best.half_size()],
+            right: vec![u32::MAX; best.half_size()],
+        };
+        let (verified, search_stats) = verify_mbb(
+            &reduced.graph,
+            &bridged.survivors,
+            incumbent_local,
+            VerifyConfig {
+                use_core_reduction: config.use_core_optimizations,
+                dense: dense_config,
+                threads: config.verify_threads.max(1),
+            },
+        );
+        stats.search = search_stats;
+        if verified.half_size() > best.half_size() {
+            best = map_to_parent(&verified, &reduced);
+        }
+        stats.stage = Stage::S3;
+        stats.optimum_half = best.half_size();
+        stats.stage_seconds[2] = stage3_start.elapsed().as_secs_f64();
+        SolveResult { biclique: best, stats }
+    }
+}
+
+/// Convenience wrapper: solve with the default configuration.
+pub fn solve_mbb(graph: &BipartiteGraph) -> Biclique {
+    MbbSolver::new().solve(graph).biclique
+}
+
+impl MbbSolver {
+    /// Solves component-by-component: a biclique with both sides
+    /// non-empty is connected, so the global optimum is the best
+    /// per-component optimum. Components already smaller than the best
+    /// half found so far are skipped outright, which makes graphs with a
+    /// giant component plus many small ones cheaper than one monolithic
+    /// solve. Statistics are merged across the solved components.
+    pub fn solve_componentwise(&self, graph: &BipartiteGraph) -> SolveResult {
+        let mut components = mbb_bigraph::components::split_components(graph);
+        // Biggest first: a large early incumbent prunes the rest.
+        components.sort_by_key(|c| std::cmp::Reverse(c.graph.num_edges()));
+        let mut best = Biclique::empty();
+        let mut stats = SolveStats::default();
+        for component in &components {
+            let cap = component.graph.num_left().min(component.graph.num_right());
+            if cap <= best.half_size() {
+                continue; // cannot beat the incumbent
+            }
+            let result = self.solve(&component.graph);
+            stats.search.merge(&result.stats.search);
+            stats.subgraphs_generated += result.stats.subgraphs_generated;
+            stats.subgraphs_verified += result.stats.subgraphs_verified;
+            stats.stage = result.stats.stage;
+            stats.degeneracy = stats.degeneracy.max(result.stats.degeneracy);
+            stats.bidegeneracy = stats.bidegeneracy.max(result.stats.bidegeneracy);
+            if result.biclique.half_size() > best.half_size() {
+                best = map_to_parent(&result.biclique, component);
+            }
+        }
+        stats.optimum_half = best.half_size();
+        stats.heuristic_global_half = stats.heuristic_global_half.min(best.half_size());
+        SolveResult {
+            biclique: best,
+            stats,
+        }
+    }
+}
+
+/// Runs `denseMBB` (Algorithm 3) directly on a whole graph — the §6.1 dense
+/// workload entry point. A degree-greedy warm start seeds the bound.
+pub fn dense_mbb_graph(graph: &BipartiteGraph) -> SolveResult {
+    let start = Instant::now();
+    let mut stats = SolveStats::default();
+    let score: Vec<u64> = graph.vertices().map(|v| graph.degree(v) as u64).collect();
+    let warm = greedy_balanced(graph, &score, 16);
+    stats.heuristic_global_half = warm.half_size();
+
+    let local = LocalGraph::induced(
+        graph,
+        &(0..graph.num_left() as u32).collect::<Vec<_>>(),
+        &(0..graph.num_right() as u32).collect::<Vec<_>>(),
+    );
+    let (found, search_stats) = dense_mbb_seeded(
+        &local,
+        Vec::new(),
+        Vec::new(),
+        mbb_bigraph::bitset::BitSet::full(local.num_left()),
+        mbb_bigraph::bitset::BitSet::full(local.num_right()),
+        warm.half_size(),
+        DenseConfig::default(),
+    );
+    stats.search = search_stats;
+    let best = if found.half() > warm.half_size() {
+        Biclique::balanced(found.left, found.right)
+    } else {
+        warm
+    };
+    stats.optimum_half = best.half_size();
+    stats.stage = Stage::S3;
+    stats.stage_seconds[2] = start.elapsed().as_secs_f64();
+    SolveResult {
+        biclique: best,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_bigraph::generators;
+
+    use crate::testutil::brute_force_half_graph as brute_half;
+
+    #[test]
+    fn default_solver_is_exact() {
+        for seed in 0..20u64 {
+            let g = generators::uniform_edges(12, 12, 60, seed);
+            let result = MbbSolver::new().solve(&g);
+            assert_eq!(result.biclique.half_size(), brute_half(&g), "seed {seed}");
+            assert!(result.biclique.is_valid(&g), "seed {seed}");
+            assert_eq!(result.stats.optimum_half, result.biclique.half_size());
+        }
+    }
+
+    #[test]
+    fn all_ablations_are_exact() {
+        let configs = [
+            SolverConfig::bd1(),
+            SolverConfig::bd2(),
+            SolverConfig::bd3(),
+            SolverConfig::bd4(),
+            SolverConfig::bd5(),
+        ];
+        for seed in 0..6u64 {
+            let g = generators::uniform_edges(11, 11, 55, seed);
+            let expected = brute_half(&g);
+            for (i, config) in configs.iter().enumerate() {
+                let result = MbbSolver::with_config(*config).solve(&g);
+                assert_eq!(
+                    result.biclique.half_size(),
+                    expected,
+                    "bd{} seed {seed}",
+                    i + 1
+                );
+                assert!(result.biclique.is_valid(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_entry_point_is_exact() {
+        for seed in 0..10u64 {
+            let g = generators::dense_uniform(10, 10, 0.8, seed);
+            let result = dense_mbb_graph(&g);
+            assert_eq!(result.biclique.half_size(), brute_half(&g), "seed {seed}");
+            assert!(result.biclique.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn solver_finds_planted_optimum() {
+        let g = generators::chung_lu_bipartite(
+            &generators::ChungLuParams {
+                num_left: 500,
+                num_right: 400,
+                num_edges: 2000,
+                left_exponent: 0.7,
+                right_exponent: 0.7,
+            },
+            17,
+        );
+        let (planted, _, _) = generators::plant_balanced_biclique(&g, 7);
+        let result = MbbSolver::new().solve(&planted);
+        assert!(result.biclique.half_size() >= 7);
+        assert!(result.biclique.is_valid(&planted));
+    }
+
+    #[test]
+    fn empty_graph_solves_to_empty() {
+        let g = BipartiteGraph::from_edges(0, 0, []).unwrap();
+        let result = MbbSolver::new().solve(&g);
+        assert_eq!(result.biclique.half_size(), 0);
+    }
+
+    #[test]
+    fn edgeless_graph_solves_to_empty() {
+        let g = BipartiteGraph::from_edges(5, 5, []).unwrap();
+        let result = MbbSolver::new().solve(&g);
+        assert_eq!(result.biclique.half_size(), 0);
+    }
+
+    #[test]
+    fn complete_graph_early_terminates() {
+        let g = generators::complete(6, 6);
+        let result = MbbSolver::new().solve(&g);
+        assert_eq!(result.biclique.half_size(), 6);
+        // δ(K6,6) = 6 = half: Lemma 5 fires in stage 1 as soon as the
+        // greedy finds the full biclique.
+        assert_eq!(result.stats.stage, Stage::S1);
+    }
+
+    #[test]
+    fn parallel_verification_matches() {
+        for seed in 0..5u64 {
+            let g = generators::uniform_edges(14, 14, 95, seed);
+            let sequential = MbbSolver::new().solve(&g);
+            let parallel = MbbSolver::with_config(SolverConfig {
+                verify_threads: 4,
+                ..Default::default()
+            })
+            .solve(&g);
+            assert_eq!(
+                sequential.biclique.half_size(),
+                parallel.biclique.half_size(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn componentwise_matches_monolithic() {
+        for seed in 0..12u64 {
+            // Sparse enough to fragment into several components.
+            let g = generators::uniform_edges(14, 14, 16, seed);
+            let whole = MbbSolver::new().solve(&g);
+            let parts = MbbSolver::new().solve_componentwise(&g);
+            assert_eq!(
+                parts.biclique.half_size(),
+                whole.biclique.half_size(),
+                "seed {seed}"
+            );
+            assert!(parts.biclique.is_empty() || parts.biclique.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn componentwise_on_disjoint_blocks() {
+        // 2×2 and 3×3 blocks: the answer is the bigger block.
+        let mut edges = Vec::new();
+        for u in 0..2u32 {
+            for v in 0..2u32 {
+                edges.push((u, v));
+            }
+        }
+        for u in 2..5u32 {
+            for v in 2..5u32 {
+                edges.push((u, v));
+            }
+        }
+        let g = BipartiteGraph::from_edges(5, 5, edges).unwrap();
+        let result = MbbSolver::new().solve_componentwise(&g);
+        assert_eq!(result.biclique.half_size(), 3);
+        assert!(result.biclique.left.iter().all(|&u| u >= 2));
+    }
+
+    #[test]
+    fn componentwise_on_empty_graph() {
+        let g = BipartiteGraph::from_edges(4, 4, []).unwrap();
+        let result = MbbSolver::new().solve_componentwise(&g);
+        assert_eq!(result.biclique.half_size(), 0);
+    }
+
+    #[test]
+    fn warm_start_with_optimum_still_returns_optimum() {
+        for seed in 0..10u64 {
+            let g = generators::uniform_edges(12, 12, 60, seed ^ 0x31);
+            let cold = MbbSolver::new().solve(&g);
+            let warm = MbbSolver::new().solve_with_incumbent(&g, cold.biclique.clone());
+            assert_eq!(warm.biclique.half_size(), cold.biclique.half_size());
+            assert!(warm.biclique.is_valid(&g));
+        }
+    }
+
+    #[test]
+    fn warm_start_with_suboptimal_incumbent_improves() {
+        let g = generators::complete(4, 4);
+        let incumbent = Biclique::balanced(vec![0], vec![0]);
+        let result = MbbSolver::new().solve_with_incumbent(&g, incumbent);
+        assert_eq!(result.biclique.half_size(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "warm-start incumbent")]
+    fn warm_start_rejects_invalid_incumbent() {
+        let g = BipartiteGraph::from_edges(2, 2, [(0, 0)]).unwrap();
+        let bogus = Biclique::balanced(vec![0, 1], vec![0, 1]);
+        let _ = MbbSolver::new().solve_with_incumbent(&g, bogus);
+    }
+
+    #[test]
+    fn warm_start_without_heuristic_stage() {
+        for seed in 0..6u64 {
+            let g = generators::uniform_edges(10, 10, 45, seed ^ 0x91);
+            let cold = MbbSolver::with_config(SolverConfig::bd1()).solve(&g);
+            let warm = MbbSolver::with_config(SolverConfig::bd1())
+                .solve_with_incumbent(&g, cold.biclique.clone());
+            assert_eq!(warm.biclique.half_size(), cold.biclique.half_size());
+        }
+    }
+
+    #[test]
+    fn stage_statistics_are_populated() {
+        let g = generators::uniform_edges(20, 20, 140, 3);
+        let result = MbbSolver::new().solve(&g);
+        assert!(result.stats.stage_seconds[0] >= 0.0);
+        if result.stats.stage == Stage::S3 {
+            assert!(result.stats.subgraphs_generated > 0);
+        }
+    }
+}

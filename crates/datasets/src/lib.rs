@@ -1,0 +1,11 @@
+//! Workloads for the MBB experiments: the Table 5/6 KONECT catalog with
+//! synthetic stand-ins, and the Table 4 dense random grid.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod dense;
+pub mod synth;
+
+pub use catalog::{catalog, find, tough_datasets, DatasetSpec};
+pub use synth::{stand_in, ScaleCaps, StandIn};

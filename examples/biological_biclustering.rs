@@ -1,0 +1,74 @@
+//! Biological biclustering (§1 of the paper): find the largest balanced
+//! bicluster in a gene–condition expression graph.
+//!
+//! Following Cheng & Church [7], a bicluster is a set of genes co-expressed
+//! under a set of conditions; an exact maximum *balanced* bicluster is a
+//! maximum balanced biclique of the bipartite graph connecting genes to the
+//! conditions under which they are over-expressed. Real expression graphs
+//! are large and sparse with a heavy-tailed degree distribution — the
+//! regime `hbvMBB` (Algorithm 4) was designed for.
+//!
+//! ```text
+//! cargo run -p mbb-bench --release --example biological_biclustering
+//! ```
+
+use mbb_bigraph::generators::{chung_lu_bipartite, plant_balanced_biclique, ChungLuParams};
+use mbb_core::{MbbSolver, SolverConfig};
+
+fn main() {
+    // Synthetic expression data: 4000 genes × 300 conditions, ~25k
+    // over-expression events, with a hidden 12-gene × 12-condition module.
+    let background = chung_lu_bipartite(
+        &ChungLuParams {
+            num_left: 4000,
+            num_right: 300,
+            num_edges: 25_000,
+            left_exponent: 0.75,
+            right_exponent: 0.75,
+        },
+        2024,
+    );
+    let (expression, module_genes, module_conditions) =
+        plant_balanced_biclique(&background, 12);
+
+    println!(
+        "expression graph: {} genes x {} conditions, {} events",
+        expression.num_left(),
+        expression.num_right(),
+        expression.num_edges()
+    );
+    println!(
+        "hidden module: {} genes x {} conditions\n",
+        module_genes.len(),
+        module_conditions.len()
+    );
+
+    let solver = MbbSolver::with_config(SolverConfig::default());
+    let start = std::time::Instant::now();
+    let result = solver.solve(&expression);
+    let elapsed = start.elapsed();
+
+    println!(
+        "maximum balanced bicluster: {} genes x {} conditions (found in {elapsed:.2?})",
+        result.biclique.left.len(),
+        result.biclique.right.len()
+    );
+    println!("genes:      {:?}", result.biclique.left);
+    println!("conditions: {:?}", result.biclique.right);
+    println!(
+        "solver stopped at stage {} (δ = {}, δ̈ = {}, {} subgraphs verified)",
+        result.stats.stage,
+        result.stats.degeneracy,
+        result.stats.bidegeneracy,
+        result.stats.subgraphs_verified
+    );
+
+    assert!(result.biclique.is_valid(&expression));
+    assert!(
+        result.biclique.half_size() >= 12,
+        "the planted module is a lower bound on the optimum"
+    );
+    // The planted module sits on hub vertices 0..12 of both sides; verify
+    // the found bicluster is at least as large as the plant.
+    println!("\nexact: no larger balanced bicluster exists in this dataset.");
+}

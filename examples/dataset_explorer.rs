@@ -1,0 +1,62 @@
+//! Dataset explorer: walk the KONECT catalog stand-ins and report the
+//! structural quantities the paper's analysis is built on — degeneracy
+//! `δ(G)`, bidegeneracy `δ̈(G)`, maximum degree, butterflies, the stage at
+//! which `hbvMBB` stops, and the optimum found against its cheap upper
+//! bounds.
+//!
+//! ```text
+//! cargo run -p mbb-bench --release --example dataset_explorer -- [count]
+//! ```
+
+use mbb_bigraph::graph::Side;
+use mbb_bigraph::metrics::GraphProfile;
+use mbb_bigraph::projection::project;
+use mbb_core::MbbSolver;
+use mbb_datasets::{catalog, stand_in, ScaleCaps};
+
+fn main() {
+    let count: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+
+    println!(
+        "{:<28} {:>7} {:>7} {:>7} {:>6} {:>5} {:>6} {:>10} {:>5} {:>7} {:>8}",
+        "dataset", "|L|", "|R|", "|E|", "dmax", "δ", "δ̈", "b'flies", "MBB", "UB", "stage"
+    );
+
+    for spec in catalog().iter().take(count) {
+        let standin = stand_in(spec, ScaleCaps::small(), 7);
+        let g = &standin.graph;
+        let profile = GraphProfile::of(g);
+        let result = MbbSolver::new().solve(g);
+
+        // The cheapest sound upper bound available before any search:
+        // min of the degeneracy, butterfly and projection bounds.
+        let upper_bound = profile
+            .mbb_half_upper_bound()
+            .min(profile.butterfly_half_upper_bound())
+            .min(project(g, Side::Left).mbb_half_upper_bound());
+
+        println!(
+            "{:<28} {:>7} {:>7} {:>7} {:>6} {:>5} {:>6} {:>10} {:>5} {:>7} {:>8}",
+            spec.name,
+            g.num_left(),
+            g.num_right(),
+            g.num_edges(),
+            g.max_degree(),
+            profile.degeneracy,
+            profile.bidegeneracy,
+            profile.butterflies,
+            result.biclique.half_size(),
+            upper_bound,
+            result.stats.stage.to_string(),
+        );
+        assert!(result.biclique.is_valid(g));
+        assert!(result.biclique.half_size() <= upper_bound);
+    }
+
+    println!("\nδ̈ ≪ dmax on every dataset — the paper's key observation (§5.3.1):");
+    println!("exhaustive search is confined to subgraphs of size at most δ̈.");
+    println!("UB = min(degeneracy, butterfly, projection) upper bound, pre-search.");
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a bipartite graph, find its maximum balanced biclique.
+//!
+//! ```text
+//! cargo run -p mbb-bench --release --example quickstart
+//! ```
+
+use mbb_bigraph::graph::BipartiteGraph;
+use mbb_core::{MbbSolver, SolverConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 1(b): users 1..6 on the left, items 7..12 on the
+    // right (0-indexed here). The maximum balanced biclique is
+    // ({3, 4}, {9, 10}) — users 3 and 4 both connected to items 9 and 10.
+    let graph = BipartiteGraph::from_edges(
+        6,
+        6,
+        [
+            (0, 0), // 1-7
+            (1, 0), // 2-7
+            (1, 1), // 2-8
+            (2, 1), // 3-8
+            (2, 2), // 3-9
+            (2, 3), // 3-10
+            (3, 2), // 4-9
+            (3, 3), // 4-10
+            (4, 2), // 5-9
+            (4, 3), // 5-10
+            (5, 4), // 6-11
+            (5, 5), // 6-12
+        ],
+    )?;
+
+    println!("graph: {graph:?}");
+
+    // The one-liner.
+    let mbb = mbb_core::solve_mbb(&graph);
+    println!(
+        "maximum balanced biclique: L = {:?}, R = {:?} (total size {})",
+        mbb.left,
+        mbb.right,
+        mbb.total_size()
+    );
+    assert!(mbb.is_valid(&graph));
+    assert_eq!(mbb.half_size(), 2);
+
+    // The full API: configure the solver and inspect the statistics.
+    let solver = MbbSolver::with_config(SolverConfig {
+        heuristic_seeds: 4,
+        ..Default::default()
+    });
+    let result = solver.solve(&graph);
+    println!(
+        "solved in stage {} (δ = {}, δ̈ = {}, {} vertex-centred subgraphs)",
+        result.stats.stage,
+        result.stats.degeneracy,
+        result.stats.bidegeneracy,
+        result.stats.subgraphs_generated,
+    );
+    Ok(())
+}
