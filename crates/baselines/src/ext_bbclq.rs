@@ -182,7 +182,7 @@ impl ExtSearcher<'_> {
         let mut cb = cb;
         loop {
             self.nodes += 1;
-            if self.timed_out || (self.nodes % 1024 == 0 && self.deadline.expired()) {
+            if self.timed_out || (self.nodes.is_multiple_of(1024) && self.deadline.expired()) {
                 self.timed_out = true;
                 return;
             }

@@ -130,7 +130,9 @@ fn greedy_seed(graph: &BipartiteGraph, rng: &mut StdRng) -> State {
         return State::default();
     }
     // Seed from a random reasonably-high-degree left vertex.
-    let mut candidates: Vec<u32> = (0..nl as u32).filter(|&u| graph.degree_left(u) > 0).collect();
+    let mut candidates: Vec<u32> = (0..nl as u32)
+        .filter(|&u| graph.degree_left(u) > 0)
+        .collect();
     if candidates.is_empty() {
         return State::default();
     }
@@ -224,8 +226,8 @@ pub fn sbmnas(graph: &BipartiteGraph, seed: u64, budget: Option<Duration>) -> Bi
             }
             let gained = state.half() > before;
             // Adaptive update: reinforce neighbourhoods that help.
-            weights[move_index] = (weights[move_index] * if gained { 1.3 } else { 0.9 })
-                .clamp(0.2, 8.0);
+            weights[move_index] =
+                (weights[move_index] * if gained { 1.3 } else { 0.9 }).clamp(0.2, 8.0);
             if state.half() > best.half_size() {
                 best = Biclique::balanced(state.a.clone(), state.b.clone());
                 stall = 0;

@@ -48,7 +48,7 @@ impl MbeSearcher<'_> {
     /// candidates `cand` (each strictly extending per the root order).
     fn expand(&mut self, a: &mut Vec<u32>, b: &[u32], cand: &[u32]) {
         self.nodes += 1;
-        if self.timed_out || (self.nodes % 1024 == 0 && self.deadline.expired()) {
+        if self.timed_out || (self.nodes.is_multiple_of(1024) && self.deadline.expired()) {
             self.timed_out = true;
             return;
         }
@@ -63,10 +63,7 @@ impl MbeSearcher<'_> {
             .iter()
             .map(|&u| {
                 let n = self.graph.neighbors_left(u);
-                (
-                    mbb_bigraph::graph::sorted_intersection_len(b, n),
-                    u,
-                )
+                (mbb_bigraph::graph::sorted_intersection_len(b, n), u)
             })
             .collect();
         scored.sort_by_key(|&(overlap, u)| (std::cmp::Reverse(overlap), u));
@@ -268,11 +265,15 @@ mod tests {
     fn empty_graph() {
         let g = BipartiteGraph::from_edges(0, 0, []).unwrap();
         assert_eq!(
-            imbea_adapted(&g, Biclique::empty(), None).biclique.half_size(),
+            imbea_adapted(&g, Biclique::empty(), None)
+                .biclique
+                .half_size(),
             0
         );
         assert_eq!(
-            fmbe_adapted(&g, Biclique::empty(), None).biclique.half_size(),
+            fmbe_adapted(&g, Biclique::empty(), None)
+                .biclique
+                .half_size(),
             0
         );
     }

@@ -49,7 +49,9 @@ impl Args {
 
     /// Parsed numeric value with default.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+        self.get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
     }
 
     /// Per-run time budget (`--budget-secs`, default given).

@@ -17,7 +17,14 @@ use mbb_bench::Args;
 
 /// The harness binaries, in regeneration order.
 const TARGETS: &[&str] = &[
-    "table4", "table5", "table6", "fig4", "fig5", "fig6", "fig7_scaling", "profiles",
+    "table4",
+    "table5",
+    "table6",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7_scaling",
+    "profiles",
 ];
 
 fn main() {
@@ -47,7 +54,10 @@ fn main() {
     for &target in TARGETS {
         let binary = bin_dir.join(target);
         if !binary.exists() {
-            eprintln!("skipping {target}: {} not built (run with --release --bins)", binary.display());
+            eprintln!(
+                "skipping {target}: {} not built (run with --release --bins)",
+                binary.display()
+            );
             failures.push(target);
             continue;
         }
@@ -72,7 +82,10 @@ fn main() {
     }
 
     if failures.is_empty() {
-        println!("\nall {} artefacts regenerated into {out_dir}/", TARGETS.len());
+        println!(
+            "\nall {} artefacts regenerated into {out_dir}/",
+            TARGETS.len()
+        );
     } else {
         println!("\n{} artefact(s) failed: {failures:?}", failures.len());
         std::process::exit(1);

@@ -17,7 +17,14 @@ fn main() {
 
     println!("# Figure 4 — gap of heuristic results to the optimum MBB\n");
 
-    let mut table = Table::new(&["Dataset", "optimum", "heuGlobal", "heuLocal", "gapGlobal", "gapLocal"]);
+    let mut table = Table::new(&[
+        "Dataset",
+        "optimum",
+        "heuGlobal",
+        "heuLocal",
+        "gapGlobal",
+        "gapLocal",
+    ]);
     for spec in tough_datasets() {
         let standin = stand_in(spec, caps, seed);
         let result = MbbSolver::new().solve(&standin.graph);

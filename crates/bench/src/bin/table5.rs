@@ -28,8 +28,19 @@ fn main() {
     );
 
     let mut table = Table::new(&[
-        "Dataset", "|L|", "|R|", "Dens.e-4", "Paper opt", "Found opt", "adp1", "adp2", "adp3",
-        "adp4", "extBBCl", "hbvMBB", "Stage",
+        "Dataset",
+        "|L|",
+        "|R|",
+        "Dens.e-4",
+        "Paper opt",
+        "Found opt",
+        "adp1",
+        "adp2",
+        "adp3",
+        "adp4",
+        "extBBCl",
+        "hbvMBB",
+        "Stage",
     ]);
 
     for spec in catalog() {
@@ -43,9 +54,7 @@ fn main() {
 
         // hbvMBB (ours) — also establishes the stand-in's true optimum.
         let solver_graph = graph.clone();
-        let hbv = run_with_timeout(budget, move || {
-            MbbSolver::new().solve(&solver_graph)
-        });
+        let hbv = run_with_timeout(budget, move || MbbSolver::new().solve(&solver_graph));
         let (found_opt, stage) = match &hbv {
             TimedOutcome::Finished { value, .. } => (
                 value.biclique.half_size().to_string(),

@@ -27,7 +27,16 @@ fn main() {
     println!("budget = {}s per run, times in seconds\n", budget.as_secs());
 
     let mut table = Table::new(&[
-        "Dataset", "hMBB", "degOrder", "bdegOrder", "bd1", "bd2", "bd3", "bd4", "bd5", "hbvMBB",
+        "Dataset",
+        "hMBB",
+        "degOrder",
+        "bdegOrder",
+        "bd1",
+        "bd2",
+        "bd3",
+        "bd4",
+        "bd5",
+        "hbvMBB",
     ]);
 
     for spec in tough_datasets() {
@@ -57,9 +66,8 @@ fn main() {
         let mut halves: Vec<String> = Vec::new();
         for (name, config) in variants {
             let g = graph.clone();
-            let outcome = run_with_timeout(budget, move || {
-                MbbSolver::with_config(config).solve(&g)
-            });
+            let outcome =
+                run_with_timeout(budget, move || MbbSolver::with_config(config).solve(&g));
             cells.push(fmt_seconds(outcome.seconds()));
             if let TimedOutcome::Finished { value, .. } = &outcome {
                 halves.push(format!("{name}={}", value.biclique.half_size()));

@@ -165,7 +165,10 @@ impl BitSet {
     #[inline]
     pub fn is_disjoint(&self, other: &BitSet) -> bool {
         debug_assert_eq!(self.capacity, other.capacity);
-        self.words.iter().zip(other.words.iter()).all(|(a, b)| a & b == 0)
+        self.words
+            .iter()
+            .zip(other.words.iter())
+            .all(|(a, b)| a & b == 0)
     }
 
     /// The smallest stored value, if any.
@@ -301,7 +304,10 @@ mod tests {
                 b.insert(i);
             }
         }
-        assert_eq!(a.intersection_len(&b), (0..128).filter(|i| i % 6 == 0).count());
+        assert_eq!(
+            a.intersection_len(&b),
+            (0..128).filter(|i| i % 6 == 0).count()
+        );
         assert_eq!(a.difference_len(&b), a.len() - a.intersection_len(&b));
         let mut c = a.clone();
         c.intersect_with(&b);

@@ -71,10 +71,7 @@ fn count_via_right_centres(graph: &BipartiteGraph) -> u64 {
 /// `b > a`, tallying common-neighbour counts in a flat table that is
 /// re-zeroed via a touched list, so memory stays O(endpoints) and time
 /// O(Σ_centres deg²).
-fn pair_common_counts<'a>(
-    rows: impl Iterator<Item = &'a [u32]>,
-    endpoint_count: usize,
-) -> u64 {
+fn pair_common_counts<'a>(rows: impl Iterator<Item = &'a [u32]>, endpoint_count: usize) -> u64 {
     let rows: Vec<&[u32]> = rows.collect();
 
     // Transpose: endpoint → centres through which its wedges run.

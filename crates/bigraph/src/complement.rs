@@ -162,7 +162,9 @@ pub fn decompose_missing(graph: &LocalGraph, ca: &BitSet, cb: &BitSet) -> Option
         let mut prev = usize::MAX;
         let mut cur = start;
         loop {
-            let next = neighbors(cur).into_iter().find(|&n| n != prev && !visited[n]);
+            let next = neighbors(cur)
+                .into_iter()
+                .find(|&n| n != prev && !visited[n]);
             match next {
                 Some(n) => {
                     visited[n] = true;
@@ -196,7 +198,9 @@ pub fn decompose_missing(graph: &LocalGraph, ca: &BitSet, cb: &BitSet) -> Option
         let mut prev = usize::MAX;
         let mut cur = start;
         loop {
-            let next = neighbors(cur).into_iter().find(|&n| n != prev && !visited[n]);
+            let next = neighbors(cur)
+                .into_iter()
+                .find(|&n| n != prev && !visited[n]);
             match next {
                 Some(n) => {
                     visited[n] = true;
@@ -330,7 +334,11 @@ mod tests {
         for w in c.vertices.windows(2) {
             let (a, b) = (w[0], w[1]);
             assert_ne!(a.left, b.left);
-            let (u, v) = if a.left { (a.index, b.index) } else { (b.index, a.index) };
+            let (u, v) = if a.left {
+                (a.index, b.index)
+            } else {
+                (b.index, a.index)
+            };
             assert!(!g.has_edge(u, v), "path edge {a:?}-{b:?} should be missing");
         }
     }

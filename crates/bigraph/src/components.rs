@@ -148,8 +148,7 @@ mod tests {
             for u in 0..10u32 {
                 for v in 0..10u32 {
                     let same = cc.component_of(Vertex::left(u)).is_some()
-                        && cc.component_of(Vertex::left(u))
-                            == cc.component_of(Vertex::right(v));
+                        && cc.component_of(Vertex::left(u)) == cc.component_of(Vertex::right(v));
                     assert_eq!(
                         same,
                         reachable(&g, Vertex::left(u), Vertex::right(v)),

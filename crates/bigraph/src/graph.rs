@@ -46,13 +46,19 @@ impl Vertex {
     /// A vertex on the left side.
     #[inline]
     pub fn left(index: u32) -> Vertex {
-        Vertex { side: Side::Left, index }
+        Vertex {
+            side: Side::Left,
+            index,
+        }
     }
 
     /// A vertex on the right side.
     #[inline]
     pub fn right(index: u32) -> Vertex {
-        Vertex { side: Side::Right, index }
+        Vertex {
+            side: Side::Right,
+            index,
+        }
     }
 }
 
@@ -224,9 +230,7 @@ impl BipartiteGraph {
     pub fn vertices(&self) -> impl Iterator<Item = Vertex> + '_ {
         let nl = self.num_left() as u32;
         let nr = self.num_right() as u32;
-        (0..nl)
-            .map(Vertex::left)
-            .chain((0..nr).map(Vertex::right))
+        (0..nl).map(Vertex::left).chain((0..nr).map(Vertex::right))
     }
 
     /// Dense global id of a vertex: `L = 0..nl`, `R = nl..nl+nr`.
@@ -462,11 +466,17 @@ mod tests {
         let g = BipartiteGraph::from_edges(3, 3, [(2, 1), (0, 2), (0, 0), (2, 0), (1, 1)]).unwrap();
         for u in 0..3 {
             let n = g.neighbors_left(u);
-            assert!(n.windows(2).all(|w| w[0] < w[1]), "left {u} unsorted: {n:?}");
+            assert!(
+                n.windows(2).all(|w| w[0] < w[1]),
+                "left {u} unsorted: {n:?}"
+            );
         }
         for v in 0..3 {
             let n = g.neighbors_right(v);
-            assert!(n.windows(2).all(|w| w[0] < w[1]), "right {v} unsorted: {n:?}");
+            assert!(
+                n.windows(2).all(|w| w[0] < w[1]),
+                "right {v} unsorted: {n:?}"
+            );
         }
     }
 
@@ -540,7 +550,7 @@ mod tests {
         assert_eq!(sorted_intersection_len(&a, &b), 2);
         assert_eq!(sorted_intersection(&a, &b), vec![3, 5]);
         assert_eq!(sorted_intersection_len(&a, &[]), 0);
-        assert_eq!(sorted_intersection::<>(&[], &b), Vec::<u32>::new());
+        assert_eq!(sorted_intersection(&[], &b), Vec::<u32>::new());
     }
 
     #[test]

@@ -164,8 +164,7 @@ impl LocalGraph {
 
     /// Validates that `(a, b)` is a biclique (all local indices).
     pub fn is_biclique(&self, a: &[u32], b: &[u32]) -> bool {
-        a.iter()
-            .all(|&u| b.iter().all(|&v| self.has_edge(u, v)))
+        a.iter().all(|&u| b.iter().all(|&v| self.has_edge(u, v)))
     }
 
     /// The bipartite complement (edges flipped).

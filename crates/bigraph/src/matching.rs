@@ -188,12 +188,7 @@ mod tests {
         let nl = graph.num_left();
         let nr = graph.num_right();
         let mut pair_right = vec![UNMATCHED; nr];
-        fn dfs(
-            u: u32,
-            graph: &BipartiteGraph,
-            seen: &mut [bool],
-            pair_right: &mut [u32],
-        ) -> bool {
+        fn dfs(u: u32, graph: &BipartiteGraph, seen: &mut [bool], pair_right: &mut [u32]) -> bool {
             for &v in graph.neighbors_left(u) {
                 if seen[v as usize] {
                     continue;
@@ -256,7 +251,11 @@ mod tests {
     fn agrees_with_kuhn_on_random_graphs() {
         for seed in 0..10 {
             let g = generators::uniform_edges(15, 12, 50, seed);
-            assert_eq!(hopcroft_karp(&g).size, kuhn_matching_size(&g), "seed {seed}");
+            assert_eq!(
+                hopcroft_karp(&g).size,
+                kuhn_matching_size(&g),
+                "seed {seed}"
+            );
         }
     }
 
@@ -272,8 +271,7 @@ mod tests {
                     "edge ({u},{v}) uncovered, seed {seed}"
                 );
             }
-            let cover_size =
-                lc.iter().filter(|&&c| c).count() + rc.iter().filter(|&&c| c).count();
+            let cover_size = lc.iter().filter(|&&c| c).count() + rc.iter().filter(|&&c| c).count();
             assert_eq!(cover_size, m.size, "König size mismatch, seed {seed}");
         }
     }
@@ -294,10 +292,7 @@ mod tests {
             assert!(g.is_biclique(&a, &b), "seed {seed}");
             // At least one side fully selectable: a single vertex plus all
             // its neighbours is always a biclique.
-            let best_star = (0..10u32)
-                .map(|u| 1 + g.degree_left(u))
-                .max()
-                .unwrap_or(0);
+            let best_star = (0..10u32).map(|u| 1 + g.degree_left(u)).max().unwrap_or(0);
             assert!(a.len() + b.len() >= best_star, "seed {seed}");
         }
     }

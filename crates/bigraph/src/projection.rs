@@ -53,7 +53,10 @@ impl Projection {
     /// half-size `k` needs `C(k,2)` pairs of weight ≥ `k` on each side,
     /// so `pairs_with_weight_at_least(k) < C(k,2)` refutes half-size `k`.
     pub fn pairs_with_weight_at_least(&self, threshold: u32) -> usize {
-        self.edges.iter().filter(|&&(_, _, w)| w >= threshold).count()
+        self.edges
+            .iter()
+            .filter(|&&(_, _, w)| w >= threshold)
+            .count()
     }
 
     /// Upper bound on the MBB half-size from this projection: the largest

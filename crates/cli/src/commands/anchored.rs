@@ -41,7 +41,7 @@ impl AnchoredOptions {
                 "--json" => options.json = true,
                 "--vertex" => {
                     let value = iter.next().ok_or("--vertex needs a value")?;
-    let side = value
+                    let side = value
                         .chars()
                         .next()
                         .ok_or_else(|| format!("--vertex: bad value {value:?}"))?;
@@ -90,8 +90,8 @@ struct JsonAnchored {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &AnchoredOptions) -> Result<String, String> {
-    let graph = read_edge_list_file(&options.input)
-        .map_err(|e| format!("{}: {e}", options.input))?;
+    let graph =
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
     let zero_based = options.id - 1;
     let side_size = if options.left_side {
         graph.num_left()
@@ -130,7 +130,9 @@ pub fn run(options: &AnchoredOptions) -> Result<String, String> {
         return Ok(out);
     }
     if biclique.is_empty() {
-        return Ok(format!("{anchor_label} has no incident edge: empty result\n"));
+        return Ok(format!(
+            "{anchor_label} has no incident edge: empty result\n"
+        ));
     }
     Ok(format!(
         "largest balanced biclique through {anchor_label}: {}x{}\nleft:  {left:?}\nright: {right:?}\n",

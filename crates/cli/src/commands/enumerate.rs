@@ -105,8 +105,8 @@ struct JsonLine {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &EnumerateOptions) -> Result<String, String> {
-    let graph = read_edge_list_file(&options.input)
-        .map_err(|e| format!("{}: {e}", options.input))?;
+    let graph =
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
     let config = EnumConfig {
         min_left: options.min_left,
         min_right: options.min_right,

@@ -75,8 +75,8 @@ struct JsonFrontier {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &FrontierOptions) -> Result<String, String> {
-    let graph = read_edge_list_file(&options.input)
-        .map_err(|e| format!("{}: {e}", options.input))?;
+    let graph =
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
     let frontier = SizeFrontier::of(&graph, options.budget_secs.map(Duration::from_secs));
     if options.json {
         let mut out = serde_json::to_string_pretty(&JsonFrontier {

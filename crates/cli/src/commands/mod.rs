@@ -98,7 +98,14 @@ mod tests {
 
     #[test]
     fn per_command_help() {
-        for cmd in ["stats", "generate", "enumerate", "topk", "anchored", "frontier"] {
+        for cmd in [
+            "stats",
+            "generate",
+            "enumerate",
+            "topk",
+            "anchored",
+            "frontier",
+        ] {
             let text = dispatch(cmd, &["--help".to_string()]).unwrap();
             assert!(text.contains("usage:"), "{cmd}");
         }

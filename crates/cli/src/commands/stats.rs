@@ -74,8 +74,8 @@ struct JsonProfile {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &StatsOptions) -> Result<String, String> {
-    let graph = read_edge_list_file(&options.input)
-        .map_err(|e| format!("{}: {e}", options.input))?;
+    let graph =
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
     let profile = if options.full {
         GraphProfile::of(&graph)
     } else {
@@ -102,7 +102,10 @@ pub fn run(options: &StatsOptions) -> Result<String, String> {
     }
     let mut out = profile.to_string();
     if !options.full {
-        out = out.replace(", δ̈ = 0, butterflies = 0", " (use --full for δ̈/butterflies)");
+        out = out.replace(
+            ", δ̈ = 0, butterflies = 0",
+            " (use --full for δ̈/butterflies)",
+        );
     }
     out.push_str(&format!(
         "\nMBB half-size upper bound: {}\n",

@@ -97,8 +97,8 @@ struct JsonBiclique {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &TopkOptions) -> Result<String, String> {
-    let graph = read_edge_list_file(&options.input)
-        .map_err(|e| format!("{}: {e}", options.input))?;
+    let graph =
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
     let outcome = topk_balanced_bicliques(
         &graph,
         options.k,

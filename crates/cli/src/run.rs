@@ -34,8 +34,8 @@ pub struct Report {
 
 /// Loads the graph and runs the selected solver.
 pub fn run(options: &Options) -> Result<Report, String> {
-    let graph = read_edge_list_file(&options.input)
-        .map_err(|e| format!("{}: {e}", options.input))?;
+    let graph =
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
     let start = Instant::now();
     let (biclique, stats, timed_out, algorithm) = match options.algorithm {
         Algorithm::Hbv => {

@@ -205,7 +205,14 @@ fn top_level_help() {
     let out = mbb(&["--help"]);
     assert!(out.status.success());
     let text = stdout(&out);
-    for cmd in ["solve", "stats", "generate", "enumerate", "topk", "anchored"] {
+    for cmd in [
+        "solve",
+        "stats",
+        "generate",
+        "enumerate",
+        "topk",
+        "anchored",
+    ] {
         assert!(text.contains(cmd), "missing {cmd} in help");
     }
 }

@@ -121,9 +121,7 @@ pub fn anchored_mbb_edge(
     left_ids.extend(u_two_hop.iter().copied().filter(|&w| graph.has_edge(w, v)));
 
     let right_ids = u_neighbors;
-    let v_local = right_ids
-        .binary_search(&v)
-        .expect("v is a neighbour of u") as u32;
+    let v_local = right_ids.binary_search(&v).expect("v is a neighbour of u") as u32;
     let local = LocalGraph::induced(graph, &left_ids, &right_ids);
 
     let mut ca = BitSet::new(left_ids.len());
@@ -280,8 +278,7 @@ mod tests {
 
     #[test]
     fn pendant_edge_is_its_own_mbb() {
-        let mut edges: Vec<(u32, u32)> =
-            (0..3).flat_map(|u| (0..3).map(move |v| (u, v))).collect();
+        let mut edges: Vec<(u32, u32)> = (0..3).flat_map(|u| (0..3).map(move |v| (u, v))).collect();
         edges.push((3, 3));
         let g = BipartiteGraph::from_edges(4, 4, edges).unwrap();
         let (b, _) = anchored_mbb(&g, Vertex::left(3));

@@ -138,109 +138,123 @@ impl DenseSearcher<'_> {
     /// Exclude branches iterate in place (they only shrink one candidate
     /// set), so stack depth is bounded by the include chain — at most the
     /// half-size of the biclique being built — not by the candidate count.
-    fn recurse(&mut self, a: &mut Vec<u32>, b: &mut Vec<u32>, mut ca: BitSet, mut cb: BitSet, mut depth: u64) {
+    fn recurse(
+        &mut self,
+        a: &mut Vec<u32>,
+        b: &mut Vec<u32>,
+        mut ca: BitSet,
+        mut cb: BitSet,
+        mut depth: u64,
+    ) {
         let (a_mark, b_mark) = (a.len(), b.len());
         loop {
-        self.stats.nodes += 1;
-        self.stats.max_depth = self.stats.max_depth.max(depth);
+            self.stats.nodes += 1;
+            self.stats.max_depth = self.stats.max_depth.max(depth);
 
-        // Bounding (line 1).
-        let cap = (a.len() + ca.len()).min(b.len() + cb.len());
-        if cap <= self.best_half {
-            self.stats.bound_prunes += 1;
-            self.leaf(depth);
-            break;
-        }
-
-        // Reduction (line 2) and re-bound (line 3).
-        if self.config.use_reductions {
-            reduce_candidates(self.graph, a, b, &mut ca, &mut cb, self.best_half, &mut self.stats);
+            // Bounding (line 1).
             let cap = (a.len() + ca.len()).min(b.len() + cb.len());
             if cap <= self.best_half {
                 self.stats.bound_prunes += 1;
                 self.leaf(depth);
                 break;
             }
-        }
 
-        // One pass over both candidate sets computing missing-neighbour
-        // counts. It feeds three decisions at once: the degree-histogram
-        // bound, the Lemma 3 polynomial-case test (max missing ≤ 2) and
-        // the triviality-last branch choice (argmax missing).
-        let scan = scan_candidates(self.graph, a.len(), b.len(), &ca, &cb);
-        if scan.upper_bound <= self.best_half {
-            self.stats.bound_prunes += 1;
-            self.leaf(depth);
-            break;
-        }
-
-        // Polynomial case (lines 4–8).
-        if self.config.use_polynomial_case && scan.max_missing <= 2 {
-            if let Some(solution) =
-                dynamic_mbb(self.graph, &ca, &cb, a.len(), b.len(), &mut self.stats)
-            {
-                if solution.half() > self.best_half {
-                    let mut left = a.clone();
-                    left.extend_from_slice(&solution.chosen_left);
-                    let mut right = b.clone();
-                    right.extend_from_slice(&solution.chosen_right);
-                    self.record(left, right);
+            // Reduction (line 2) and re-bound (line 3).
+            if self.config.use_reductions {
+                reduce_candidates(
+                    self.graph,
+                    a,
+                    b,
+                    &mut ca,
+                    &mut cb,
+                    self.best_half,
+                    &mut self.stats,
+                );
+                let cap = (a.len() + ca.len()).min(b.len() + cb.len());
+                if cap <= self.best_half {
+                    self.stats.bound_prunes += 1;
+                    self.leaf(depth);
+                    break;
                 }
+            }
+
+            // One pass over both candidate sets computing missing-neighbour
+            // counts. It feeds three decisions at once: the degree-histogram
+            // bound, the Lemma 3 polynomial-case test (max missing ≤ 2) and
+            // the triviality-last branch choice (argmax missing).
+            let scan = scan_candidates(self.graph, a.len(), b.len(), &ca, &cb);
+            if scan.upper_bound <= self.best_half {
+                self.stats.bound_prunes += 1;
                 self.leaf(depth);
                 break;
             }
-        }
-        if !self.config.use_polynomial_case && ca.is_empty() && cb.is_empty() {
-            self.record(a.clone(), b.clone());
-            self.leaf(depth);
-            break;
-        }
 
-        // Branching (lines 9–15): pick the candidate missing the most
-        // neighbours (guaranteed ≥ 3 here when the polynomial case is on).
-        let (on_left, u) = if self.config.branch_max_missing {
-            debug_assert!(
-                !self.config.use_polynomial_case || scan.max_missing >= 3,
-                "polynomial case should have caught missing = {}",
-                scan.max_missing
-            );
-            (scan.argmax_on_left, scan.argmax_vertex)
-        } else {
-            // bd3: naive first-candidate branching.
-            match ca.first() {
-                Some(u) => (true, u as u32),
-                None => (false, cb.first().expect("cb non-empty") as u32),
+            // Polynomial case (lines 4–8).
+            if self.config.use_polynomial_case && scan.max_missing <= 2 {
+                if let Some(solution) =
+                    dynamic_mbb(self.graph, &ca, &cb, a.len(), b.len(), &mut self.stats)
+                {
+                    if solution.half() > self.best_half {
+                        let mut left = a.clone();
+                        left.extend_from_slice(&solution.chosen_left);
+                        let mut right = b.clone();
+                        right.extend_from_slice(&solution.chosen_right);
+                        self.record(left, right);
+                    }
+                    self.leaf(depth);
+                    break;
+                }
             }
-        };
+            if !self.config.use_polynomial_case && ca.is_empty() && cb.is_empty() {
+                self.record(a.clone(), b.clone());
+                self.leaf(depth);
+                break;
+            }
 
-        if on_left {
-            // Include u (recursive branch).
-            let mut ca_inc = ca.clone();
-            ca_inc.remove(u as usize);
-            let mut cb_inc = cb.clone();
-            cb_inc.intersect_with(self.graph.left_row(u));
-            a.push(u);
-            self.recurse(a, b, ca_inc, cb_inc, depth + 1);
-            a.pop();
-            // Exclude u: continue iterating in place.
-            ca.remove(u as usize);
-        } else {
-            let mut cb_inc = cb.clone();
-            cb_inc.remove(u as usize);
-            let mut ca_inc = ca.clone();
-            ca_inc.intersect_with(self.graph.right_row(u));
-            b.push(u);
-            self.recurse(a, b, ca_inc, cb_inc, depth + 1);
-            b.pop();
-            cb.remove(u as usize);
-        }
-        depth += 1;
+            // Branching (lines 9–15): pick the candidate missing the most
+            // neighbours (guaranteed ≥ 3 here when the polynomial case is on).
+            let (on_left, u) = if self.config.branch_max_missing {
+                debug_assert!(
+                    !self.config.use_polynomial_case || scan.max_missing >= 3,
+                    "polynomial case should have caught missing = {}",
+                    scan.max_missing
+                );
+                (scan.argmax_on_left, scan.argmax_vertex)
+            } else {
+                // bd3: naive first-candidate branching.
+                match ca.first() {
+                    Some(u) => (true, u as u32),
+                    None => (false, cb.first().expect("cb non-empty") as u32),
+                }
+            };
+
+            if on_left {
+                // Include u (recursive branch).
+                let mut ca_inc = ca.clone();
+                ca_inc.remove(u as usize);
+                let mut cb_inc = cb.clone();
+                cb_inc.intersect_with(self.graph.left_row(u));
+                a.push(u);
+                self.recurse(a, b, ca_inc, cb_inc, depth + 1);
+                a.pop();
+                // Exclude u: continue iterating in place.
+                ca.remove(u as usize);
+            } else {
+                let mut cb_inc = cb.clone();
+                cb_inc.remove(u as usize);
+                let mut ca_inc = ca.clone();
+                ca_inc.intersect_with(self.graph.right_row(u));
+                b.push(u);
+                self.recurse(a, b, ca_inc, cb_inc, depth + 1);
+                b.pop();
+                cb.remove(u as usize);
+            }
+            depth += 1;
         }
 
         a.truncate(a_mark);
         b.truncate(b_mark);
     }
-
 }
 
 /// Result of the per-node candidate scan.
@@ -444,15 +458,7 @@ mod tests {
             s.insert(0); // only N(L0)
             s
         };
-        let (b, _) = dense_mbb_seeded(
-            &g,
-            vec![0],
-            vec![],
-            ca,
-            cb,
-            0,
-            DenseConfig::default(),
-        );
+        let (b, _) = dense_mbb_seeded(&g, vec![0], vec![], ca, cb, 0, DenseConfig::default());
         assert_eq!(b.half(), 1);
         assert!(b.left.contains(&0));
     }

@@ -131,7 +131,7 @@ struct Enumerator<'g, F> {
 impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
     fn out_of_time(&mut self) -> bool {
         self.ticks += 1;
-        if self.ticks % 256 == 0 {
+        if self.ticks.is_multiple_of(256) {
             if let Some(deadline) = self.deadline {
                 if std::time::Instant::now() >= deadline {
                     self.stopped = true;
@@ -180,8 +180,7 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             // (and everything below it) has already been reported from the
             // branch that included that vertex.
             let dominated = excluded.iter().any(|&q| {
-                sorted_intersection_len(self.graph.neighbors_right(q), &new_left)
-                    == new_left.len()
+                sorted_intersection_len(self.graph.neighbors_right(q), &new_left) == new_left.len()
             });
             if dominated {
                 excluded.insert(excluded.binary_search(&x).unwrap_err(), x);
@@ -194,8 +193,7 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             new_right.insert(new_right.binary_search(&x).unwrap_err(), x);
             let mut new_cand = Vec::with_capacity(cand.len());
             for &v in &cand {
-                let overlap =
-                    sorted_intersection_len(self.graph.neighbors_right(v), &new_left);
+                let overlap = sorted_intersection_len(self.graph.neighbors_right(v), &new_left);
                 if overlap == new_left.len() {
                     new_right.insert(new_right.binary_search(&v).unwrap_err(), v);
                 } else if overlap > 0 {
@@ -207,9 +205,7 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             // expansion above plus the excluded-set check, left-maximal
             // because new_left already holds *all* common neighbours.
             self.visited += 1;
-            if new_left.len() >= self.config.min_left
-                && new_right.len() >= self.config.min_right
-            {
+            if new_left.len() >= self.config.min_left && new_right.len() >= self.config.min_right {
                 let found = MaximalBiclique {
                     left: new_left.clone(),
                     right: new_right.clone(),
@@ -229,9 +225,7 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             let new_excluded: Vec<u32> = excluded
                 .iter()
                 .copied()
-                .filter(|&q| {
-                    sorted_intersection_len(self.graph.neighbors_right(q), &new_left) > 0
-                })
+                .filter(|&q| sorted_intersection_len(self.graph.neighbors_right(q), &new_left) > 0)
                 .collect();
             if !new_cand.is_empty() {
                 self.expand(&new_left, &new_right, &new_cand, &new_excluded);
@@ -341,10 +335,8 @@ pub fn all_maximal_bicliques(
 
 /// Counts maximal bicliques (both sides non-empty) without storing them.
 pub fn count_maximal_bicliques(graph: &BipartiteGraph) -> u64 {
-    enumerate_maximal_bicliques(graph, &EnumConfig::default(), |_| {
-        ControlFlow::Continue(())
-    })
-    .reported
+    enumerate_maximal_bicliques(graph, &EnumConfig::default(), |_| ControlFlow::Continue(()))
+        .reported
 }
 
 #[cfg(test)]
@@ -375,9 +367,7 @@ mod tests {
             }
             // Close the right side: all right vertices adjacent to all of a.
             let closed_b: Vec<u32> = (0..nr as u32)
-                .filter(|&v| {
-                    sorted_intersection_len(graph.neighbors_right(v), &a) == a.len()
-                })
+                .filter(|&v| sorted_intersection_len(graph.neighbors_right(v), &a) == a.len())
                 .collect();
             out.insert((a, closed_b));
         }
@@ -573,11 +563,7 @@ mod tests {
         .unwrap();
         let got = enumerated_set(&g);
         assert!(got.contains(&(vec![2, 3, 4], vec![2, 3])));
-        let best = got
-            .iter()
-            .map(|(a, b)| a.len().min(b.len()))
-            .max()
-            .unwrap();
+        let best = got.iter().map(|(a, b)| a.len().min(b.len())).max().unwrap();
         assert_eq!(best, 2);
     }
 }

@@ -78,7 +78,12 @@ where
 /// (not only those where it is minimal): scope = `{root} ∪ N2(root)`,
 /// right side ⊆ `N(root)`. Useful for per-entity reports without paying
 /// for the whole graph.
-pub fn enumerate_through_vertex<F>(graph: &BipartiteGraph, root: u32, config: &EnumConfig, mut visit: F) -> EnumOutcome
+pub fn enumerate_through_vertex<F>(
+    graph: &BipartiteGraph,
+    root: u32,
+    config: &EnumConfig,
+    mut visit: F,
+) -> EnumOutcome
 where
     F: FnMut(&MaximalBiclique) -> ControlFlow<()>,
 {
@@ -123,7 +128,7 @@ struct ScopedState<'g> {
 impl ScopedState<'_> {
     fn out_of_time(&mut self) -> bool {
         self.ticks += 1;
-        if self.ticks % 256 == 0 {
+        if self.ticks.is_multiple_of(256) {
             if let Some(deadline) = self.deadline {
                 if std::time::Instant::now() >= deadline {
                     self.stopped = true;
@@ -195,13 +200,11 @@ impl ScopedState<'_> {
             let right_closed = (0..self.graph.num_right() as u32)
                 .filter(|v| right.binary_search(v).is_err())
                 .all(|v| {
-                    sorted_intersection_len(self.graph.neighbors_right(v), &closure)
-                        < closure.len()
+                    sorted_intersection_len(self.graph.neighbors_right(v), &closure) < closure.len()
                 });
             if right_closed {
                 self.visited += 1;
-                if closure.len() >= self.config.min_left && right.len() >= self.config.min_right
-                {
+                if closure.len() >= self.config.min_left && right.len() >= self.config.min_right {
                     let found = MaximalBiclique {
                         left: closure.clone(),
                         right: right.clone(),
@@ -238,8 +241,7 @@ impl ScopedState<'_> {
             // adjacency under new_right, this sub-biclique was enumerated
             // when that vertex was chosen.
             let dominated = excluded.iter().any(|&q| {
-                sorted_intersection_len(self.graph.neighbors_left(q), &new_right)
-                    == new_right.len()
+                sorted_intersection_len(self.graph.neighbors_left(q), &new_right) == new_right.len()
             });
             if dominated {
                 excluded.push(w);
@@ -288,11 +290,7 @@ mod tests {
             let (consensus, c1) = all_maximal_bicliques(&g, &EnumConfig::default());
             let (scoped, c2) = all_maximal_bicliques_scoped(&g, &EnumConfig::default());
             assert!(c1 && c2);
-            assert_eq!(
-                scoped.len(),
-                consensus.len(),
-                "count mismatch, seed {seed}"
-            );
+            assert_eq!(scoped.len(), consensus.len(), "count mismatch, seed {seed}");
             assert_eq!(as_set(&scoped), as_set(&consensus), "seed {seed}");
         }
     }
@@ -350,7 +348,9 @@ mod tests {
             ..EnumConfig::default()
         };
         let (filtered, _) = all_maximal_bicliques_scoped(&g, &config);
-        assert!(filtered.iter().all(|b| b.left.len() >= 2 && b.right.len() >= 2));
+        assert!(filtered
+            .iter()
+            .all(|b| b.left.len() >= 2 && b.right.len() >= 2));
         let config = EnumConfig {
             max_results: Some(2),
             ..EnumConfig::default()

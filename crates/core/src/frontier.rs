@@ -52,10 +52,8 @@ impl SizeFrontier {
             ..EnumConfig::default()
         };
         let (all, complete) = all_maximal_bicliques(graph, &config);
-        let mut pairs: Vec<(usize, usize)> = all
-            .iter()
-            .map(|b| (b.left.len(), b.right.len()))
-            .collect();
+        let mut pairs: Vec<(usize, usize)> =
+            all.iter().map(|b| (b.left.len(), b.right.len())).collect();
         pairs.sort_unstable();
         pairs.dedup();
         // Pareto filter: sorted by (a, b) ascending, scan from the right
@@ -85,11 +83,7 @@ impl SizeFrontier {
 
     /// The MBB half-size: the balanced corner `max min(a, b)`.
     pub fn mbb_half(&self) -> usize {
-        self.pairs
-            .iter()
-            .map(|&(a, b)| a.min(b))
-            .max()
-            .unwrap_or(0)
+        self.pairs.iter().map(|&(a, b)| a.min(b)).max().unwrap_or(0)
     }
 
     /// The maximum-edge corner `max a·b` (the MEB objective).
@@ -182,10 +176,18 @@ mod tests {
         // One past the frontier in each coordinate must be infeasible.
         for &(a, b) in &f.pairs {
             if !f.is_feasible(a + 1, b) {
-                assert!(find_size_constrained(&g, a + 1, b).is_none(), "({},{b})", a + 1);
+                assert!(
+                    find_size_constrained(&g, a + 1, b).is_none(),
+                    "({},{b})",
+                    a + 1
+                );
             }
             if !f.is_feasible(a, b + 1) {
-                assert!(find_size_constrained(&g, a, b + 1).is_none(), "({a},{})", b + 1);
+                assert!(
+                    find_size_constrained(&g, a, b + 1).is_none(),
+                    "({a},{})",
+                    b + 1
+                );
             }
         }
     }

@@ -197,11 +197,7 @@ pub fn hmbb(graph: &BipartiteGraph, seeds: usize, use_reduction: bool) -> HmbbOu
     let local_best = greedy_balanced(&reduced.graph, &core_score, seeds);
     if local_best.half_size() > best.half_size() {
         best = map_to_parent(&local_best, &reduced);
-        let rereduced = reduce_to_core(
-            &reduced.graph,
-            &cores_reduced,
-            best.half_size() as u32 + 1,
-        );
+        let rereduced = reduce_to_core(&reduced.graph, &cores_reduced, best.half_size() as u32 + 1);
         // Compose the two reductions' id maps.
         let composed = InducedSubgraph {
             left_ids: rereduced

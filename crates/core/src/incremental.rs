@@ -80,9 +80,7 @@ impl IncrementalMbb {
             // Deletion can break the cached biclique; drop it eagerly if
             // the removed edge spans two cached vertices.
             if let Some(cached) = &self.cached {
-                if cached.left.binary_search(&u).is_ok()
-                    && cached.right.binary_search(&v).is_ok()
-                {
+                if cached.left.binary_search(&u).is_ok() && cached.right.binary_search(&v).is_ok() {
                     self.cached = None;
                 }
             }
@@ -206,11 +204,7 @@ mod tests {
             }
             let fresh = solve_mbb(&inc.snapshot());
             let warm = inc.solve();
-            assert_eq!(
-                warm.biclique.half_size(),
-                fresh.half_size(),
-                "step {step}"
-            );
+            assert_eq!(warm.biclique.half_size(), fresh.half_size(), "step {step}");
         }
     }
 

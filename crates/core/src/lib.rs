@@ -57,11 +57,11 @@ pub mod reduce;
 pub mod size_constrained;
 pub mod solver;
 pub mod stats;
-pub mod topk;
-pub mod weighted;
 #[cfg(test)]
 pub(crate) mod testutil;
+pub mod topk;
 pub mod verify;
+pub mod weighted;
 
 pub use biclique::Biclique;
 pub use enumerate::{enumerate_maximal_bicliques, EnumConfig, MaximalBiclique};

@@ -54,7 +54,7 @@ pub fn maximal_instances(component: &Component) -> Vec<(usize, usize)> {
             out
         }
         ComponentKind::Cycle => {
-            debug_assert!(p >= 4 && p % 2 == 0);
+            debug_assert!(p >= 4 && p.is_multiple_of(2));
             let half = p / 2;
             let mut out = vec![translate(half, 0), translate(0, half)];
             if p > 4 {
@@ -86,13 +86,25 @@ pub fn realize_instance(
     };
     match component.kind {
         ComponentKind::OddPath | ComponentKind::EvenPath => {
-            realize_on_path(&component.vertices, need_even, need_odd, out_left, out_right);
+            realize_on_path(
+                &component.vertices,
+                need_even,
+                need_odd,
+                out_left,
+                out_right,
+            );
         }
         ComponentKind::Cycle => {
             let m = component.vertices.len();
             if need_odd == 0 || need_even == 0 {
                 // All-evens or all-odds are independent in an even cycle.
-                realize_on_path(&component.vertices, need_even, need_odd, out_left, out_right);
+                realize_on_path(
+                    &component.vertices,
+                    need_even,
+                    need_odd,
+                    out_left,
+                    out_right,
+                );
             } else {
                 // Mixed: cut the cycle by dropping the last vertex; the
                 // remaining path has p/2 even and p/2 − 1 odd positions,
@@ -124,7 +136,7 @@ fn realize_on_path(
     let odd_count = m / 2;
     assert!(need_even <= even_count && need_odd <= odd_count);
     if need_even > 0 && need_odd > 0 {
-        let last_odd = if m % 2 == 0 { m - 1 } else { m - 2 };
+        let last_odd = if m.is_multiple_of(2) { m - 1 } else { m - 2 };
         let smallest_taken_odd = last_odd - 2 * (need_odd - 1);
         let largest_taken_even = 2 * (need_even - 1);
         assert!(
@@ -143,7 +155,7 @@ fn realize_on_path(
     for k in 0..need_even {
         push(2 * k);
     }
-    let last_odd = if m % 2 == 0 { m - 1 } else { m - 2 };
+    let last_odd = if m.is_multiple_of(2) { m - 1 } else { m - 2 };
     for k in 0..need_odd {
         push(last_odd - 2 * k);
     }
@@ -313,7 +325,7 @@ mod tests {
     }
 
     fn make_cycle(len: usize) -> Component {
-        assert!(len >= 4 && len % 2 == 0);
+        assert!(len >= 4 && len.is_multiple_of(2));
         let vertices = (0..len)
             .map(|i| {
                 if i % 2 == 0 {
@@ -470,7 +482,11 @@ mod tests {
                     .collect();
                 let m = chosen.len();
                 for i in 0..m - 1 {
-                    assert!(!(chosen[i] && chosen[i + 1]), "{:?} ({a},{b}) pos {i}", c.kind);
+                    assert!(
+                        !(chosen[i] && chosen[i + 1]),
+                        "{:?} ({a},{b}) pos {i}",
+                        c.kind
+                    );
                 }
                 if c.kind == ComponentKind::Cycle {
                     assert!(!(chosen[m - 1] && chosen[0]), "{:?} wrap ({a},{b})", c.kind);
@@ -542,9 +558,7 @@ mod tests {
             let mut removed = std::collections::HashSet::new();
             for _ in 0..rng.gen_range(0..=nl * nr / 2) {
                 let &(u, v) = &edges[rng.gen_range(0..edges.len())];
-                if missing_l[u as usize] < 2
-                    && missing_r[v as usize] < 2
-                    && removed.insert((u, v))
+                if missing_l[u as usize] < 2 && missing_r[v as usize] < 2 && removed.insert((u, v))
                 {
                     missing_l[u as usize] += 1;
                     missing_r[v as usize] += 1;

@@ -119,10 +119,7 @@ pub fn find_size_constrained(
     let common = BitSet::full(local.num_right());
     let witness = search(&local, &mut chosen, &common, &candidates, a, b)?;
     let (left_local, right_local) = witness;
-    let mut left: Vec<u32> = left_local
-        .iter()
-        .map(|&u| reduced.parent_left(u))
-        .collect();
+    let mut left: Vec<u32> = left_local.iter().map(|&u| reduced.parent_left(u)).collect();
     let mut right: Vec<u32> = right_local
         .iter()
         .map(|&v| reduced.parent_right(v))

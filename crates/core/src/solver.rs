@@ -157,11 +157,7 @@ impl MbbSolver {
         // ---- Step 1: heuristic + reduction (Algorithm 5). ----
         let stage1_start = Instant::now();
         let (mut best, reduced) = if config.use_heuristic_stage {
-            let outcome = hmbb(
-                graph,
-                config.heuristic_seeds,
-                config.use_core_optimizations,
-            );
+            let outcome = hmbb(graph, config.heuristic_seeds, config.use_core_optimizations);
             stats.degeneracy = outcome.degeneracy;
             if outcome.proven_optimal
                 && config.use_core_optimizations
@@ -194,7 +190,10 @@ impl MbbSolver {
             stats.stage = Stage::S1;
             stats.heuristic_local_half = best.half_size();
             stats.optimum_half = best.half_size();
-            return SolveResult { biclique: best, stats };
+            return SolveResult {
+                biclique: best,
+                stats,
+            };
         }
 
         // ---- Step 2: bridge to maximality (Algorithms 6 and 7). ----
@@ -233,7 +232,10 @@ impl MbbSolver {
         if bridged.survivors.is_empty() {
             stats.stage = Stage::S2;
             stats.optimum_half = best.half_size();
-            return SolveResult { biclique: best, stats };
+            return SolveResult {
+                biclique: best,
+                stats,
+            };
         }
 
         // ---- Step 3: maximality verification (Algorithm 8). ----
@@ -264,7 +266,10 @@ impl MbbSolver {
         stats.stage = Stage::S3;
         stats.optimum_half = best.half_size();
         stats.stage_seconds[2] = stage3_start.elapsed().as_secs_f64();
-        SolveResult { biclique: best, stats }
+        SolveResult {
+            biclique: best,
+            stats,
+        }
     }
 }
 

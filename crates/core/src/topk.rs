@@ -135,7 +135,10 @@ mod tests {
     fn brute_topk(graph: &BipartiteGraph, k: usize) -> Vec<MaximalBiclique> {
         let (all, complete) = all_maximal_bicliques(graph, &EnumConfig::default());
         assert!(complete);
-        let mut ranked: Vec<Ranked> = all.into_iter().map(|biclique| Ranked { biclique }).collect();
+        let mut ranked: Vec<Ranked> = all
+            .into_iter()
+            .map(|biclique| Ranked { biclique })
+            .collect();
         ranked.sort_by(|x, y| y.cmp(x));
         ranked.truncate(k);
         ranked.into_iter().map(|r| r.biclique).collect()

@@ -147,7 +147,14 @@ impl WeightedSearcher<'_> {
             .fold(0u64, |acc, &w| acc.saturating_add(w))
     }
 
-    fn recurse(&mut self, a: &mut Vec<u32>, b: &mut Vec<u32>, mut ca: BitSet, mut cb: BitSet, mut depth: u64) {
+    fn recurse(
+        &mut self,
+        a: &mut Vec<u32>,
+        b: &mut Vec<u32>,
+        mut ca: BitSet,
+        mut cb: BitSet,
+        mut depth: u64,
+    ) {
         loop {
             self.stats.nodes += 1;
             self.stats.max_depth = self.stats.max_depth.max(depth);
@@ -318,11 +325,7 @@ mod tests {
     fn prefers_heavier_vertices_within_a_block() {
         // Complete 3×3; only 2×2 fits the weights' interest: all complete,
         // so the optimum is the full 3×3 with every weight.
-        let g = LocalGraph::from_edges(
-            3,
-            3,
-            (0..3).flat_map(|u| (0..3).map(move |v| (u, v))),
-        );
+        let g = LocalGraph::from_edges(3, 3, (0..3).flat_map(|u| (0..3).map(move |v| (u, v))));
         let (found, _) = weighted_mbb_local(&g, &[3, 1, 2], &[1, 5, 1]);
         assert_eq!(found.weight, 3 + 1 + 2 + 1 + 5 + 1);
         assert_eq!(found.left.len(), 3);

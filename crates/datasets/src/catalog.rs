@@ -74,17 +74,45 @@ pub fn catalog() -> &'static [DatasetSpec] {
         spec("dbpedia-occupation", 127_577, 101_730, 0.019, 6, None),
         spec("dbpedia-genre", 258_934, 7_783, 0.230, 7, None),
         spec("discogs-lgenre", 270_771, 15, 1021.2, 15, None),
-        spec("bookcrossing-full-rating", 105_278, 340_523, 0.032, 13, Some(4)),
-        spec("flickr-groupmemberships", 395_979, 103_631, 0.208, 47, Some(5)),
+        spec(
+            "bookcrossing-full-rating",
+            105_278,
+            340_523,
+            0.032,
+            13,
+            Some(4),
+        ),
+        spec(
+            "flickr-groupmemberships",
+            395_979,
+            103_631,
+            0.208,
+            47,
+            Some(5),
+        ),
         spec("actor-movie", 127_823, 383_640, 0.030, 8, Some(6)),
-        spec("stackexchange-stackoverflow", 545_196, 96_680, 0.025, 9, Some(7)),
+        spec(
+            "stackexchange-stackoverflow",
+            545_196,
+            96_680,
+            0.025,
+            9,
+            Some(7),
+        ),
         spec("bibsonomy-2ui", 5_794, 767_447, 0.575, 8, None),
         spec("dbpedia-team", 901_166, 34_461, 0.044, 6, None),
         spec("reuters", 781_265, 283_911, 0.273, 51, Some(8)),
         spec("discogs-style", 1_617_943, 383, 38.868, 42, Some(9)),
         spec("gottron-trec", 556_077, 1_173_225, 0.128, 101, Some(10)),
         spec("edit-frwiktionary", 5_017, 1_907_247, 0.773, 19, None),
-        spec("discogs-affiliation", 1_754_823, 270_771, 0.030, 26, Some(11)),
+        spec(
+            "discogs-affiliation",
+            1_754_823,
+            270_771,
+            0.030,
+            26,
+            Some(11),
+        ),
         spec("wiki-en-cat", 1_853_493, 182_947, 0.011, 14, None),
         spec("edit-dewiki", 425_842, 3_195_148, 0.042, 49, Some(12)),
         spec("dblp-author", 1_425_813, 4_000, 0.002, 10, None),
@@ -94,8 +122,10 @@ pub fn catalog() -> &'static [DatasetSpec] {
 
 /// The 12 tough datasets in Table 6 top-down order (D1–D12).
 pub fn tough_datasets() -> Vec<&'static DatasetSpec> {
-    let mut tough: Vec<&'static DatasetSpec> =
-        catalog().iter().filter(|s| s.tough_rank.is_some()).collect();
+    let mut tough: Vec<&'static DatasetSpec> = catalog()
+        .iter()
+        .filter(|s| s.tough_rank.is_some())
+        .collect();
     tough.sort_by_key(|s| s.tough_rank);
     tough
 }

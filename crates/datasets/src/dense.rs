@@ -50,16 +50,28 @@ mod tests {
     fn grid_covers_full_table() {
         let grid = table4_grid();
         assert_eq!(grid.len(), 30);
-        assert_eq!(grid[0], DenseCell { side: 128, density: 0.70 });
+        assert_eq!(
+            grid[0],
+            DenseCell {
+                side: 128,
+                density: 0.70
+            }
+        );
         assert_eq!(
             *grid.last().unwrap(),
-            DenseCell { side: 2048, density: 0.95 }
+            DenseCell {
+                side: 2048,
+                density: 0.95
+            }
         );
     }
 
     #[test]
     fn instances_match_cell_parameters() {
-        let cell = DenseCell { side: 64, density: 0.8 };
+        let cell = DenseCell {
+            side: 64,
+            density: 0.8,
+        };
         let g = cell.instance(0);
         assert_eq!(g.num_left(), 64);
         assert_eq!(g.num_right(), 64);
@@ -68,18 +80,21 @@ mod tests {
 
     #[test]
     fn different_reps_differ() {
-        let cell = DenseCell { side: 32, density: 0.75 };
+        let cell = DenseCell {
+            side: 32,
+            density: 0.75,
+        };
         let a = cell.instance(0);
         let b = cell.instance(1);
-        assert_ne!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_ne!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 
     #[test]
     fn same_rep_is_deterministic() {
-        let cell = DenseCell { side: 32, density: 0.9 };
+        let cell = DenseCell {
+            side: 32,
+            density: 0.9,
+        };
         assert_eq!(
             cell.instance(5).edges().collect::<Vec<_>>(),
             cell.instance(5).edges().collect::<Vec<_>>()

@@ -88,11 +88,17 @@ pub fn stand_in(spec: &'static DatasetSpec, caps: ScaleCaps, seed: u64) -> Stand
     // (|R| = 383, optimum = 42) have optima spanning most of the small
     // side, which uniform scaling would destroy. The edge count is capped
     // instead when the floored sides would exceed the budget.
-    let floor = (2 * spec.optimum as u64 + 16).min(spec.left).min(spec.right) as u32;
-    let left = ((spec.left as f64 * scale).round() as u32).max(floor.min(spec.left as u32)).max(2);
-    let right = ((spec.right as f64 * scale).round() as u32).max(floor.min(spec.right as u32)).max(2);
-    let edges = ((left as f64 * right as f64 * density).round() as usize)
-        .min(caps.max_edges as usize);
+    let floor = (2 * spec.optimum as u64 + 16)
+        .min(spec.left)
+        .min(spec.right) as u32;
+    let left = ((spec.left as f64 * scale).round() as u32)
+        .max(floor.min(spec.left as u32))
+        .max(2);
+    let right = ((spec.right as f64 * scale).round() as u32)
+        .max(floor.min(spec.right as u32))
+        .max(2);
+    let edges =
+        ((left as f64 * right as f64 * density).round() as usize).min(caps.max_edges as usize);
 
     let planted_half = planted_half_for(spec, left, right);
 
@@ -184,7 +190,9 @@ fn plant_structured(base: &BipartiteGraph, half: u32, tough: bool, seed: u64) ->
     if tough && half >= 6 {
         let m = (2 * half + 8).min(nl / 4).min(nr / 4).max(2);
         let k = half as f64;
-        let p = (-(2.77 * k + 20.0) / ((k + 1.0) * (k + 1.0))).exp().clamp(0.45, 0.8);
+        let p = (-(2.77 * k + 20.0) / ((k + 1.0) * (k + 1.0)))
+            .exp()
+            .clamp(0.45, 0.8);
         let lb = 2 * nl / 3;
         let rb = 2 * nr / 3;
         if lb + m <= nl && rb + m <= nr {

@@ -28,8 +28,7 @@ fn main() {
         },
         2024,
     );
-    let (expression, module_genes, module_conditions) =
-        plant_balanced_biclique(&background, 12);
+    let (expression, module_genes, module_conditions) = plant_balanced_biclique(&background, 12);
 
     println!(
         "expression graph: {} genes x {} conditions, {} events",

@@ -55,7 +55,10 @@ fn main() {
             community.balanced_size()
         );
     }
-    assert!(top.bicliques[0].balanced_size() >= 8, "planted community found");
+    assert!(
+        top.bicliques[0].balanced_size() >= 8,
+        "planted community found"
+    );
 
     // --- Question 2: the community of one specific user. ---
     let user = first_users[0];

@@ -1,0 +1,12 @@
+//! Carrier crate for the runnable examples in this directory.
+//!
+//! The interesting code is in the example targets, not here:
+//!
+//! ```text
+//! cargo run -p mbb-examples --example quickstart
+//! cargo run -p mbb-examples --example biological_biclustering
+//! cargo run -p mbb-examples --example dataset_explorer
+//! cargo run -p mbb-examples --example recommendation_topk
+//! cargo run -p mbb-examples --example streaming_updates
+//! cargo run -p mbb-examples --example vlsi_defect_tolerance
+//! ```

@@ -76,6 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Warm restarts are exact: compare against a cold solve.
     let cold = mbb_core::solve_mbb(&tracker.snapshot());
     assert_eq!(cold.half_size(), final_result.biclique.half_size());
-    println!("warm-started result matches cold solve: {}x{}", cold.half_size(), cold.half_size());
+    println!(
+        "warm-started result matches cold solve: {}x{}",
+        cold.half_size(),
+        cold.half_size()
+    );
     Ok(())
 }

@@ -18,7 +18,10 @@ use mbb_core::dense_mbb_graph;
 fn main() {
     println!("defect-tolerant crossbar mapping via denseMBB");
     println!("fabric: 40x40 crossbar, defect rates 10%..35%\n");
-    println!("{:<12} {:>10} {:>16} {:>12}", "defect rate", "usable k", "fabric util.", "time");
+    println!(
+        "{:<12} {:>10} {:>16} {:>12}",
+        "defect rate", "usable k", "fabric util.", "time"
+    );
 
     for defect_percent in [10u32, 15, 20, 25, 30, 35] {
         let working_rate = 1.0 - defect_percent as f64 / 100.0;

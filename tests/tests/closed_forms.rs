@@ -22,7 +22,13 @@ fn complete_minus_matching(m: u32, n: u32) -> BipartiteGraph {
 
 /// Alternating path with `k` edges: L0-R0-L1-R1-…
 fn path(k: u32) -> BipartiteGraph {
-    let edges = (0..k).map(|i| if i % 2 == 0 { (i / 2, i / 2) } else { (i / 2 + 1, i / 2) });
+    let edges = (0..k).map(|i| {
+        if i % 2 == 0 {
+            (i / 2, i / 2)
+        } else {
+            (i / 2 + 1, i / 2)
+        }
+    });
     let nl = k / 2 + 1;
     let nr = k.div_ceil(2);
     BipartiteGraph::from_edges(nl, nr, edges).unwrap()
@@ -53,8 +59,7 @@ fn complete_bipartite_formulas() {
         let (all, _) = all_maximal_bicliques(&g, &EnumConfig::default());
         assert_eq!(all.len(), 1);
         // C(m,2) · C(n,2) butterflies.
-        let expected =
-            (m as u64 * (m as u64 - 1) / 2) * (n as u64 * (n as u64 - 1) / 2);
+        let expected = (m as u64 * (m as u64 - 1) / 2) * (n as u64 * (n as u64 - 1) / 2);
         assert_eq!(count_butterflies(&g), expected);
         // Frontier is the single point (m, n).
         let f = SizeFrontier::of(&g, None);
@@ -76,7 +81,11 @@ fn crown_graph_formulas() {
         assert_eq!(solve_mbb(&g).half_size(), (n / 2) as usize, "crown {n}");
         let pairs = n as u64 * (n as u64 - 1) / 2;
         let c = n as u64 - 2;
-        assert_eq!(count_butterflies(&g), pairs * (c * (c - 1) / 2), "crown {n}");
+        assert_eq!(
+            count_butterflies(&g),
+            pairs * (c * (c - 1) / 2),
+            "crown {n}"
+        );
     }
 }
 
@@ -122,7 +131,12 @@ fn cycles_formulas() {
         assert_eq!(solve_mbb(&g).half_size(), 1, "C_{}", 2 * k);
         assert_eq!(count_butterflies(&g), 0);
         let (all, _) = all_maximal_bicliques(&g, &EnumConfig::default());
-        assert_eq!(all.len(), 2 * k as usize, "C_{}: one star per vertex", 2 * k);
+        assert_eq!(
+            all.len(),
+            2 * k as usize,
+            "C_{}: one star per vertex",
+            2 * k
+        );
         // Every vertex has degree 2, so the core number is 2 everywhere.
         assert_eq!(core_decomposition(&g).degeneracy, 2);
     }
@@ -182,12 +196,8 @@ fn grid_graph_formulas() {
     // the generator path instead with an explicit bipartite grid
     // (incidence of a 4-cycle chain): C4 chain glued edge-to-edge.
     // Two glued C4s share two vertices; the MBB is still 2×2.
-    let g = BipartiteGraph::from_edges(
-        3,
-        2,
-        [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)],
-    )
-    .unwrap();
+    let g =
+        BipartiteGraph::from_edges(3, 2, [(0, 0), (0, 1), (1, 0), (1, 1), (2, 0), (2, 1)]).unwrap();
     // This is K(3,2): half = 2, frontier (3,2).
     assert_eq!(solve_mbb(&g).half_size(), 2);
     assert_eq!(SizeFrontier::of(&g, None).pairs, vec![(3, 2)]);

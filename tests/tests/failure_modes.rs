@@ -10,10 +10,7 @@ fn empty_graph_is_handled_by_everything() {
     let g = BipartiteGraph::from_edges(0, 0, []).unwrap();
     assert_eq!(solve_mbb(&g).half_size(), 0);
     assert_eq!(mbb_core::dense_mbb_graph(&g).biclique.half_size(), 0);
-    assert_eq!(
-        mbb_baselines::ext_bbclq(&g, None).biclique.half_size(),
-        0
-    );
+    assert_eq!(mbb_baselines::ext_bbclq(&g, None).biclique.half_size(), 0);
     assert_eq!(
         mbb_bigraph::bicore::bicore_decomposition(&g).bidegeneracy,
         0

@@ -105,7 +105,10 @@ fn bidegeneracy_order_gives_smallest_total() {
             wins += 1;
         }
     }
-    assert!(wins >= 4, "bidegeneracy won only {wins}/5 against degree order");
+    assert!(
+        wins >= 4,
+        "bidegeneracy won only {wins}/5 against degree order"
+    );
 }
 
 #[test]
@@ -131,8 +134,7 @@ fn bidegeneracy_much_smaller_than_dmax_after_reduction() {
         // a few hundreds" holds. On the raw graph a single hub star already
         // forces δ̈ ≈ d_max.
         let outcome = mbb_core::heuristic::hmbb(&g, 8, true);
-        let bidegeneracy =
-            bicore_decomposition(&outcome.reduced.graph).bidegeneracy as usize;
+        let bidegeneracy = bicore_decomposition(&outcome.reduced.graph).bidegeneracy as usize;
         assert!(
             bidegeneracy * 2 < dmax,
             "seed {seed}: δ̈(G') = {bidegeneracy} not ≪ d_max = {dmax}"

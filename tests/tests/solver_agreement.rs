@@ -8,10 +8,7 @@ use mbb_core::{dense_mbb_graph, MbbSolver, SolverConfig};
 
 fn all_exact_halves(graph: &mbb_bigraph::BipartiteGraph) -> Vec<(String, usize)> {
     let mut results = Vec::new();
-    results.push((
-        "brute".to_string(),
-        brute_force_mbb(graph).half_size(),
-    ));
+    results.push(("brute".to_string(), brute_force_mbb(graph).half_size()));
     results.push((
         "hbvMBB".to_string(),
         MbbSolver::new().solve(graph).biclique.half_size(),
@@ -107,12 +104,10 @@ fn agreement_on_structured_graphs() {
     // Complete graph.
     assert_agreement(&generators::complete(6, 6), "complete 6x6");
     // Star.
-    let star =
-        mbb_bigraph::BipartiteGraph::from_edges(1, 10, (0..10).map(|v| (0, v))).unwrap();
+    let star = mbb_bigraph::BipartiteGraph::from_edges(1, 10, (0..10).map(|v| (0, v))).unwrap();
     assert_agreement(&star, "star");
     // Perfect matching (disjoint edges).
-    let matching =
-        mbb_bigraph::BipartiteGraph::from_edges(8, 8, (0..8).map(|i| (i, i))).unwrap();
+    let matching = mbb_bigraph::BipartiteGraph::from_edges(8, 8, (0..8).map(|i| (i, i))).unwrap();
     assert_agreement(&matching, "matching");
     // Planted biclique in noise.
     let g = generators::uniform_edges(12, 12, 30, 3);

@@ -1,0 +1,223 @@
+//! Vendored minimal stand-in for the [`criterion`] benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, `sample_size`,
+//! `iter` and the `criterion_group!` / `criterion_main!` macros — with a
+//! simple timer instead of criterion's statistics engine: each benchmark
+//! runs one warm-up batch, then `sample_size` timed batches, and prints
+//! the minimum/mean/maximum per-iteration time. Good enough to compare
+//! orders of magnitude and to keep `cargo bench` working offline; swap
+//! in real criterion for publication-grade numbers.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark context handed to `criterion_group!` functions.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n## {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            sample_size: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let sample_size = self.sample_size;
+        run_benchmark(&id.into().label, sample_size, &mut f);
+    }
+}
+
+/// A named set of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of timed batches for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(&label, samples, &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing is incremental, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark's identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: label.to_owned(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> BenchmarkId {
+        BenchmarkId { label }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    /// `(elapsed, iterations)` per recorded batch, so each batch is
+    /// divided by the iteration count it actually ran.
+    batches: Vec<(Duration, u64)>,
+    /// Calibrated iteration count; the warm-up discovers it, timed
+    /// batches start from it instead of re-running the ladder.
+    iterations_per_batch: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, preventing the result from being optimized out.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate roughly how many iterations fill ~10ms so very fast
+        // routines aren't dominated by timer resolution.
+        let mut iterations = self.iterations_per_batch.max(1);
+        loop {
+            let start = Instant::now();
+            for _ in 0..iterations {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || iterations >= 1 << 20 {
+                self.batches.push((elapsed, iterations));
+                self.iterations_per_batch = iterations;
+                return;
+            }
+            iterations *= 4;
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, samples: usize, f: &mut F) {
+    // Warm-up batch (also calibrates the iteration count).
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+
+    let mut bencher = Bencher {
+        batches: Vec::with_capacity(samples),
+        iterations_per_batch: warmup.iterations_per_batch.max(1),
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    let per_iteration: Vec<f64> = bencher
+        .batches
+        .iter()
+        .map(|&(elapsed, iterations)| elapsed.as_secs_f64() / iterations.max(1) as f64)
+        .collect();
+    let min = per_iteration.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iteration.iter().copied().fold(0.0f64, f64::max);
+    let mean = per_iteration.iter().sum::<f64>() / per_iteration.len().max(1) as f64;
+    println!(
+        "{label:<48} [{} {} {}]",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max)
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if !seconds.is_finite() {
+        "n/a".to_owned()
+    } else if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a group function running each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,213 @@
+//! Vendored minimal stand-in for the [`proptest`] crate.
+//!
+//! Implements the property-testing surface this workspace uses:
+//!
+//! * the [`proptest!`] macro (with an optional leading
+//!   `#![proptest_config(...)]`), [`prop_assert!`] and
+//!   [`prop_assert_eq!`];
+//! * the [`strategy::Strategy`] trait with `prop_map` /
+//!   `prop_flat_map`, range strategies over the integer types, tuple
+//!   strategies, [`collection::vec`] and [`bool::ANY`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest: inputs are drawn from a fixed
+//! deterministic seed per test (derived from the test name), and there
+//! is **no shrinking** — a failing case reports the case number and the
+//! generated inputs' `Debug` form instead. That keeps runs reproducible
+//! in CI while staying a few hundred lines.
+//!
+//! [`proptest`]: https://crates.io/crates/proptest
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over collections.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The admissible length range of a generated `Vec`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Smallest length, inclusive.
+        pub min: usize,
+        /// Largest length, inclusive.
+        pub max: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(len: usize) -> SizeRange {
+            SizeRange { min: len, max: len }
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` values with a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec()`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.below_inclusive(self.size.min as u64, self.size.max as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Uniform `true` / `false`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BoolStrategy;
+
+    /// The any-bool strategy, as `proptest::bool::ANY`.
+    pub const ANY: BoolStrategy = BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// The glob-import surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts inside a [`proptest!`] body; failure fails only the current
+/// case, reported with the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over `config.cases` generated
+/// inputs (256 by default, or the leading `#![proptest_config(...)]`).
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($config:expr)] $($rest:tt)+ ) => {
+        $crate::__proptest_impl! { ($config) $($rest)+ }
+    };
+    ( $($rest:tt)+ ) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()) $($rest)+ }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; do not call directly.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            #[test]
+            fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let inputs = format!(concat!($(stringify!($arg), " = {:?} "),+), $(&$arg),+);
+                    let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::core::result::Result::Ok(()) })();
+                    if let ::core::result::Result::Err(error) = outcome {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1, config.cases, error, inputs,
+                        );
+                    }
+                }
+            }
+        )+
+    };
+}

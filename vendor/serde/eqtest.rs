@@ -1,0 +1,5 @@
+#[test]
+fn large_uint_eq() {
+    use serde::Value;
+    assert_ne!(Value::UInt(u64::MAX), Value::UInt(u64::MAX - 1));
+}

@@ -1,0 +1,337 @@
+//! Vendored minimal stand-in for the [`serde`] crate.
+//!
+//! Offline builds cannot fetch real serde, so this crate provides the
+//! slice the workspace uses: `#[derive(Serialize, Deserialize)]` on
+//! plain structs and unit enums, plus `serde_json`-style conversion to
+//! and from a JSON tree.
+//!
+//! Unlike real serde's visitor architecture, serialization here goes
+//! through one concrete in-memory tree, [`Value`]. That is the right
+//! trade-off for this workspace: every serialization consumer is
+//! `serde_json` (which aliases its `Value` to this one), payloads are
+//! small reports, and the tree keeps the hand-written derive macro in
+//! `serde_derive` trivial.
+//!
+//! Supported via derive: named-field structs (including lifetime
+//! generics and `#[serde(skip_serializing_if = "path")]`) and unit-only
+//! enums (serialized as their variant name, matching real serde).
+//!
+//! [`serde`]: https://crates.io/crates/serde
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::Value;
+
+/// Serialization error (unused by the tree builder, kept for API shape).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl Error {
+    /// Creates an error carrying `message`.
+    pub fn custom(message: impl Into<String>) -> Error {
+        Error(message.into())
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a JSON [`Value`] tree.
+pub trait Serialize {
+    /// Builds the JSON tree for `self`.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from `value`.
+    fn deserialize_value(value: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------
+// Serialize impls for std types.
+
+macro_rules! serialize_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+macro_rules! serialize_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            #[inline]
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+serialize_unsigned!(u8, u16, u32, u64, usize);
+serialize_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    /// `None` is `null`; `Some` serializes transparently, as in serde.
+    fn serialize_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.serialize_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! serialize_tuple {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            /// Tuples serialize as JSON arrays, matching serde.
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+    )*};
+}
+
+serialize_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl Serialize for Value {
+    #[inline]
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deserialize impls for std types.
+
+fn type_error(expected: &str, got: &Value) -> Error {
+    Error(format!("expected {expected}, got {got:?}"))
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn deserialize_value(value: &Value) -> Result<$t, Error> {
+                let wide: i128 = match value {
+                    Value::Int(i) => i128::from(*i),
+                    Value::UInt(u) => i128::from(*u),
+                    other => return Err(type_error("integer", other)),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| Error(format!("{wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+deserialize_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn deserialize_value(value: &Value) -> Result<f64, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(type_error("number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(value: &Value) -> Result<f32, Error> {
+        f64::deserialize_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(value: &Value) -> Result<bool, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(type_error("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(value: &Value) -> Result<String, Error> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(type_error("string", other)),
+        }
+    }
+}
+
+impl Deserialize for &'static str {
+    /// Leaks the string. Real serde borrows from the input instead;
+    /// this impl only exists so `&'static str` fields (the static
+    /// dataset catalog) can derive `Deserialize`, and round-trips are
+    /// confined to tests.
+    fn deserialize_value(value: &Value) -> Result<&'static str, Error> {
+        String::deserialize_value(value).map(|s| &*s.leak())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(value: &Value) -> Result<Option<T>, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(value: &Value) -> Result<Vec<T>, Error> {
+        match value {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(type_error("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_value(value: &Value) -> Result<[T; N], Error> {
+        let items = Vec::<T>::deserialize_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal: $($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    other => Err(type_error(concat!("array of length ", $len), other)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1: A.0)
+    (2: A.0, B.1)
+    (3: A.0, B.1, C.2)
+    (4: A.0, B.1, C.2, D.3)
+}
+
+impl Deserialize for Value {
+    #[inline]
+    fn deserialize_value(value: &Value) -> Result<Value, Error> {
+        Ok(value.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Support for the derive macros (not public API).
+
+#[doc(hidden)]
+pub mod __private {
+    use super::Value;
+
+    /// Looks up `name` in an object, treating a missing key as `null`
+    /// (so `Option` fields tolerate omission).
+    pub fn field<'v>(value: &'v Value, name: &str) -> &'v Value {
+        match value {
+            Value::Object(fields) => fields
+                .iter()
+                .find(|(key, _)| key == name)
+                .map(|(_, v)| v)
+                .unwrap_or(&Value::Null),
+            _ => &Value::Null,
+        }
+    }
+
+    /// Error for a value that is not the object the derive expected.
+    pub fn expect_object(value: &Value, ty: &str) -> Result<(), super::Error> {
+        match value {
+            Value::Object(_) => Ok(()),
+            other => Err(super::Error(format!("expected {ty} object, got {other:?}"))),
+        }
+    }
+}

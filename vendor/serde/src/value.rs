@@ -1,0 +1,319 @@
+//! The JSON tree shared by `serde` and `serde_json`.
+//!
+//! Lives here (not in `serde_json`) because [`crate::Serialize`]
+//! returns it, and the ergonomic impls below (`Index`, `PartialEq`
+//! against literals, `Display`) must live next to the type under the
+//! orphan rules. `serde_json` re-exports it as `serde_json::Value`.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A JSON document.
+///
+/// Signed and unsigned integers are distinct variants (as in real
+/// `serde_json`); [`PartialEq`] compares them numerically, so
+/// `Value::Int(3) == Value::UInt(3)`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (negative literals parse to this).
+    Int(i64),
+    /// An unsigned integer (non-negative numbers parse to this).
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An ordered array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The member named `key`, or `None` when `self` is not an object
+    /// or has no such member.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The value as an `i64` when it is an integer that fits.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `u64` when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Any numeric value as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a borrowed array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Any integer variant widened to `i128` (floats excluded), so
+    /// equality between integers is exact even beyond 2^53.
+    fn as_int_wide(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(i128::from(*i)),
+            Value::UInt(u) => Some(i128::from(*u)),
+            _ => None,
+        }
+    }
+}
+
+const NULL: Value = Value::Null;
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    /// `value["key"]`; missing members and non-objects yield `null`,
+    /// matching `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl IndexMut<&str> for Value {
+    /// `value["key"] = ...`: inserts the member when absent. Panics when
+    /// `self` is not an object (as `serde_json` does).
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        let Value::Object(fields) = self else {
+            panic!("cannot index into non-object value with \"{key}\"");
+        };
+        if let Some(pos) = fields.iter().position(|(k, _)| k == key) {
+            return &mut fields[pos].1;
+        }
+        fields.push((key.to_owned(), Value::Null));
+        &mut fields.last_mut().expect("just pushed").1
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    /// `value[i]`; out-of-bounds and non-arrays yield `null`.
+    fn index(&self, index: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(index).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Structural equality, with all numbers compared numerically (so a
+    /// parsed `3` equals a serialized `3u32` equals `3.0`).
+    fn eq(&self, other: &Value) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (String(a), String(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            // Integer pairs compare exactly (f64 would conflate
+            // distinct values above 2^53); integer/float mixes fall
+            // back to f64.
+            (a, b) => match (a.as_int_wide(), b.as_int_wide()) {
+                (Some(x), Some(y)) => x == y,
+                _ => match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => x == y,
+                    _ => false,
+                },
+            },
+        }
+    }
+}
+
+macro_rules! eq_via {
+    ($([$t:ty, $conv:ident, $wide:ty])*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.$conv().is_some_and(|v| v == *other as $wide)
+            }
+        }
+
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_via! {
+    [i8, as_i64, i64] [i16, as_i64, i64] [i32, as_i64, i64] [i64, as_i64, i64]
+    [u8, as_u64, u64] [u16, as_u64, u64] [u32, as_u64, u64] [u64, as_u64, u64]
+    [usize, as_u64, u64]
+    [f32, as_f64, f64] [f64, as_f64, f64]
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+macro_rules! from_via {
+    ($([$t:ty, $variant:ident $(, $cast:ty)?])*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::$variant(v $(as $cast)?)
+            }
+        }
+    )*};
+}
+
+from_via! {
+    [i8, Int, i64] [i16, Int, i64] [i32, Int, i64] [i64, Int]
+    [u8, UInt, u64] [u16, UInt, u64] [u32, UInt, u64] [u64, UInt] [usize, UInt, u64]
+    [f32, Float, f64] [f64, Float]
+    [bool, Bool]
+    [String, String]
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(items: Vec<T>) -> Value {
+        Value::Array(items.into_iter().map(Into::into).collect())
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+fn write_f64(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            // Keep integral floats recognizable as numbers ("1.0", not "1").
+            write!(f, "{v:.1}")
+        } else {
+            write!(f, "{v}")
+        }
+    } else {
+        // JSON has no Inf/NaN; serde_json errors here, we degrade to null.
+        f.write_str("null")
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON (`serde_json::to_string` form).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::UInt(u) => write!(f, "{u}"),
+            Value::Float(v) => write_f64(f, *v),
+            Value::String(s) => write_escaped(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Vendored minimal stand-in for `serde_derive`, written against the
+//! built-in `proc_macro` API only (no `syn`/`quote` — the build is
+//! offline).
+//!
+//! Supports exactly the shapes this workspace derives on:
+//!
+//! * structs with named fields, optionally with lifetime-only generics,
+//!   honouring `#[serde(skip_serializing_if = "path")]`;
+//! * enums whose variants are all unit variants (serialized as the
+//!   variant name string, like real serde).
+//!
+//! Anything else (tuple structs, data-carrying enums, type generics)
+//! panics at expansion time with a clear message, which is the correct
+//! failure mode for a shim: loud, at compile time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we learned about the deriving type.
+struct Input {
+    name: String,
+    /// Raw generics text, e.g. `<'a>`; empty when non-generic.
+    generics: String,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields with their `skip_serializing_if` path, if any.
+    Struct(Vec<(String, Option<String>)>),
+    /// Unit variant names.
+    Enum(Vec<String>),
+}
+
+/// Derives the workspace `serde::Serialize` trait (tree-building form).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut pushes = String::new();
+            for (field, skip_if) in fields {
+                let push = format!(
+                    "fields.push(({field:?}.to_string(), \
+                     serde::Serialize::serialize_value(&self.{field})));"
+                );
+                match skip_if {
+                    Some(path) => {
+                        pushes.push_str(&format!("if !{path}(&self.{field}) {{ {push} }}\n"))
+                    }
+                    None => {
+                        pushes.push_str(&push);
+                        pushes.push('\n');
+                    }
+                }
+            }
+            format!(
+                "let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 serde::Value::Object(fields)"
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{}::{v} => serde::Value::String({v:?}.to_string()),\n",
+                        input.name
+                    )
+                })
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    let Input { name, generics, .. } = &input;
+    format!(
+        "impl{generics} serde::Serialize for {name}{generics} {{\n\
+         fn serialize_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the workspace `serde::Deserialize` trait (tree-reading form).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse(input);
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|(field, _)| {
+                    format!(
+                        "{field}: serde::Deserialize::deserialize_value(\
+                         serde::__private::field(value, {field:?}))?,\n"
+                    )
+                })
+                .collect();
+            format!(
+                "serde::__private::expect_object(value, {:?})?;\n\
+                 Ok({} {{ {inits} }})",
+                input.name, input.name
+            )
+        }
+        Kind::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({}::{v}),\n", input.name))
+                .collect();
+            format!(
+                "match value {{\n\
+                 serde::Value::String(s) => match s.as_str() {{\n\
+                 {arms}\
+                 other => Err(serde::Error::custom(format!(\
+                 \"unknown {} variant {{other:?}}\"))),\n\
+                 }},\n\
+                 other => Err(serde::Error::custom(format!(\
+                 \"expected {} string, got {{other:?}}\"))),\n\
+                 }}",
+                input.name, input.name
+            )
+        }
+    };
+    let Input { name, generics, .. } = &input;
+    format!(
+        "impl{generics} serde::Deserialize for {name}{generics} {{\n\
+         fn deserialize_value(value: &serde::Value) -> Result<Self, serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------
+// Token-stream parsing.
+
+fn parse(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes and visibility.
+    let mut is_enum = false;
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: consume the following bracket group.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(word)) => match word.to_string().as_str() {
+                "pub" => {
+                    // `pub` or `pub(crate)`: drop an optional paren group.
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                "struct" => break,
+                "enum" => {
+                    is_enum = true;
+                    break;
+                }
+                other => panic!("serde_derive shim: unexpected token `{other}`"),
+            },
+            other => panic!("serde_derive shim: unexpected input {other:?}"),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(word)) => word.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other:?}"),
+    };
+    // Optional generics: copy them verbatim (lifetimes only in practice).
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for token in tokens.by_ref() {
+                if let TokenTree::Punct(p) = &token {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                }
+                generics.push_str(&token.to_string());
+                if depth == 0 {
+                    break;
+                }
+            }
+            assert!(
+                !generics.contains("where"),
+                "serde_derive shim: where-clauses are unsupported"
+            );
+        }
+    }
+    let body = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde_derive shim: tuple structs are unsupported")
+            }
+            Some(_) => continue, // e.g. where-less trailing tokens
+            None => panic!("serde_derive shim: missing body"),
+        }
+    };
+    let kind = if is_enum {
+        Kind::Enum(parse_enum(body))
+    } else {
+        Kind::Struct(parse_struct(body))
+    };
+    Input {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Parses `{ attrs* vis? name : type , ... }` into field names plus each
+/// field's `skip_serializing_if` path.
+fn parse_struct(body: TokenStream) -> Vec<(String, Option<String>)> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Attributes before the field.
+        let mut skip_if = None;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.next() {
+                        if let Some(path) = parse_skip_serializing_if(g.stream()) {
+                            skip_if = Some(path);
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(word)) if word.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(TokenTree::Ident(word)) = tokens.next() else {
+            break;
+        };
+        fields.push((word.to_string(), skip_if));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive shim: expected `:` after field, got {other:?}"),
+        }
+        // Consume the type: ends at a comma outside angle brackets.
+        let mut depth = 0i32;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && depth == 0 => break,
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+    fields
+}
+
+/// Parses `{ attrs* Name , ... }`, insisting every variant is a unit.
+fn parse_enum(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next(); // the bracket group
+            } else {
+                break;
+            }
+        }
+        let Some(token) = tokens.next() else { break };
+        match token {
+            TokenTree::Ident(word) => variants.push(word.to_string()),
+            other => panic!("serde_derive shim: expected unit variant, got {other:?}"),
+        }
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => continue,
+            Some(TokenTree::Group(_)) => {
+                panic!("serde_derive shim: data-carrying enum variants are unsupported")
+            }
+            Some(other) => panic!("serde_derive shim: unexpected token {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Extracts the path from `serde(skip_serializing_if = "path")`, if this
+/// attribute group is that. Other serde attributes are rejected loudly
+/// so silently wrong output is impossible.
+fn parse_skip_serializing_if(attr: TokenStream) -> Option<String> {
+    let mut tokens = attr.into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(word)) if word.to_string() == "serde" => {}
+        Some(TokenTree::Ident(word)) if word.to_string() == "doc" => return None,
+        _ => return None,
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else {
+        return None;
+    };
+    let mut tokens = args.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(word)) if word.to_string() == "skip_serializing_if" => {}
+        Some(other) => {
+            panic!("serde_derive shim: unsupported serde attribute starting at `{other}`")
+        }
+        None => return None,
+    }
+    match tokens.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {}
+        other => panic!("serde_derive shim: malformed skip_serializing_if: {other:?}"),
+    }
+    match tokens.next() {
+        Some(TokenTree::Literal(lit)) => {
+            let text = lit.to_string();
+            Some(text.trim_matches('"').to_string())
+        }
+        other => panic!("serde_derive shim: malformed skip_serializing_if: {other:?}"),
+    }
+}

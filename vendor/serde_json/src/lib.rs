@@ -1,0 +1,390 @@
+//! Vendored minimal stand-in for the [`serde_json`] crate.
+//!
+//! Provides the workspace's JSON needs on top of the vendored `serde`
+//! tree model: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`], the [`Value`] type (re-exported from `serde`, where
+//! the orphan rules force its impls to live) and a [`json!`] macro for
+//! literals.
+//!
+//! The parser is a complete JSON reader (objects, arrays, strings with
+//! escapes including `\uXXXX` surrogate pairs, numbers, bools, null);
+//! the printers emit compact or 2-space-indented documents.
+//!
+//! [`serde_json`]: https://crates.io/crates/serde_json
+
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+pub use serde::Value;
+
+/// Error parsing or converting JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.to_string())
+    }
+}
+
+/// Converts any serializable value into a JSON tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+/// Serializes to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.serialize_value().to_string())
+}
+
+/// Serializes to human-readable JSON with 2-space indentation.
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_pretty(&mut out, &value.serialize_value(), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into any deserializable type (including [`Value`]).
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters"));
+    }
+    Ok(T::deserialize_value(&value)?)
+}
+
+/// Builds a [`Value`] from a JSON-ish literal: `json!(null)`,
+/// `json!(3)`, `json!([1, 2])`, `json!({"k": 1})`, or any serializable
+/// expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($element:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($element)),* ])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $(($key.to_string(), $crate::json!($value))),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+fn write_pretty(out: &mut String, value: &Value, indent: usize) {
+    match value {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (key, item)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                push_indent(out, indent + 1);
+                let _ = write!(out, "{}: ", Value::String(key.clone()));
+                write_pretty(out, item, indent + 1);
+            }
+            out.push('\n');
+            push_indent(out, indent);
+            out.push('}');
+        }
+        // Scalars, "[]" and "{}" use the compact form.
+        other => {
+            let _ = write!(out, "{other}");
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parsing.
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> Error {
+        Error(format!("{message} at byte {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            fields.push((key, self.parse_value()?));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !(self.eat_keyword("\\u")) {
+                                    return Err(self.error("lone high surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                let combined = 0x10000
+                                    + ((first - 0xD800) << 10)
+                                    + low
+                                        .checked_sub(0xDC00)
+                                        .ok_or_else(|| self.error("invalid low surrogate"))?;
+                                char::from_u32(combined)
+                            } else {
+                                char::from_u32(first)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid \\u escape"))?);
+                            continue; // parse_hex4 already advanced
+                        }
+                        _ => return Err(self.error("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so
+                    // slicing at a char boundary is safe via chars()).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let value = u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_a_document() {
+        let text = r#"{"name": "abc", "xs": [1, -2, 3.5], "flag": true, "none": null}"#;
+        let value: Value = from_str(text).unwrap();
+        assert_eq!(value["name"], "abc");
+        assert_eq!(value["xs"][0], 1);
+        assert_eq!(value["xs"][1], -2i64);
+        assert_eq!(value["xs"][2], 3.5);
+        assert_eq!(value["flag"], true);
+        assert!(value["none"].is_null());
+        let back: Value = from_str(&to_string(&value).unwrap()).unwrap();
+        assert_eq!(back, value);
+        let pretty: Value = from_str(&to_string_pretty(&value).unwrap()).unwrap();
+        assert_eq!(pretty, value);
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(0), Value::Int(0));
+        assert_eq!(json!([3, 4]), from_str::<Value>("[3,4]").unwrap());
+        assert_eq!(json!({"a": 1})["a"], 1);
+    }
+
+    #[test]
+    fn string_escapes() {
+        let value: Value = from_str(r#""a\"b\\c\ndA😀""#).unwrap();
+        assert_eq!(value, "a\"b\\c\nd\u{41}\u{1F600}");
+        let back: Value = from_str(&to_string(&value).unwrap()).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn large_integers_compare_exactly() {
+        // Above 2^53 an f64 comparison would conflate neighbours.
+        assert_ne!(Value::UInt(u64::MAX), Value::UInt(u64::MAX - 1));
+        assert_eq!(Value::UInt(u64::MAX), Value::UInt(u64::MAX));
+        assert_ne!(Value::Int(i64::MIN), Value::Int(i64::MIN + 1));
+        assert_eq!(Value::Int(3), Value::UInt(3));
+        assert_eq!(Value::Int(3), Value::Float(3.0));
+        let round: Value = from_str(&to_string(&u64::MAX).unwrap()).unwrap();
+        assert_eq!(round, u64::MAX);
+    }
+
+    #[test]
+    fn index_assignment_inserts_and_replaces() {
+        let mut value: Value = from_str(r#"{"seconds": 1.5}"#).unwrap();
+        value["seconds"] = json!(0);
+        value["new"] = json!("x");
+        assert_eq!(value["seconds"], 0);
+        assert_eq!(value["new"], "x");
+    }
+}
