@@ -18,8 +18,7 @@ use mbb_bigraph::metrics::GraphProfile;
 use mbb_core::dense::{dense_mbb_seeded, DenseConfig};
 use mbb_core::enumerate::{all_maximal_bicliques, EnumConfig};
 use mbb_core::incremental::IncrementalMbb;
-use mbb_core::topk::topk_balanced_bicliques;
-use mbb_core::{solve_mbb, MbbSolver};
+use mbb_core::{MbbEngine, MbbSolver};
 
 fn sparse_graph(n: u32, edges: usize, seed: u64) -> mbb_bigraph::BipartiteGraph {
     chung_lu_bipartite(
@@ -92,7 +91,8 @@ fn bench_enumeration(c: &mut Criterion) {
     });
     for k in [1usize, 10] {
         group.bench_with_input(BenchmarkId::new("topk", k), &k, |b, &k| {
-            b.iter(|| topk_balanced_bicliques(&g, k, None))
+            let engine = MbbEngine::new(g.clone());
+            b.iter(|| engine.topk(k))
         });
     }
     group.finish();
@@ -174,7 +174,9 @@ fn bench_incremental(c: &mut Criterion) {
         })
     });
     group.bench_function("cold_resolve_after_insert", |b| {
-        b.iter(|| solve_mbb(&g).half_size())
+        // A fresh engine per iteration: this is the *cold* baseline the
+        // warm benches above are compared against, so no session reuse.
+        b.iter(|| MbbEngine::new(g.clone()).solve().value.half_size())
     });
     group.bench_function("solver_cold_baseline", |b| {
         b.iter(|| MbbSolver::new().solve(&g).biclique.half_size())

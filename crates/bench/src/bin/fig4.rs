@@ -7,7 +7,7 @@
 //! ```
 
 use mbb_bench::{Args, Table};
-use mbb_core::MbbSolver;
+use mbb_core::MbbEngine;
 use mbb_datasets::{stand_in, tough_datasets};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
     ]);
     for spec in tough_datasets() {
         let standin = stand_in(spec, caps, seed);
-        let result = MbbSolver::new().solve(&standin.graph);
+        let result = MbbEngine::new(standin.graph).solve();
         let optimum = result.stats.optimum_half;
         let global = result.stats.heuristic_global_half;
         let local = result.stats.heuristic_local_half;

@@ -9,7 +9,7 @@
 use mbb_bench::{Args, Table};
 use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::order::SearchOrder;
-use mbb_core::{MbbSolver, SolverConfig};
+use mbb_core::{MbbEngine, SolverConfig};
 use mbb_datasets::{stand_in, tough_datasets};
 
 fn main() {
@@ -46,7 +46,7 @@ fn main() {
                 order,
                 ..Default::default()
             };
-            let result = MbbSolver::with_config(config).solve(&standin.graph);
+            let result = MbbEngine::with_config(standin.graph.clone(), config).solve();
             depths.push(result.stats.search.average_depth());
         }
 

@@ -8,7 +8,7 @@
 
 use mbb_bench::{Args, Table};
 use mbb_bigraph::order::SearchOrder;
-use mbb_core::{MbbSolver, SolverConfig};
+use mbb_core::{MbbEngine, SolverConfig};
 use mbb_datasets::{stand_in, tough_datasets};
 
 fn main() {
@@ -43,7 +43,7 @@ fn main() {
                 order,
                 ..Default::default()
             };
-            let result = MbbSolver::with_config(config).solve(&standin.graph);
+            let result = MbbEngine::with_config(standin.graph.clone(), config).solve();
             densities.push(result.stats.avg_subgraph_density);
             sizes.push(result.stats.max_subgraph_size as f64);
         }

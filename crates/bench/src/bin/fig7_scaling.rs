@@ -1,20 +1,23 @@
-//! Extension experiment ("Figure 7") — empirical support for the
-//! O*(1.3803^δ̈) claim: solver cost tracks the bidegeneracy of the graph
-//! the exhaustive search actually runs on (the Lemma 4-reduced residual),
-//! not the vertex count.
+//! Extension experiment ("Figure 7") — verification-stage thread scaling
+//! through the `MbbEngine` query API.
 //!
-//! Two sweeps over seeded Chung–Lu graphs reaching the same maximum edge
-//! count (192 000):
+//! One engine is built per instance; the 1/2/4/8-thread solves all run
+//! against that session, so the bidegeneracy order and bicore
+//! decomposition are computed once and every solve after the first reuses
+//! them (the `idx reuse` column shows the session counters). Reported
+//! speedups therefore isolate the parallel verify stage rather than
+//! re-measuring preprocessing.
 //!
-//! * **size sweep** — average degree held fixed while `n` grows 8×: the
-//!   residual after heuristic + reduction stays small, and so do the
-//!   search node counts and wall time;
-//! * **density sweep** — `n` held fixed while the edge count grows 8×:
-//!   the residual (and its δ̈) climbs, and the search cost climbs with it
-//!   — orders of magnitude at the same final |E| as the size sweep.
+//! Instances are seeded Chung–Lu graphs dense enough that stage 3
+//! (exhaustive verification) dominates — sparse instances terminate in
+//! stage 1 and have nothing to parallelise. Expect modest ratios: on
+//! skewed-degree graphs a single vertex-centred subgraph (size bounded
+//! by δ̈ + 1, and δ̈ is large here) carries most of the search nodes, so
+//! subgraph-level parallelism is Amdahl-bound by that one subgraph.
 //!
 //! ```text
 //! cargo run -p mbb-bench --release --bin fig7_scaling -- [--seed 42]
+//!     [--caps small|default|large] [--threads 1,2,4,8]
 //! ```
 
 use std::time::Instant;
@@ -22,71 +25,94 @@ use std::time::Instant;
 use mbb_bench::{fmt_seconds, Args, Table};
 use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::generators::{chung_lu_bipartite, ChungLuParams};
-use mbb_core::MbbSolver;
-
-fn run_row(table: &mut Table, label: String, n: u32, edges: usize, seed: u64) {
-    let graph = chung_lu_bipartite(
-        &ChungLuParams {
-            num_left: n,
-            num_right: n,
-            num_edges: edges,
-            left_exponent: 0.75,
-            right_exponent: 0.75,
-        },
-        seed,
-    );
-    let bidegeneracy = bicore_decomposition(&graph).bidegeneracy;
-    let start = Instant::now();
-    let result = MbbSolver::new().solve(&graph);
-    let seconds = start.elapsed().as_secs_f64();
-    // δ̈ of the Lemma 4-reduced residual — 0 when stage 1 already proved
-    // optimality (no residual survives).
-    let residual_bidegeneracy = result.stats.bidegeneracy;
-    table.row(vec![
-        label,
-        n.to_string(),
-        edges.to_string(),
-        bidegeneracy.to_string(),
-        residual_bidegeneracy.to_string(),
-        result.biclique.half_size().to_string(),
-        result.stats.search.nodes.to_string(),
-        result.stats.search.max_depth.to_string(),
-        fmt_seconds(Some(seconds)),
-    ]);
-}
+use mbb_core::MbbEngine;
 
 fn main() {
     let args = Args::from_env();
     let seed = args.seed();
+    let small = args.caps().max_edges <= 50_000;
+    let threads: Vec<usize> = args
+        .get_list("threads")
+        .map(|list| {
+            list.iter()
+                .map(|t| {
+                    t.parse().unwrap_or_else(|_| {
+                        eprintln!("--threads: bad number {t:?}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
 
-    println!("# Figure 7 (extension) — cost scales with the residual δ̈, not n\n");
+    println!("# Figure 7 (extension) — verify-stage thread scaling on one engine session\n");
 
     let mut table = Table::new(&[
-        "sweep",
         "n/side",
         "|E|",
-        "δ̈ raw",
-        "δ̈ residual",
+        "δ̈",
         "MBB",
-        "search nodes",
-        "max depth",
+        "threads",
         "seconds",
+        "speedup",
+        "idx (ord)",
     ]);
 
-    // Size sweep: average degree 6 per left vertex throughout.
-    for &n in &[4_000u32, 8_000, 16_000, 32_000] {
-        run_row(&mut table, "size".into(), n, n as usize * 6, seed);
-    }
-    // Density sweep: n fixed, edges grow 8x.
-    for &edges in &[24_000usize, 48_000, 96_000, 192_000] {
-        run_row(&mut table, "density".into(), 4_000, edges, seed ^ 1);
+    // Dense-ish instances: the density sweep end of the old Figure 7,
+    // where the exhaustive search is the bottleneck.
+    let shapes: &[(u32, usize)] = if small {
+        &[(500, 20_000), (700, 34_000)]
+    } else {
+        &[(2_000, 120_000), (4_000, 280_000)]
+    };
+
+    for &(n, edges) in shapes {
+        let graph = chung_lu_bipartite(
+            &ChungLuParams {
+                num_left: n,
+                num_right: n,
+                num_edges: edges,
+                left_exponent: 0.75,
+                right_exponent: 0.75,
+            },
+            seed,
+        );
+        let bidegeneracy = bicore_decomposition(&graph).bidegeneracy;
+        let engine = MbbEngine::new(graph);
+        // Warm the session first so every timed solve sees the cached
+        // indices — the speedup column then isolates the verify stage
+        // instead of crediting thread 2+ with skipped preprocessing.
+        engine.solve();
+        let mut baseline = None;
+        for &t in &threads {
+            let start = Instant::now();
+            let result = engine.query().threads(t).solve();
+            let seconds = start.elapsed().as_secs_f64();
+            let baseline = *baseline.get_or_insert(seconds);
+            table.row(vec![
+                n.to_string(),
+                edges.to_string(),
+                bidegeneracy.to_string(),
+                result.value.half_size().to_string(),
+                t.to_string(),
+                fmt_seconds(Some(seconds)),
+                format!("{:.2}x", baseline / seconds.max(1e-9)),
+                format!(
+                    "{}c/{}r",
+                    result.stats.index.orders_computed, result.stats.index.orders_reused
+                ),
+            ]);
+        }
     }
     table.print();
     println!(
-        "\nReading: both sweeps end at |E| = 192k, but the size sweep's residual\n\
-         after heuristic + Lemma 4 reduction stays tiny (few search nodes, sub-\n\
-         second) while the density sweep's residual bidegeneracy climbs and the\n\
-         exhaustive-search cost climbs with it — cost follows δ̈ of what must be\n\
-         searched, not n or |E|."
+        "\nReading: all thread counts share one (pre-warmed) engine session, so\n\
+         the order column shows exactly one computation per instance (`1c`) and\n\
+         growing reuse (`Nr`). The verification stage splits vertex-centred\n\
+         subgraphs across workers, but per-subgraph cost is highly skewed (the\n\
+         largest subgraph, bounded by δ̈ + 1, usually carries most search\n\
+         nodes), so near-flat ratios here are the honest Amdahl ceiling of\n\
+         subgraph-level parallelism — intra-subgraph (parallel denseMBB)\n\
+         splitting is the ROADMAP follow-up this measurement motivates."
     );
 }

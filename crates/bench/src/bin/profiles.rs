@@ -8,7 +8,7 @@
 
 use mbb_bench::{Args, Table};
 use mbb_bigraph::metrics::GraphProfile;
-use mbb_core::MbbSolver;
+use mbb_core::MbbEngine;
 use mbb_datasets::{catalog, stand_in, tough_datasets};
 
 fn main() {
@@ -42,7 +42,7 @@ fn main() {
         let graph = &standin.graph;
         let profile = GraphProfile::of(graph);
         let d_max = profile.left_degrees.max.max(profile.right_degrees.max);
-        let found = MbbSolver::new().solve(graph);
+        let found = MbbEngine::new(graph.clone()).solve();
         table.row(vec![
             spec.name.to_string(),
             profile.num_left.to_string(),
@@ -54,7 +54,7 @@ fn main() {
             format!("{:.2}", profile.bidegeneracy as f64 / d_max.max(1) as f64),
             profile.butterflies.to_string(),
             spec.optimum.to_string(),
-            found.biclique.half_size().to_string(),
+            found.value.half_size().to_string(),
         ]);
     }
     table.print();

@@ -9,7 +9,7 @@
 
 use mbb_baselines::{all_adapted, ext_bbclq};
 use mbb_bench::{fmt_seconds, run_timed, run_with_timeout, Args, Table, TimedOutcome};
-use mbb_core::MbbSolver;
+use mbb_core::MbbEngine;
 use mbb_datasets::{catalog, stand_in};
 
 fn main() {
@@ -54,10 +54,12 @@ fn main() {
 
         // hbvMBB (ours) — also establishes the stand-in's true optimum.
         let solver_graph = graph.clone();
-        let hbv = run_with_timeout(budget, move || MbbSolver::new().solve(&solver_graph));
+        let hbv = run_with_timeout(budget, move || {
+            MbbEngine::from_arc(solver_graph, Default::default()).solve()
+        });
         let (found_opt, stage) = match &hbv {
             TimedOutcome::Finished { value, .. } => (
-                value.biclique.half_size().to_string(),
+                value.value.half_size().to_string(),
                 value.stats.stage.to_string(),
             ),
             TimedOutcome::TimedOut => ("?".into(), "-".into()),

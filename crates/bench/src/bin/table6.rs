@@ -13,7 +13,7 @@ use mbb_bench::{fmt_seconds, run_timed, run_with_timeout, Args, Table, TimedOutc
 use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::core_decomp::core_decomposition;
 use mbb_core::heuristic::hmbb;
-use mbb_core::{MbbSolver, SolverConfig};
+use mbb_core::{MbbEngine, SolverConfig};
 use mbb_datasets::{stand_in, tough_datasets};
 
 fn main() {
@@ -66,11 +66,10 @@ fn main() {
         let mut halves: Vec<String> = Vec::new();
         for (name, config) in variants {
             let g = graph.clone();
-            let outcome =
-                run_with_timeout(budget, move || MbbSolver::with_config(config).solve(&g));
+            let outcome = run_with_timeout(budget, move || MbbEngine::from_arc(g, config).solve());
             cells.push(fmt_seconds(outcome.seconds()));
             if let TimedOutcome::Finished { value, .. } = &outcome {
-                halves.push(format!("{name}={}", value.biclique.half_size()));
+                halves.push(format!("{name}={}", value.value.half_size()));
             }
         }
         eprintln!("  [{}] optima: {}", spec.name, halves.join(" "));

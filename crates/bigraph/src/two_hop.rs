@@ -81,6 +81,54 @@ pub fn n_le2(graph: &BipartiteGraph, v: Vertex) -> (Vec<u32>, Vec<u32>) {
     (graph.neighbors(v).to_vec(), n2_neighbors(graph, v))
 }
 
+/// A materialised two-hop index: every vertex's `N2` list in one CSR-shaped
+/// structure, indexed by global id.
+///
+/// Anchored queries and repeated vertex-centred decompositions recompute
+/// `N2(v)` from scratch per vertex; a session answering many such queries
+/// against one graph amortises that into a single `O(Σ deg(v)²)` build.
+/// Memory is `O(Σ |N2(v)|)`, which approaches `n²` on dense graphs — build
+/// it lazily and only for workloads that query many anchors.
+#[derive(Debug, Clone)]
+pub struct TwoHopIndex {
+    /// `offsets[g] .. offsets[g + 1]` delimits global id `g`'s `N2` list.
+    offsets: Vec<usize>,
+    /// Concatenated sorted same-side `N2` lists.
+    data: Vec<u32>,
+}
+
+impl TwoHopIndex {
+    /// Builds the index for every vertex of `graph`.
+    pub fn build(graph: &BipartiteGraph) -> TwoHopIndex {
+        let n = graph.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::new();
+        offsets.push(0);
+        for v in graph.vertices() {
+            data.extend(n2_neighbors(graph, v));
+            offsets.push(data.len());
+        }
+        TwoHopIndex { offsets, data }
+    }
+
+    /// The cached `N2(v)` (same-side indices, sorted, excluding `v`).
+    pub fn two_hop(&self, graph: &BipartiteGraph, v: Vertex) -> &[u32] {
+        let g = graph.global_id(v);
+        &self.data[self.offsets[g]..self.offsets[g + 1]]
+    }
+
+    /// The cached `N≤2(v)` as `(opposite-side neighbours, same-side 2-hop
+    /// neighbours)` — the zero-allocation analogue of [`n_le2`].
+    pub fn n_le2<'a>(&'a self, graph: &'a BipartiteGraph, v: Vertex) -> (&'a [u32], &'a [u32]) {
+        (graph.neighbors(v), self.two_hop(graph, v))
+    }
+
+    /// Total stored `N2` entries (an index size gauge).
+    pub fn entries(&self) -> usize {
+        self.data.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,6 +189,25 @@ mod tests {
                 assert!(back.contains(&u), "L{u} ∈ N2(L{w}) missing");
             }
         }
+    }
+
+    #[test]
+    fn index_matches_per_vertex_queries() {
+        let g = generators::uniform_edges(12, 14, 60, 9);
+        let index = TwoHopIndex::build(&g);
+        for v in g.vertices() {
+            assert_eq!(index.two_hop(&g, v), n2_neighbors(&g, v), "vertex {v}");
+            let (n1, n2) = index.n_le2(&g, v);
+            let (e1, e2) = n_le2(&g, v);
+            assert_eq!(n1, e1);
+            assert_eq!(n2, e2);
+        }
+        assert_eq!(
+            index.entries(),
+            g.vertices()
+                .map(|v| n2_neighbors(&g, v).len())
+                .sum::<usize>()
+        );
     }
 
     #[test]

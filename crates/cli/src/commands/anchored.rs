@@ -2,15 +2,18 @@
 
 use mbb_bigraph::graph::Vertex;
 use mbb_bigraph::io::read_edge_list_file;
-use mbb_core::anchored::anchored_mbb;
+use mbb_core::MbbEngine;
 use serde::Serialize;
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "\
-usage: mbb anchored <edge-list-file> --vertex <L<id>|R<id>> [--json]
+usage: mbb anchored <edge-list-file> --vertex <L<id>|R<id>>
+                    [--threads <N>] [--json]
 
 Finds the maximum balanced biclique containing the given vertex
-(1-based ids matching the input file), e.g. --vertex L3 or --vertex R12.";
+(1-based ids matching the input file), e.g. --vertex L3 or --vertex R12.
+--threads N is reserved for the engine's parallel stages; the anchored
+search itself is currently sequential (0 = one worker per core).";
 
 /// Parsed `anchored` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +24,8 @@ pub struct AnchoredOptions {
     pub left_side: bool,
     /// 1-based anchor id within its side.
     pub id: u32,
+    /// Engine worker threads (0 = one per core).
+    pub threads: usize,
     /// Emit JSON.
     pub json: bool,
 }
@@ -32,6 +37,7 @@ impl AnchoredOptions {
             input: String::new(),
             left_side: true,
             id: 0,
+            threads: 1,
             json: false,
         };
         let mut vertex_given = false;
@@ -39,6 +45,12 @@ impl AnchoredOptions {
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--json" => options.json = true,
+                "--threads" => {
+                    let value = iter.next().ok_or("--threads needs a value")?;
+                    options.threads = value
+                        .parse()
+                        .map_err(|_| format!("--threads: bad number {value:?}"))?;
+                }
                 "--vertex" => {
                     let value = iter.next().ok_or("--vertex needs a value")?;
                     let side = value
@@ -110,7 +122,12 @@ pub fn run(options: &AnchoredOptions) -> Result<String, String> {
     } else {
         Vertex::right(zero_based)
     };
-    let (biclique, _) = anchored_mbb(&graph, anchor);
+    let engine = MbbEngine::new(graph);
+    let biclique = engine
+        .query()
+        .threads(options.threads)
+        .anchored(anchor)
+        .value;
     let left: Vec<u32> = biclique.left.iter().map(|&u| u + 1).collect();
     let right: Vec<u32> = biclique.right.iter().map(|&v| v + 1).collect();
     let anchor_label = format!(
@@ -158,6 +175,12 @@ mod tests {
         assert!(!o.left_side);
         assert_eq!(o.id, 12);
         assert!(o.json);
+    }
+
+    #[test]
+    fn parses_threads() {
+        let o = parse("g.txt --vertex L1 --threads 4").unwrap();
+        assert_eq!(o.threads, 4);
     }
 
     #[test]

@@ -1,10 +1,10 @@
 //! `mbb enumerate` — stream maximal bicliques of an edge list.
 
-use std::ops::ControlFlow;
 use std::time::Duration;
 
 use mbb_bigraph::io::read_edge_list_file;
-use mbb_core::enumerate::{enumerate_maximal_bicliques, EnumConfig};
+use mbb_core::enumerate::EnumConfig;
+use mbb_core::MbbEngine;
 use serde::Serialize;
 
 /// Usage text for the subcommand.
@@ -19,6 +19,8 @@ options:
   --min-right <N>    only bicliques with |B| >= N (default 1)
   --max-results <N>  stop after N bicliques
   --budget-secs <N>  stop after N seconds
+  --threads <N>      reserved for the engine's parallel stages; the
+                     enumeration itself is currently sequential
   --json             one JSON object per line (JSONL)";
 
 /// Parsed `enumerate` options.
@@ -34,6 +36,8 @@ pub struct EnumerateOptions {
     pub max_results: Option<u64>,
     /// Time budget in seconds.
     pub budget_secs: Option<u64>,
+    /// Engine worker threads (0 = one per core).
+    pub threads: usize,
     /// Emit JSONL.
     pub json: bool,
 }
@@ -47,6 +51,7 @@ impl EnumerateOptions {
             min_right: 1,
             max_results: None,
             budget_secs: None,
+            threads: 1,
             json: false,
         };
         let mut iter = args.iter();
@@ -71,6 +76,9 @@ impl EnumerateOptions {
                 "--budget-secs" => {
                     options.budget_secs =
                         Some(parse_number(&value_of("--budget-secs")?, "--budget-secs")?);
+                }
+                "--threads" => {
+                    options.threads = parse_number(&value_of("--threads")?, "--threads")?;
                 }
                 other if other.starts_with('-') => {
                     return Err(format!("unknown option {other:?}"));
@@ -113,8 +121,10 @@ pub fn run(options: &EnumerateOptions) -> Result<String, String> {
         max_results: options.max_results,
         budget: options.budget_secs.map(Duration::from_secs),
     };
+    let engine = MbbEngine::new(graph);
+    let result = engine.query().threads(options.threads).enumerate(config);
     let mut out = String::new();
-    let outcome = enumerate_maximal_bicliques(&graph, &config, |b| {
+    for b in &result.value.bicliques {
         let left: Vec<u32> = b.left.iter().map(|&u| u + 1).collect();
         let right: Vec<u32> = b.right.iter().map(|&v| v + 1).collect();
         if options.json {
@@ -128,8 +138,8 @@ pub fn run(options: &EnumerateOptions) -> Result<String, String> {
         } else {
             out.push_str(&format!("{left:?} x {right:?}\n"));
         }
-        ControlFlow::Continue(())
-    });
+    }
+    let outcome = result.value.outcome;
     if !options.json {
         out.push_str(&format!(
             "{} maximal biclique(s){}\n",
@@ -159,6 +169,12 @@ mod tests {
         assert_eq!(o.min_right, 3);
         assert_eq!(o.max_results, Some(10));
         assert!(o.json);
+    }
+
+    #[test]
+    fn parses_threads() {
+        let o = parse("g.txt --threads 0").unwrap();
+        assert_eq!(o.threads, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::time::Duration;
 
 use mbb_bigraph::io::read_edge_list_file;
-use mbb_core::frontier::SizeFrontier;
+use mbb_core::MbbEngine;
 use serde::Serialize;
 
 /// Usage text for the subcommand.
@@ -77,7 +77,12 @@ struct JsonFrontier {
 pub fn run(options: &FrontierOptions) -> Result<String, String> {
     let graph =
         read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
-    let frontier = SizeFrontier::of(&graph, options.budget_secs.map(Duration::from_secs));
+    let engine = MbbEngine::new(graph);
+    let mut query = engine.query();
+    if let Some(secs) = options.budget_secs {
+        query = query.deadline(Duration::from_secs(secs));
+    }
+    let frontier = query.frontier().value;
     if options.json {
         let mut out = serde_json::to_string_pretty(&JsonFrontier {
             complete: frontier.complete,

@@ -3,15 +3,18 @@
 use std::time::Duration;
 
 use mbb_bigraph::io::read_edge_list_file;
-use mbb_core::topk::topk_balanced_bicliques;
+use mbb_core::MbbEngine;
 use serde::Serialize;
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "\
-usage: mbb topk <edge-list-file> --k <N> [--budget-secs <N>] [--json]
+usage: mbb topk <edge-list-file> --k <N> [--budget-secs <N>]
+                [--threads <N>] [--json]
 
 Prints the N maximal bicliques with the largest balanced size
-min(|A|, |B|), best first, 1-based ids matching the input file.";
+min(|A|, |B|), best first, 1-based ids matching the input file.
+--threads 0 uses one worker per core (reserved for the engine's
+parallel stages; the ranking itself is sequential).";
 
 /// Parsed `topk` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,6 +25,8 @@ pub struct TopkOptions {
     pub k: usize,
     /// Time budget in seconds.
     pub budget_secs: Option<u64>,
+    /// Engine worker threads (0 = one per core).
+    pub threads: usize,
     /// Emit JSON.
     pub json: bool,
 }
@@ -33,6 +38,7 @@ impl TopkOptions {
             input: String::new(),
             k: 0,
             budget_secs: None,
+            threads: 1,
             json: false,
         };
         let mut k_given = false;
@@ -59,6 +65,12 @@ impl TopkOptions {
                             .parse()
                             .map_err(|_| format!("--budget-secs: bad number {value:?}"))?,
                     );
+                }
+                "--threads" => {
+                    let value = value_of("--threads")?;
+                    options.threads = value
+                        .parse()
+                        .map_err(|_| format!("--threads: bad number {value:?}"))?;
                 }
                 other if other.starts_with('-') => {
                     return Err(format!("unknown option {other:?}"));
@@ -99,13 +111,15 @@ struct JsonBiclique {
 pub fn run(options: &TopkOptions) -> Result<String, String> {
     let graph =
         read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
-    let outcome = topk_balanced_bicliques(
-        &graph,
-        options.k,
-        options.budget_secs.map(Duration::from_secs),
-    );
-    let rows: Vec<JsonBiclique> = outcome
-        .bicliques
+    let engine = MbbEngine::new(graph);
+    let mut query = engine.query().threads(options.threads);
+    if let Some(secs) = options.budget_secs {
+        query = query.deadline(Duration::from_secs(secs));
+    }
+    let result = query.topk(options.k);
+    let complete = result.termination.is_complete();
+    let rows: Vec<JsonBiclique> = result
+        .value
         .iter()
         .enumerate()
         .map(|(i, b)| JsonBiclique {
@@ -117,7 +131,7 @@ pub fn run(options: &TopkOptions) -> Result<String, String> {
         .collect();
     if options.json {
         let mut out = serde_json::to_string_pretty(&JsonResult {
-            complete: outcome.complete,
+            complete,
             bicliques: rows,
         })
         .expect("result serialises");
@@ -131,7 +145,7 @@ pub fn run(options: &TopkOptions) -> Result<String, String> {
             row.rank, row.balanced_size, row.left, row.right
         ));
     }
-    if !outcome.complete {
+    if !complete {
         out.push_str("[stopped early — ranking may be incomplete]\n");
     }
     if rows.is_empty() {
@@ -153,6 +167,13 @@ mod tests {
         let o = parse("g.txt --k 5 --json").unwrap();
         assert_eq!(o.k, 5);
         assert!(o.json);
+        assert_eq!(o.threads, 1);
+    }
+
+    #[test]
+    fn parses_threads() {
+        let o = parse("g.txt --k 2 --threads 0").unwrap();
+        assert_eq!(o.threads, 0);
     }
 
     #[test]

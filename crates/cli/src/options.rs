@@ -19,11 +19,14 @@ options:
       basic  basicBB (Algorithm 1)              — reference, tiny graphs
       ext    extBBClq baseline (Zhou et al. 2018)
   --order <bidegeneracy|degeneracy|degree>  hbv search order (default: bidegeneracy)
-  --threads <N>       parallel verification workers (default: 1)
-  --budget-secs <N>   time budget for the ext baseline (default: none)
-  --json              machine-readable output
-  --stats             include solver statistics
-  --help              this text";
+  --threads <N>        parallel verification workers; 0 = one per core
+                       (default: 1, the paper's sequential algorithm)
+  --deadline-secs <N>  abandon the hbv search after N seconds and report
+                       the best-so-far biclique (marked as a lower bound)
+  --budget-secs <N>    time budget for the ext baseline (default: none)
+  --json               machine-readable output
+  --stats              include solver statistics
+  --help               this text";
 
 /// Which solver to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,8 +50,10 @@ pub struct Options {
     pub algorithm: Algorithm,
     /// Search order for `hbv`.
     pub order: SearchOrder,
-    /// Verification threads for `hbv`.
+    /// Verification threads for `hbv` (0 = one per available core).
     pub threads: usize,
+    /// Deadline for the `hbv` engine query (best-so-far on expiry).
+    pub deadline: Option<Duration>,
     /// Budget for the `ext` baseline.
     pub budget: Option<Duration>,
     /// Emit JSON.
@@ -67,6 +72,7 @@ impl Options {
             algorithm: Algorithm::Hbv,
             order: SearchOrder::Bidegeneracy,
             threads: 1,
+            deadline: None,
             budget: None,
             json: false,
             stats: false,
@@ -109,6 +115,13 @@ impl Options {
                         .parse()
                         .map_err(|_| format!("--budget-secs: bad number {value:?}"))?;
                     options.budget = Some(Duration::from_secs(secs));
+                }
+                "--deadline-secs" => {
+                    let value = iter.next().ok_or("--deadline-secs needs a value")?;
+                    let secs: u64 = value
+                        .parse()
+                        .map_err(|_| format!("--deadline-secs: bad number {value:?}"))?;
+                    options.deadline = Some(Duration::from_secs(secs));
                 }
                 other if other.starts_with('-') => {
                     return Err(format!("unknown option {other:?}"));
@@ -166,6 +179,13 @@ mod tests {
     fn help_without_input_is_fine() {
         let o = parse("--help").unwrap();
         assert!(o.help);
+    }
+
+    #[test]
+    fn deadline_and_auto_threads_parse() {
+        let o = parse("g.txt --threads 0 --deadline-secs 2").unwrap();
+        assert_eq!(o.threads, 0);
+        assert_eq!(o.deadline, Some(Duration::from_secs(2)));
     }
 
     #[test]

@@ -7,7 +7,7 @@ use mbb_bigraph::local::LocalGraph;
 use mbb_core::basic::basic_bb;
 use mbb_core::biclique::Biclique;
 use mbb_core::stats::SolveStats;
-use mbb_core::{dense_mbb_graph, MbbSolver, SolverConfig};
+use mbb_core::{dense_mbb_graph, MbbEngine, SolverConfig};
 
 use crate::options::{Algorithm, Options};
 
@@ -34,18 +34,32 @@ pub struct Report {
 
 /// Loads the graph and runs the selected solver.
 pub fn run(options: &Options) -> Result<Report, String> {
-    let graph =
-        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
+    let graph = std::sync::Arc::new(
+        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?,
+    );
     let start = Instant::now();
     let (biclique, stats, timed_out, algorithm) = match options.algorithm {
         Algorithm::Hbv => {
-            let solver = MbbSolver::with_config(SolverConfig {
-                order: options.order,
-                verify_threads: options.threads,
-                ..Default::default()
-            });
-            let result = solver.solve(&graph);
-            (result.biclique, Some(result.stats), false, "hbvMBB")
+            // Arc-share the graph with the engine: no CSR copy.
+            let engine = MbbEngine::from_arc(
+                graph.clone(),
+                SolverConfig {
+                    order: options.order,
+                    verify_threads: options.threads,
+                    ..Default::default()
+                },
+            );
+            let mut query = engine.query();
+            if let Some(deadline) = options.deadline {
+                query = query.deadline(deadline);
+            }
+            let result = query.solve();
+            (
+                result.value,
+                Some(result.stats),
+                !result.termination.is_complete(),
+                "hbvMBB",
+            )
         }
         Algorithm::Dense => {
             let result = dense_mbb_graph(&graph);

@@ -12,10 +12,11 @@
 use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::graph::{BipartiteGraph, Side, Vertex};
 use mbb_bigraph::local::LocalGraph;
-use mbb_bigraph::two_hop::n_le2;
+use mbb_bigraph::two_hop::{n_le2, TwoHopIndex};
 
 use crate::biclique::Biclique;
-use crate::dense::{dense_mbb_seeded, DenseConfig};
+use crate::budget::SearchBudget;
+use crate::dense::{dense_mbb_budgeted, DenseConfig};
 use crate::stats::SearchStats;
 
 /// The largest balanced biclique containing `anchor`, and the search
@@ -23,24 +24,53 @@ use crate::stats::SearchStats;
 ///
 /// Returns the empty biclique only when `anchor` has no incident edge.
 ///
+/// Deprecated one-shot form; prefer
+/// [`MbbEngine::anchored`](crate::engine::MbbEngine::anchored), which
+/// caches the two-hop index across anchored queries:
+///
 /// ```
 /// use mbb_bigraph::graph::{BipartiteGraph, Vertex};
-/// use mbb_core::anchored::anchored_mbb;
+/// use mbb_core::engine::MbbEngine;
 ///
 /// // L0 is pendant; the 2×2 block lives on {1,2}×{1,2}.
 /// let g = BipartiteGraph::from_edges(
 ///     3, 3,
 ///     [(0, 0), (1, 1), (1, 2), (2, 1), (2, 2)],
 /// )?;
-/// let through_pendant = anchored_mbb(&g, Vertex::left(0)).0;
+/// let engine = MbbEngine::new(g);
+/// let through_pendant = engine.anchored(Vertex::left(0)).value;
 /// assert_eq!(through_pendant.half_size(), 1);
 /// assert_eq!(through_pendant.left, vec![0]);
-/// let through_block = anchored_mbb(&g, Vertex::left(1)).0;
+/// let through_block = engine.anchored(Vertex::left(1)).value;
 /// assert_eq!(through_block.half_size(), 2);
 /// # Ok::<(), mbb_bigraph::graph::GraphError>(())
 /// ```
+#[deprecated(
+    since = "0.2.0",
+    note = "use MbbEngine::anchored / engine.query().anchored(v) instead"
+)]
 pub fn anchored_mbb(graph: &BipartiteGraph, anchor: Vertex) -> (Biclique, SearchStats) {
-    let (neighbors, two_hop) = n_le2(graph, anchor);
+    anchored_budgeted(graph, anchor, None, &SearchBudget::unlimited())
+}
+
+/// The budgeted, index-aware anchored search behind
+/// [`MbbEngine::anchored`](crate::engine::MbbEngine::anchored): an
+/// optional cached [`TwoHopIndex`] replaces the per-query `N≤2` walk, and
+/// the seeded `denseMBB` run honours the [`SearchBudget`] (best-so-far on
+/// exhaustion).
+pub fn anchored_budgeted(
+    graph: &BipartiteGraph,
+    anchor: Vertex,
+    index: Option<&TwoHopIndex>,
+    budget: &SearchBudget,
+) -> (Biclique, SearchStats) {
+    let (neighbors, two_hop) = match index {
+        Some(index) => {
+            let (n1, n2) = index.n_le2(graph, anchor);
+            (n1.to_vec(), n2.to_vec())
+        }
+        None => n_le2(graph, anchor),
+    };
     if neighbors.is_empty() {
         return (Biclique::empty(), SearchStats::default());
     }
@@ -59,7 +89,7 @@ pub fn anchored_mbb(graph: &BipartiteGraph, anchor: Vertex) -> (Biclique, Search
     let (local_result, stats) = match anchor.side {
         Side::Left => {
             let local = LocalGraph::induced(graph, &same_side, &neighbors);
-            dense_mbb_seeded(
+            dense_mbb_budgeted(
                 &local,
                 vec![0],
                 Vec::new(),
@@ -67,11 +97,12 @@ pub fn anchored_mbb(graph: &BipartiteGraph, anchor: Vertex) -> (Biclique, Search
                 other_cands,
                 0,
                 DenseConfig::default(),
+                budget,
             )
         }
         Side::Right => {
             let local = LocalGraph::induced(graph, &neighbors, &same_side);
-            dense_mbb_seeded(
+            dense_mbb_budgeted(
                 &local,
                 Vec::new(),
                 vec![0],
@@ -79,6 +110,7 @@ pub fn anchored_mbb(graph: &BipartiteGraph, anchor: Vertex) -> (Biclique, Search
                 same_cands,
                 0,
                 DenseConfig::default(),
+                budget,
             )
         }
     };
@@ -104,15 +136,37 @@ pub fn anchored_mbb(graph: &BipartiteGraph, anchor: Vertex) -> (Biclique, Search
 
 /// The largest balanced biclique containing the edge `(u, v)` (left `u`,
 /// right `v`). Returns `None` when the edge is absent from the graph.
+#[deprecated(
+    since = "0.2.0",
+    note = "use MbbEngine::anchored_edge / engine.query().anchored_edge(u, v) instead"
+)]
 pub fn anchored_mbb_edge(
     graph: &BipartiteGraph,
     u: u32,
     v: u32,
 ) -> Option<(Biclique, SearchStats)> {
+    anchored_edge_budgeted(graph, u, v, None, &SearchBudget::unlimited())
+}
+
+/// The budgeted, index-aware edge-anchored search behind
+/// [`MbbEngine::anchored_edge`](crate::engine::MbbEngine::anchored_edge).
+pub fn anchored_edge_budgeted(
+    graph: &BipartiteGraph,
+    u: u32,
+    v: u32,
+    index: Option<&TwoHopIndex>,
+    budget: &SearchBudget,
+) -> Option<(Biclique, SearchStats)> {
     if !graph.has_edge(u, v) {
         return None;
     }
-    let (u_neighbors, u_two_hop) = n_le2(graph, Vertex::left(u));
+    let (u_neighbors, u_two_hop) = match index {
+        Some(index) => {
+            let (n1, n2) = index.n_le2(graph, Vertex::left(u));
+            (n1.to_vec(), n2.to_vec())
+        }
+        None => n_le2(graph, Vertex::left(u)),
+    };
 
     // Scope: left side {u} ∪ N2(u) restricted to N(v); right side N(u).
     // Every biclique through the edge has A ⊆ N(v) and B ⊆ N(u).
@@ -132,7 +186,7 @@ pub fn anchored_mbb_edge(
     let mut cb = BitSet::full(right_ids.len());
     cb.remove(v_local as usize);
 
-    let (local_result, stats) = dense_mbb_seeded(
+    let (local_result, stats) = dense_mbb_budgeted(
         &local,
         vec![0],
         vec![v_local],
@@ -140,6 +194,7 @@ pub fn anchored_mbb_edge(
         cb,
         0,
         DenseConfig::default(),
+        budget,
     );
     let left = local_result
         .left
@@ -194,7 +249,7 @@ mod tests {
             let g = generators::uniform_edges(8, 8, 30, seed);
             for u in 0..8u32 {
                 let anchor = Vertex::left(u);
-                let (b, _) = anchored_mbb(&g, anchor);
+                let (b, _) = anchored_budgeted(&g, anchor, None, &SearchBudget::unlimited());
                 assert_eq!(
                     b.half_size(),
                     brute_anchored(&g, anchor),
@@ -214,7 +269,7 @@ mod tests {
             let g = generators::uniform_edges(8, 8, 30, seed);
             for v in 0..8u32 {
                 let anchor = Vertex::right(v);
-                let (b, _) = anchored_mbb(&g, anchor);
+                let (b, _) = anchored_budgeted(&g, anchor, None, &SearchBudget::unlimited());
                 assert_eq!(
                     b.half_size(),
                     brute_anchored(&g, anchor),
@@ -230,19 +285,26 @@ mod tests {
     #[test]
     fn isolated_anchor_returns_empty() {
         let g = BipartiteGraph::from_edges(3, 3, [(0, 0)]).unwrap();
-        let (b, _) = anchored_mbb(&g, Vertex::left(2));
+        let (b, _) = anchored_budgeted(&g, Vertex::left(2), None, &SearchBudget::unlimited());
         assert!(b.is_empty());
-        let (b, _) = anchored_mbb(&g, Vertex::right(1));
+        let (b, _) = anchored_budgeted(&g, Vertex::right(1), None, &SearchBudget::unlimited());
         assert!(b.is_empty());
     }
 
     #[test]
     fn anchored_never_exceeds_global_mbb() {
         let g = generators::uniform_edges(10, 10, 40, 3);
-        let global = crate::solver::solve_mbb(&g).half_size();
+        let global = crate::solver::MbbSolver::new()
+            .solve(&g)
+            .biclique
+            .half_size();
         let mut best_anchored = 0;
         for u in 0..10u32 {
-            best_anchored = best_anchored.max(anchored_mbb(&g, Vertex::left(u)).0.half_size());
+            best_anchored = best_anchored.max(
+                anchored_budgeted(&g, Vertex::left(u), None, &SearchBudget::unlimited())
+                    .0
+                    .half_size(),
+            );
         }
         // Some anchor lies inside the MBB, so the max over anchors equals it.
         assert_eq!(best_anchored, global);
@@ -253,7 +315,8 @@ mod tests {
         for seed in 0..10u64 {
             let g = generators::uniform_edges(8, 8, 28, seed ^ 0x44);
             for (u, v) in g.edges().take(10) {
-                let (b, _) = anchored_mbb_edge(&g, u, v).expect("edge exists");
+                let (b, _) = anchored_edge_budgeted(&g, u, v, None, &SearchBudget::unlimited())
+                    .expect("edge exists");
                 assert!(b.left.contains(&u), "seed {seed} edge ({u},{v})");
                 assert!(b.right.contains(&v));
                 assert!(b.is_valid(&g));
@@ -265,14 +328,14 @@ mod tests {
     #[test]
     fn edge_anchor_missing_edge_is_none() {
         let g = BipartiteGraph::from_edges(2, 2, [(0, 0), (1, 1)]).unwrap();
-        assert!(anchored_mbb_edge(&g, 0, 1).is_none());
+        assert!(anchored_edge_budgeted(&g, 0, 1, None, &SearchBudget::unlimited()).is_none());
     }
 
     #[test]
     fn edge_anchor_matches_vertex_anchor_on_blocks() {
         // In a complete block the edge anchor finds the whole block.
         let g = generators::complete(4, 5);
-        let (b, _) = anchored_mbb_edge(&g, 1, 2).unwrap();
+        let (b, _) = anchored_edge_budgeted(&g, 1, 2, None, &SearchBudget::unlimited()).unwrap();
         assert_eq!(b.half_size(), 4);
     }
 
@@ -281,7 +344,7 @@ mod tests {
         let mut edges: Vec<(u32, u32)> = (0..3).flat_map(|u| (0..3).map(move |v| (u, v))).collect();
         edges.push((3, 3));
         let g = BipartiteGraph::from_edges(4, 4, edges).unwrap();
-        let (b, _) = anchored_mbb(&g, Vertex::left(3));
+        let (b, _) = anchored_budgeted(&g, Vertex::left(3), None, &SearchBudget::unlimited());
         assert_eq!(b.half_size(), 1);
         assert_eq!(b.left, vec![3]);
         assert_eq!(b.right, vec![3]);

@@ -18,6 +18,7 @@ use mbb_bigraph::subgraph::induce_by_ids;
 use mbb_bigraph::two_hop::n2_neighbors;
 
 use crate::biclique::Biclique;
+use crate::budget::SearchBudget;
 use crate::heuristic::{greedy_balanced, map_to_parent};
 
 /// A surviving vertex-centred subgraph, in the ids of the graph the bridge
@@ -113,6 +114,21 @@ pub fn bridge_mbb(
     incumbent: Biclique,
     config: BridgeConfig,
 ) -> BridgeOutcome {
+    bridge_mbb_budgeted(graph, order, incumbent, config, &SearchBudget::unlimited())
+}
+
+/// [`bridge_mbb`] under a [`SearchBudget`]: the per-centre generation loop
+/// stops once the budget is exhausted, returning the survivors admitted so
+/// far (the caller's termination state records that the decomposition is
+/// partial).
+pub fn bridge_mbb_budgeted(
+    graph: &BipartiteGraph,
+    order: &[u32],
+    incumbent: Biclique,
+    config: BridgeConfig,
+    budget: &SearchBudget,
+) -> BridgeOutcome {
+    let mut budget = budget.clone();
     let n = graph.num_vertices();
     debug_assert_eq!(order.len(), n);
     let mut rank = vec![0u32; n];
@@ -125,6 +141,9 @@ pub fn bridge_mbb(
     let mut survivors = Vec::new();
 
     for (i, &center_global) in order.iter().enumerate() {
+        if budget.is_exhausted() {
+            break;
+        }
         let center = graph.vertex_of_global(center_global as usize);
         // Assemble {centre} ∪ (N≤2(centre) ∩ later).
         let later = |side: Side, idx: u32| -> bool {

@@ -21,6 +21,7 @@ use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::local::LocalGraph;
 
 use crate::basic::LocalBiclique;
+use crate::budget::SearchBudget;
 use crate::poly::dynamic_mbb;
 use crate::reduce::reduce_candidates;
 use crate::stats::SearchStats;
@@ -93,6 +94,33 @@ pub fn dense_mbb_seeded(
     initial_half: usize,
     config: DenseConfig,
 ) -> (LocalBiclique, SearchStats) {
+    dense_mbb_budgeted(
+        graph,
+        a,
+        b,
+        ca,
+        cb,
+        initial_half,
+        config,
+        &SearchBudget::unlimited(),
+    )
+}
+
+/// [`dense_mbb_seeded`] under a [`SearchBudget`]: the branch-and-bound
+/// checks the budget at every node and unwinds with the best-so-far
+/// biclique once it is exhausted (anytime semantics). With an unlimited
+/// budget this is exactly `dense_mbb_seeded`.
+#[allow(clippy::too_many_arguments)] // mirrors the seeded entry point
+pub fn dense_mbb_budgeted(
+    graph: &LocalGraph,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    ca: BitSet,
+    cb: BitSet,
+    initial_half: usize,
+    config: DenseConfig,
+    budget: &SearchBudget,
+) -> (LocalBiclique, SearchStats) {
     debug_assert!(a.iter().all(|&u| {
         cb.iter().all(|v| graph.has_edge(u, v as u32)) && b.iter().all(|&v| graph.has_edge(u, v))
     }));
@@ -105,6 +133,7 @@ pub fn dense_mbb_seeded(
         best_half: initial_half,
         stats: SearchStats::default(),
         config,
+        budget: budget.clone(),
     };
     let mut a = a;
     let mut b = b;
@@ -119,6 +148,7 @@ struct DenseSearcher<'g> {
     best_half: usize,
     stats: SearchStats,
     config: DenseConfig,
+    budget: SearchBudget,
 }
 
 impl DenseSearcher<'_> {
@@ -150,6 +180,13 @@ impl DenseSearcher<'_> {
         loop {
             self.stats.nodes += 1;
             self.stats.max_depth = self.stats.max_depth.max(depth);
+
+            // Budget: once exhausted every level breaks immediately, so the
+            // whole recursion unwinds with the best-so-far result.
+            if self.budget.is_exhausted() {
+                self.leaf(depth);
+                break;
+            }
 
             // Bounding (line 1).
             let cap = (a.len() + ca.len()).min(b.len() + cb.len());

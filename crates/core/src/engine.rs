@@ -1,0 +1,652 @@
+//! `MbbEngine` — the unified query session over one bipartite graph.
+//!
+//! The paper's `hbvMBB` is one algorithm, but this crate grew ~10 sibling
+//! workloads (top-k, anchored, weighted, MEB, frontier, size-constrained,
+//! enumeration, incremental). As free functions they each re-derived the
+//! expensive per-graph structure — peel orders, the bicore decomposition,
+//! two-hop neighbourhoods — on every call. A service answering many
+//! queries against one graph wants the opposite: build once, query many
+//! times (the progressive-query amortisation argument of Lyu et al.,
+//! PVLDB 2020).
+//!
+//! [`MbbEngine`] owns the CSR graph plus that shared state, computed
+//! lazily on first use and cached for the session:
+//!
+//! * the total **search order** for the configured [`SearchOrder`]
+//!   (projected onto each solve's reduced residual instead of re-peeled);
+//! * the **bicore decomposition** (bidegeneracy order + δ̈);
+//! * the **two-hop index** (materialised once anchored queries repeat).
+//!
+//! Every query goes through one builder with shared budget plumbing:
+//!
+//! ```
+//! use std::time::Duration;
+//! use mbb_core::engine::MbbEngine;
+//!
+//! let graph = mbb_bigraph::generators::uniform_edges(50, 50, 300, 7);
+//! let engine = MbbEngine::new(graph);
+//! let result = engine
+//!     .query()
+//!     .deadline(Duration::from_secs(5))
+//!     .threads(2)
+//!     .solve();
+//! assert!(result.termination.is_complete());
+//! assert!(result.value.is_valid(engine.graph()));
+//! // A second query reuses the cached order instead of recomputing it.
+//! let again = engine.query().solve();
+//! assert_eq!(again.stats.index.orders_computed, 1);
+//! assert!(again.stats.index.orders_reused >= 1);
+//! ```
+//!
+//! All nine query kinds return a [`QueryResult`]: the typed payload, a
+//! consolidated [`SolveStats`] (including session index-reuse counters),
+//! and a [`Termination`] that replaces the old scattered `complete: bool`
+//! flags — `DeadlineExceeded` and `Cancelled` results carry the best
+//! answer found so far (anytime semantics), never a silent truncation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use mbb_bigraph::bicore::{bicore_decomposition, BicoreDecomposition};
+use mbb_bigraph::graph::{BipartiteGraph, Vertex};
+use mbb_bigraph::order::{compute_order, SearchOrder};
+use mbb_bigraph::two_hop::TwoHopIndex;
+
+use crate::anchored::{anchored_budgeted, anchored_edge_budgeted};
+use crate::biclique::Biclique;
+use crate::budget::{CancelToken, SearchBudget, Termination};
+use crate::enumerate::{enumerate_budgeted, EnumConfig, EnumOutcome, MaximalBiclique};
+use crate::frontier::SizeFrontier;
+use crate::meb::{maximum_edge_biclique_budgeted, EdgeBiclique};
+use crate::size_constrained::{find_size_constrained_budgeted, SizeConstrainedBiclique};
+use crate::solver::{MbbSolver, SessionOrder, SolverConfig};
+use crate::stats::{IndexStats, SolveStats};
+use crate::topk::topk_budgeted;
+use crate::weighted::{weighted_mbb_budgeted, WeightedBiclique};
+
+/// The outcome of any engine query: a typed payload, consolidated solver
+/// statistics (with session index-reuse counters), and how the query
+/// ended. Non-`Complete` terminations still carry the best answer found
+/// before the budget ran out.
+#[derive(Debug, Clone)]
+pub struct QueryResult<T> {
+    /// The query's typed payload.
+    pub value: T,
+    /// Solver + session statistics.
+    pub stats: SolveStats,
+    /// Whether the answer is exact (`Complete`) or best-so-far.
+    pub termination: Termination,
+}
+
+/// The collected output of an enumeration query.
+#[derive(Debug, Clone)]
+pub struct Enumeration {
+    /// The maximal bicliques reported under the configured filters.
+    pub bicliques: Vec<MaximalBiclique>,
+    /// The enumerator's own outcome (visited/reported counts; `complete`
+    /// is false for *any* early stop, including `max_results`).
+    pub outcome: EnumOutcome,
+}
+
+/// Cached session order: the permutation, its rank table, and the session
+/// graph's bidegeneracy when the order is [`SearchOrder::Bidegeneracy`].
+#[derive(Debug)]
+struct OrderIndex {
+    rank: Vec<u32>,
+    bidegeneracy: u32,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    orders_computed: AtomicU64,
+    orders_reused: AtomicU64,
+    bicores_computed: AtomicU64,
+    bicores_reused: AtomicU64,
+    two_hops_computed: AtomicU64,
+    two_hops_reused: AtomicU64,
+    preprocess_nanos: AtomicU64,
+    anchored_queries: AtomicU64,
+}
+
+/// A query session over one bipartite graph. Build once per graph, run
+/// any number of queries; see the [module docs](self) for the full story.
+///
+/// The engine is `Sync`: queries take `&self`, so one engine can serve
+/// concurrent readers (each query may additionally parallelise its own
+/// verification stage via [`QueryBuilder::threads`]).
+#[derive(Debug)]
+pub struct MbbEngine {
+    graph: Arc<BipartiteGraph>,
+    config: SolverConfig,
+    order: OnceLock<OrderIndex>,
+    bicore: OnceLock<BicoreDecomposition>,
+    two_hop: OnceLock<TwoHopIndex>,
+    counters: Counters,
+}
+
+impl MbbEngine {
+    /// An engine with the paper's default solver configuration.
+    pub fn new(graph: BipartiteGraph) -> MbbEngine {
+        MbbEngine::with_config(graph, SolverConfig::default())
+    }
+
+    /// An engine with an explicit solver configuration (search order,
+    /// ablations, default verification threads).
+    pub fn with_config(graph: BipartiteGraph, config: SolverConfig) -> MbbEngine {
+        MbbEngine::from_arc(Arc::new(graph), config)
+    }
+
+    /// An engine sharing an already-`Arc`ed graph (for services that keep
+    /// the graph alive across many engines or hand it to other readers).
+    pub fn from_arc(graph: Arc<BipartiteGraph>, config: SolverConfig) -> MbbEngine {
+        MbbEngine {
+            graph,
+            config,
+            order: OnceLock::new(),
+            bicore: OnceLock::new(),
+            two_hop: OnceLock::new(),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The session graph.
+    pub fn graph(&self) -> &BipartiteGraph {
+        &self.graph
+    }
+
+    /// The session solver configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    /// Snapshot of the cumulative session index-reuse counters.
+    pub fn index_stats(&self) -> IndexStats {
+        IndexStats {
+            orders_computed: self.counters.orders_computed.load(Ordering::Relaxed),
+            orders_reused: self.counters.orders_reused.load(Ordering::Relaxed),
+            bicores_computed: self.counters.bicores_computed.load(Ordering::Relaxed),
+            bicores_reused: self.counters.bicores_reused.load(Ordering::Relaxed),
+            two_hops_computed: self.counters.two_hops_computed.load(Ordering::Relaxed),
+            two_hops_reused: self.counters.two_hops_reused.load(Ordering::Relaxed),
+            preprocess_seconds: self.counters.preprocess_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+
+    /// Starts a query: chain budget/thread options, then call one of the
+    /// terminal methods (`solve`, `topk(k)`, `anchored(v)`, …).
+    pub fn query(&self) -> QueryBuilder<'_> {
+        QueryBuilder {
+            engine: self,
+            deadline: None,
+            cancel: None,
+            threads: None,
+            incumbent: Biclique::empty(),
+        }
+    }
+
+    // ---- Convenience one-liners (default budget/threads). ----
+
+    /// The maximum balanced biclique (Algorithm 4 over the session state).
+    pub fn solve(&self) -> QueryResult<Biclique> {
+        self.query().solve()
+    }
+
+    /// The `k` best balanced bicliques.
+    pub fn topk(&self, k: usize) -> QueryResult<Vec<MaximalBiclique>> {
+        self.query().topk(k)
+    }
+
+    /// The largest balanced biclique through `anchor`.
+    pub fn anchored(&self, anchor: Vertex) -> QueryResult<Biclique> {
+        self.query().anchored(anchor)
+    }
+
+    /// The largest balanced biclique through edge `(u, v)`, or `None` when
+    /// the edge is absent.
+    pub fn anchored_edge(&self, u: u32, v: u32) -> QueryResult<Option<Biclique>> {
+        self.query().anchored_edge(u, v)
+    }
+
+    /// The heaviest balanced biclique under per-vertex weights.
+    pub fn weighted(&self, weights: &[u64]) -> QueryResult<WeightedBiclique> {
+        self.query().weighted(weights)
+    }
+
+    /// The maximum edge biclique.
+    pub fn meb(&self) -> QueryResult<EdgeBiclique> {
+        self.query().meb()
+    }
+
+    /// The Pareto frontier of feasible biclique sizes.
+    pub fn frontier(&self) -> QueryResult<SizeFrontier> {
+        self.query().frontier()
+    }
+
+    /// A witness for the `(a, b)`-biclique problem, if one exists.
+    pub fn size_constrained(
+        &self,
+        a: usize,
+        b: usize,
+    ) -> QueryResult<Option<SizeConstrainedBiclique>> {
+        self.query().size_constrained(a, b)
+    }
+
+    /// All maximal bicliques under `config`'s filters.
+    pub fn enumerate(&self, config: EnumConfig) -> QueryResult<Enumeration> {
+        self.query().enumerate(config)
+    }
+
+    // ---- Cached index accessors. ----
+
+    fn bicore(&self) -> &BicoreDecomposition {
+        if let Some(cached) = self.bicore.get() {
+            self.counters.bicores_reused.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.bicore.get_or_init(|| {
+            let start = Instant::now();
+            let decomposition = bicore_decomposition(&self.graph);
+            self.note_preprocess(start);
+            self.counters
+                .bicores_computed
+                .fetch_add(1, Ordering::Relaxed);
+            decomposition
+        })
+    }
+
+    fn order_index(&self) -> &OrderIndex {
+        if let Some(cached) = self.order.get() {
+            self.counters.orders_reused.fetch_add(1, Ordering::Relaxed);
+            return cached;
+        }
+        self.order.get_or_init(|| {
+            // The bidegeneracy order *is* the bicore peel order: derive it
+            // from the cached decomposition instead of re-peeling. Timing
+            // starts after that call — bicore() records its own build.
+            let (order, bidegeneracy) = match self.config.order {
+                SearchOrder::Bidegeneracy => {
+                    let bicore = self.bicore();
+                    (bicore.order.clone(), bicore.bidegeneracy)
+                }
+                other => {
+                    let start = Instant::now();
+                    let order = compute_order(&self.graph, other);
+                    self.note_preprocess(start);
+                    (order, 0)
+                }
+            };
+            let start = Instant::now();
+            let mut rank = vec![0u32; order.len()];
+            for (i, &g) in order.iter().enumerate() {
+                rank[g as usize] = i as u32;
+            }
+            self.note_preprocess(start);
+            self.counters
+                .orders_computed
+                .fetch_add(1, Ordering::Relaxed);
+            OrderIndex { rank, bidegeneracy }
+        })
+    }
+
+    /// The two-hop index, materialised adaptively: the first anchored
+    /// query walks `N≤2` directly (an index for a single anchor would cost
+    /// more than it saves); from the second anchored query on, the session
+    /// clearly serves an anchored workload and the full index pays for
+    /// itself.
+    fn two_hop_for_anchored(&self) -> Option<&TwoHopIndex> {
+        let prior = self
+            .counters
+            .anchored_queries
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(cached) = self.two_hop.get() {
+            self.counters
+                .two_hops_reused
+                .fetch_add(1, Ordering::Relaxed);
+            return Some(cached);
+        }
+        if prior == 0 {
+            return None;
+        }
+        Some(self.two_hop.get_or_init(|| {
+            let start = Instant::now();
+            let index = TwoHopIndex::build(&self.graph);
+            self.note_preprocess(start);
+            self.counters
+                .two_hops_computed
+                .fetch_add(1, Ordering::Relaxed);
+            index
+        }))
+    }
+
+    fn note_preprocess(&self, start: Instant) {
+        self.counters
+            .preprocess_nanos
+            .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    fn finish<T>(&self, value: T, mut stats: SolveStats, budget: &SearchBudget) -> QueryResult<T> {
+        stats.index = self.index_stats();
+        QueryResult {
+            value,
+            stats,
+            termination: budget.termination(),
+        }
+    }
+}
+
+/// Builder for one engine query: budget and thread options first, then a
+/// terminal method naming the query kind.
+#[derive(Debug)]
+pub struct QueryBuilder<'e> {
+    engine: &'e MbbEngine,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    threads: Option<usize>,
+    incumbent: Biclique,
+}
+
+impl<'e> QueryBuilder<'e> {
+    /// Abandon the search `limit` from now, returning the best so far
+    /// with [`Termination::DeadlineExceeded`]. The budget is checked per
+    /// search node inside the exponential phases; polynomial
+    /// preprocessing (the stage-1 heuristic, cached-index builds) is not
+    /// interrupted, so the worst-case overshoot includes one such pass.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(Instant::now() + limit);
+        self
+    }
+
+    /// Like [`deadline`](Self::deadline) with an absolute instant.
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attach a [`CancelToken`]; calling
+    /// [`cancel`](CancelToken::cancel) on any clone stops the query at its
+    /// next budget check with [`Termination::Cancelled`].
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Verification worker threads for this query: `0` = one per
+    /// available core, unset = the engine config's default.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Warm-start `solve` with a known balanced biclique of the session
+    /// graph (e.g. the previous optimum in an incremental setting); it
+    /// seeds every pruning bound.
+    pub fn warm_start(mut self, incumbent: Biclique) -> Self {
+        self.incumbent = incumbent;
+        self
+    }
+
+    fn budget(&self) -> SearchBudget {
+        SearchBudget::new(self.deadline, self.cancel.clone())
+    }
+
+    // ---- Terminal methods: the nine query kinds. ----
+
+    /// The maximum balanced biclique of the session graph (the `hbvMBB`
+    /// framework, Algorithm 4), reusing the session's cached order.
+    pub fn solve(self) -> QueryResult<Biclique> {
+        let engine = self.engine;
+        let budget = self.budget();
+        let mut config = engine.config;
+        if let Some(threads) = self.threads {
+            config.verify_threads = threads;
+        }
+        let order = engine.order_index();
+        let session = SessionOrder {
+            rank: &order.rank,
+            bidegeneracy: order.bidegeneracy,
+        };
+        let result = MbbSolver::with_config(config).solve_session(
+            &engine.graph,
+            self.incumbent,
+            &budget,
+            Some(session),
+        );
+        engine.finish(result.biclique, result.stats, &budget)
+    }
+
+    /// The `k` maximal bicliques with the largest balanced size, best
+    /// first.
+    pub fn topk(self, k: usize) -> QueryResult<Vec<MaximalBiclique>> {
+        let budget = self.budget();
+        let outcome = topk_budgeted(&self.engine.graph, k, &budget);
+        self.engine
+            .finish(outcome.bicliques, SolveStats::default(), &budget)
+    }
+
+    /// The largest balanced biclique containing `anchor` (empty only when
+    /// the anchor has no incident edge).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `anchor` is out of range for the session graph.
+    pub fn anchored(self, anchor: Vertex) -> QueryResult<Biclique> {
+        let budget = self.budget();
+        let index = self.engine.two_hop_for_anchored();
+        let (biclique, search) = anchored_budgeted(&self.engine.graph, anchor, index, &budget);
+        let stats = SolveStats {
+            search,
+            optimum_half: biclique.half_size(),
+            ..SolveStats::default()
+        };
+        self.engine.finish(biclique, stats, &budget)
+    }
+
+    /// The largest balanced biclique containing edge `(u, v)` (left `u`,
+    /// right `v`), or `None` when the edge is absent from the graph.
+    pub fn anchored_edge(self, u: u32, v: u32) -> QueryResult<Option<Biclique>> {
+        let budget = self.budget();
+        let index = self.engine.two_hop_for_anchored();
+        let found = anchored_edge_budgeted(&self.engine.graph, u, v, index, &budget);
+        let (value, search) = match found {
+            Some((biclique, search)) => (Some(biclique), search),
+            None => (None, Default::default()),
+        };
+        let stats = SolveStats {
+            search,
+            optimum_half: value.as_ref().map_or(0, Biclique::half_size),
+            ..SolveStats::default()
+        };
+        self.engine.finish(value, stats, &budget)
+    }
+
+    /// The heaviest balanced biclique under per-vertex `weights` (indexed
+    /// by global id: left vertices first, then right).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `weights.len() != graph.num_vertices()`.
+    pub fn weighted(self, weights: &[u64]) -> QueryResult<WeightedBiclique> {
+        let budget = self.budget();
+        let (found, search) = weighted_mbb_budgeted(&self.engine.graph, weights, &budget);
+        let stats = SolveStats {
+            search,
+            optimum_half: found.left.len(),
+            ..SolveStats::default()
+        };
+        self.engine.finish(found, stats, &budget)
+    }
+
+    /// The maximum **edge** biclique (`max |A| · |B|`).
+    pub fn meb(self) -> QueryResult<EdgeBiclique> {
+        let budget = self.budget();
+        let found = maximum_edge_biclique_budgeted(&self.engine.graph, &budget);
+        self.engine.finish(found, SolveStats::default(), &budget)
+    }
+
+    /// The Pareto frontier of feasible biclique sizes. On a
+    /// non-`Complete` termination the frontier is a lower-bound
+    /// approximation (its `complete` field mirrors the termination).
+    pub fn frontier(self) -> QueryResult<SizeFrontier> {
+        let budget = self.budget();
+        let frontier = SizeFrontier::budgeted(&self.engine.graph, &budget);
+        self.engine.finish(frontier, SolveStats::default(), &budget)
+    }
+
+    /// A witness for the size-constrained `(a, b)`-biclique problem.
+    /// `None` under a non-`Complete` termination means "not found in
+    /// time", not certified infeasibility.
+    pub fn size_constrained(
+        self,
+        a: usize,
+        b: usize,
+    ) -> QueryResult<Option<SizeConstrainedBiclique>> {
+        let budget = self.budget();
+        let witness = find_size_constrained_budgeted(&self.engine.graph, a, b, &budget);
+        self.engine.finish(witness, SolveStats::default(), &budget)
+    }
+
+    /// Collects every maximal biclique passing `config`'s filters. For
+    /// streams too large to materialise, use
+    /// [`enumerate_budgeted`] directly with a callback.
+    pub fn enumerate(self, config: EnumConfig) -> QueryResult<Enumeration> {
+        let budget = self.budget();
+        let mut bicliques = Vec::new();
+        let outcome = enumerate_budgeted(&self.engine.graph, &config, &budget, |b| {
+            bicliques.push(b.clone());
+            std::ops::ControlFlow::Continue(())
+        });
+        self.engine.finish(
+            Enumeration { bicliques, outcome },
+            SolveStats::default(),
+            &budget,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbb_bigraph::generators;
+
+    #[test]
+    fn shared_indices_are_computed_exactly_once() {
+        let g = generators::uniform_edges(30, 30, 140, 5);
+        let engine = MbbEngine::new(g);
+        let solved = engine.solve();
+        let top = engine.topk(3);
+        let anchored = engine.anchored(Vertex::left(0));
+        assert!(solved.termination.is_complete());
+        assert!(top.termination.is_complete());
+        assert!(anchored.termination.is_complete());
+        // The acceptance bar: one order, one bicore for the whole session.
+        let index = anchored.stats.index;
+        assert_eq!(index.orders_computed, 1);
+        assert_eq!(index.bicores_computed, 1);
+        // A second solve reuses the cached order.
+        let again = engine.solve();
+        assert_eq!(again.stats.index.orders_computed, 1);
+        assert!(again.stats.index.orders_reused >= 1);
+        assert_eq!(solved.value.half_size(), again.value.half_size());
+    }
+
+    #[test]
+    fn two_hop_index_materialises_on_second_anchored_query() {
+        let g = generators::uniform_edges(20, 20, 90, 2);
+        let engine = MbbEngine::new(g);
+        let first = engine.anchored(Vertex::left(1));
+        assert_eq!(first.stats.index.two_hops_computed, 0);
+        let second = engine.anchored(Vertex::left(2));
+        assert_eq!(second.stats.index.two_hops_computed, 1);
+        let third = engine.anchored(Vertex::right(3));
+        assert_eq!(third.stats.index.two_hops_computed, 1);
+        assert!(third.stats.index.two_hops_reused >= 1);
+    }
+
+    #[test]
+    fn session_solve_matches_fresh_solver_on_random_graphs() {
+        for seed in 0..10u64 {
+            let g = generators::uniform_edges(14, 14, 75, seed);
+            let fresh = MbbSolver::new().solve(&g);
+            let engine = MbbEngine::new(g);
+            let session = engine.solve();
+            assert_eq!(
+                session.value.half_size(),
+                fresh.biclique.half_size(),
+                "seed {seed}"
+            );
+            assert!(session.value.is_valid(engine.graph()));
+        }
+    }
+
+    #[test]
+    fn ablation_configs_run_through_the_session_path() {
+        for config in [
+            SolverConfig::bd2(),
+            SolverConfig::bd4(),
+            SolverConfig::bd5(),
+        ] {
+            for seed in 0..4u64 {
+                let g = generators::uniform_edges(11, 11, 55, seed);
+                let fresh = MbbSolver::with_config(config).solve(&g);
+                let engine = MbbEngine::with_config(g, config);
+                let session = engine.solve();
+                assert_eq!(session.value.half_size(), fresh.biclique.half_size());
+            }
+        }
+    }
+
+    #[test]
+    fn cancelled_token_terminates_immediately() {
+        let g = generators::dense_uniform(40, 40, 0.8, 3);
+        let engine = MbbEngine::new(g);
+        let token = CancelToken::new();
+        token.cancel();
+        let result = engine.query().cancel_token(token).solve();
+        assert_eq!(result.termination, Termination::Cancelled);
+    }
+
+    #[test]
+    fn warm_start_solves_through_the_builder() {
+        let g = generators::complete(4, 4);
+        let engine = MbbEngine::new(g);
+        let incumbent = Biclique::balanced(vec![0], vec![0]);
+        let result = engine.query().warm_start(incumbent).solve();
+        assert_eq!(result.value.half_size(), 4);
+    }
+
+    #[test]
+    fn every_query_kind_answers_on_one_session() {
+        let g = generators::uniform_edges(12, 12, 55, 9);
+        let engine = MbbEngine::new(g);
+        let solve = engine.solve();
+        assert!(solve.termination.is_complete());
+        assert_eq!(engine.topk(2).value.len().min(2), 2);
+        let (u, v) = engine.graph().edges().next().expect("has edges");
+        assert!(engine.anchored(Vertex::left(u)).value.left.contains(&u));
+        assert!(engine.anchored_edge(u, v).value.is_some());
+        let weights = vec![1u64; engine.graph().num_vertices()];
+        assert_eq!(
+            engine.weighted(&weights).value.weight as usize,
+            2 * solve.value.half_size()
+        );
+        assert!(engine.meb().value.edges() >= solve.value.half_size().pow(2));
+        let frontier = engine.frontier();
+        assert_eq!(frontier.value.mbb_half(), solve.value.half_size());
+        let half = solve.value.half_size();
+        assert!(engine.size_constrained(half, half).value.is_some());
+        assert!(engine.size_constrained(13, 13).value.is_none());
+        let enumeration = engine.enumerate(EnumConfig::default());
+        assert!(enumeration.value.outcome.complete);
+        assert_eq!(
+            enumeration
+                .value
+                .bicliques
+                .iter()
+                .map(MaximalBiclique::balanced_size)
+                .max()
+                .unwrap_or(0),
+            solve.value.half_size()
+        );
+    }
+}

@@ -20,6 +20,8 @@ use std::time::Duration;
 
 use mbb_bigraph::graph::{sorted_intersection, sorted_intersection_len, BipartiteGraph};
 
+use crate::budget::SearchBudget;
+
 /// A maximal biclique in original graph indices: no vertex of either side
 /// can be added without breaking completeness. Unlike
 /// [`crate::Biclique`], the sides may have different sizes.
@@ -122,6 +124,9 @@ struct Enumerator<'g, F> {
     stopped: bool,
     deadline: Option<std::time::Instant>,
     ticks: u64,
+    /// Session budget (deadline/cancellation shared with the caller); the
+    /// `deadline` field above is the per-call `EnumConfig::budget` cap.
+    budget: SearchBudget,
     /// Dynamic balanced-size lower bound: branches whose best possible
     /// `min(|A|, |B|)` is strictly below the floor are skipped entirely.
     /// The top-k searcher raises it as its heap fills; `0` disables it.
@@ -137,6 +142,9 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
                     self.stopped = true;
                 }
             }
+        }
+        if self.budget.is_exhausted() {
+            self.stopped = true;
         }
         self.stopped
     }
@@ -271,7 +279,23 @@ pub fn enumerate_maximal_bicliques<F>(
 where
     F: FnMut(&MaximalBiclique) -> ControlFlow<()>,
 {
-    enumerate_with_floor(graph, config, None, visit)
+    enumerate_budgeted(graph, config, &SearchBudget::unlimited(), visit)
+}
+
+/// [`enumerate_maximal_bicliques`] under a session [`SearchBudget`]: the
+/// enumeration additionally stops (incomplete) once the budget's deadline
+/// passes or its cancel token fires. `EnumConfig::budget` still applies as
+/// an independent per-call cap.
+pub fn enumerate_budgeted<F>(
+    graph: &BipartiteGraph,
+    config: &EnumConfig,
+    budget: &SearchBudget,
+    visit: F,
+) -> EnumOutcome
+where
+    F: FnMut(&MaximalBiclique) -> ControlFlow<()>,
+{
+    enumerate_with_floor(graph, config, budget, None, visit)
 }
 
 /// Enumeration with an optional dynamic balanced-size floor (used by the
@@ -282,6 +306,7 @@ where
 pub(crate) fn enumerate_with_floor<F>(
     graph: &BipartiteGraph,
     config: &EnumConfig,
+    budget: &SearchBudget,
     floor: Option<Rc<Cell<usize>>>,
     visit: F,
 ) -> EnumOutcome
@@ -298,6 +323,7 @@ where
         stopped: false,
         deadline,
         ticks: 0,
+        budget: budget.clone(),
         floor,
     };
     // Root: right side empty, left side = all non-isolated left vertices

@@ -8,11 +8,13 @@
 //! frontier answers every size-constrained existence query at once, and
 //! its balanced corner `max min(a, b)` is the MBB half-size.
 
+use std::ops::ControlFlow;
 use std::time::Duration;
 
 use mbb_bigraph::graph::BipartiteGraph;
 
-use crate::enumerate::{all_maximal_bicliques, EnumConfig};
+use crate::budget::SearchBudget;
+use crate::enumerate::{enumerate_budgeted, EnumConfig};
 
 /// The biclique size frontier of a graph.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -32,8 +34,27 @@ impl SizeFrontier {
     /// points, but certifying it needs all maximal bicliques); pass a
     /// budget on large dense graphs.
     ///
+    /// Legacy one-shot form whose `Option<Duration>` budget truncates
+    /// silently (`complete: false` cannot say why); prefer
+    /// [`MbbEngine::frontier`](crate::engine::MbbEngine::frontier), which
+    /// reports a typed [`Termination`](crate::budget::Termination).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use MbbEngine::frontier / engine.query().frontier() instead"
+    )]
+    pub fn of(graph: &BipartiteGraph, budget: Option<Duration>) -> SizeFrontier {
+        let budget = budget.map_or_else(SearchBudget::unlimited, SearchBudget::with_deadline);
+        SizeFrontier::budgeted(graph, &budget)
+    }
+
+    /// Computes the frontier under a shared [`SearchBudget`] — the entry
+    /// point behind [`MbbEngine::frontier`](crate::engine::MbbEngine::frontier),
+    /// whose [`Termination`](crate::budget::Termination) replaces the bare
+    /// `complete` flag with the reason the enumeration stopped.
+    ///
     /// ```
     /// use mbb_bigraph::graph::BipartiteGraph;
+    /// use mbb_core::budget::SearchBudget;
     /// use mbb_core::frontier::SizeFrontier;
     ///
     /// // A 1×3 star plus a 2×2 block sharing no vertices.
@@ -41,19 +62,18 @@ impl SizeFrontier {
     ///     3, 5,
     ///     [(0, 0), (0, 1), (0, 2), (1, 3), (1, 4), (2, 3), (2, 4)],
     /// )?;
-    /// let frontier = SizeFrontier::of(&g, None);
+    /// let frontier = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
     /// assert_eq!(frontier.pairs, vec![(1, 3), (2, 2)]);
     /// assert_eq!(frontier.mbb_half(), 2);
     /// # Ok::<(), mbb_bigraph::graph::GraphError>(())
     /// ```
-    pub fn of(graph: &BipartiteGraph, budget: Option<Duration>) -> SizeFrontier {
-        let config = EnumConfig {
-            budget,
-            ..EnumConfig::default()
-        };
-        let (all, complete) = all_maximal_bicliques(graph, &config);
-        let mut pairs: Vec<(usize, usize)> =
-            all.iter().map(|b| (b.left.len(), b.right.len())).collect();
+    pub fn budgeted(graph: &BipartiteGraph, budget: &SearchBudget) -> SizeFrontier {
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        let outcome = enumerate_budgeted(graph, &EnumConfig::default(), budget, |b| {
+            pairs.push((b.left.len(), b.right.len()));
+            ControlFlow::Continue(())
+        });
+        let complete = outcome.complete;
         pairs.sort_unstable();
         pairs.dedup();
         // Pareto filter: sorted by (a, b) ascending, scan from the right
@@ -101,7 +121,7 @@ impl SizeFrontier {
 mod tests {
     use super::*;
     use crate::meb::maximum_edge_biclique;
-    use crate::solver::solve_mbb;
+    use crate::solver::MbbSolver;
     use mbb_bigraph::generators;
     use mbb_bigraph::matching::maximum_vertex_biclique;
 
@@ -109,7 +129,7 @@ mod tests {
     fn frontier_is_antichain_and_sorted() {
         for seed in 0..15u64 {
             let g = generators::uniform_edges(9, 9, 35, seed);
-            let f = SizeFrontier::of(&g, None);
+            let f = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
             assert!(f.complete);
             for w in f.pairs.windows(2) {
                 assert!(w[0].0 < w[1].0, "a ascending: {:?}", f.pairs);
@@ -122,8 +142,12 @@ mod tests {
     fn corners_match_dedicated_solvers() {
         for seed in 0..12u64 {
             let g = generators::uniform_edges(8, 8, 30, seed ^ 0x20);
-            let f = SizeFrontier::of(&g, None);
-            assert_eq!(f.mbb_half(), solve_mbb(&g).half_size(), "seed {seed}");
+            let f = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
+            assert_eq!(
+                f.mbb_half(),
+                MbbSolver::new().solve(&g).biclique.half_size(),
+                "seed {seed}"
+            );
             let meb = maximum_edge_biclique(&g);
             assert_eq!(
                 f.meb_edges(),
@@ -140,7 +164,7 @@ mod tests {
     #[test]
     fn feasibility_queries() {
         let g = generators::complete(3, 4);
-        let f = SizeFrontier::of(&g, None);
+        let f = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
         assert_eq!(f.pairs, vec![(3, 4)]);
         assert!(f.is_feasible(2, 2));
         assert!(f.is_feasible(3, 4));
@@ -151,7 +175,7 @@ mod tests {
     #[test]
     fn empty_graph_has_empty_frontier() {
         let g = BipartiteGraph::from_edges(3, 3, []).unwrap();
-        let f = SizeFrontier::of(&g, None);
+        let f = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
         assert!(f.pairs.is_empty());
         assert_eq!(f.mbb_half(), 0);
         assert!(!f.is_feasible(1, 1));
@@ -161,7 +185,7 @@ mod tests {
     fn frontier_points_are_realizable() {
         use crate::size_constrained::find_size_constrained;
         let g = generators::uniform_edges(8, 8, 30, 3);
-        let f = SizeFrontier::of(&g, None);
+        let f = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
         for &(a, b) in &f.pairs {
             let witness = find_size_constrained(&g, a, b);
             assert!(witness.is_some(), "({a}, {b}) should be realizable");
@@ -172,7 +196,7 @@ mod tests {
     fn dominated_points_are_infeasible_beyond_frontier() {
         use crate::size_constrained::find_size_constrained;
         let g = generators::uniform_edges(8, 8, 30, 7);
-        let f = SizeFrontier::of(&g, None);
+        let f = SizeFrontier::budgeted(&g, &SearchBudget::unlimited());
         // One past the frontier in each coordinate must be infeasible.
         for &(a, b) in &f.pairs {
             if !f.is_feasible(a + 1, b) {

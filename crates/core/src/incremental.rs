@@ -4,33 +4,57 @@
 //! Re-running the full solver from scratch after every batch of updates
 //! wastes the strongest pruning signal available: the previous optimum.
 //! [`IncrementalMbb`] tracks an edge set, remembers the last solution,
-//! and warm-starts [`MbbSolver::solve_with_incumbent`] with it whenever
-//! it is still a biclique of the current graph:
+//! and warm-starts an [`MbbEngine`] session with it whenever it is still
+//! a biclique of the current graph:
 //!
 //! * **insertions** never invalidate the cached solution (edges are only
 //!   added), so it always seeds the next solve;
 //! * **deletions** invalidate it only when a cached pair loses its edge,
-//!   which is checked in O(|cached|²) at solve time.
+//!   which is checked eagerly on removal;
+//! * while the edge set is unchanged, the same engine session is reused,
+//!   so its cached indices (order, bicore) amortise across repeated
+//!   [`solve`](IncrementalMbb::solve) calls and any ad-hoc queries made
+//!   through [`engine`](IncrementalMbb::engine).
 
 use std::collections::HashSet;
 
 use mbb_bigraph::graph::{BipartiteGraph, Builder, GraphError};
 
 use crate::biclique::Biclique;
+use crate::engine::MbbEngine;
 use crate::solver::{MbbSolver, SolveResult};
 
 /// An evolving bipartite graph with warm-started MBB re-solving.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct IncrementalMbb {
     num_left: u32,
     num_right: u32,
     edges: HashSet<(u32, u32)>,
     solver: MbbSolver,
+    /// Engine over the last materialised snapshot; dropped when the edge
+    /// set changes (its cached indices describe the old graph).
+    engine: Option<MbbEngine>,
     /// Last solve's optimum; `None` until the first solve or after a
     /// structural change that emptied it.
     cached: Option<Biclique>,
     /// True when the edge set changed since `cached` was computed.
     dirty: bool,
+}
+
+impl Clone for IncrementalMbb {
+    /// Clones the tracked edge set and cache; the engine session is not
+    /// cloned (the clone rebuilds its own on the next solve).
+    fn clone(&self) -> IncrementalMbb {
+        IncrementalMbb {
+            num_left: self.num_left,
+            num_right: self.num_right,
+            edges: self.edges.clone(),
+            solver: self.solver.clone(),
+            engine: None,
+            cached: self.cached.clone(),
+            dirty: self.dirty,
+        }
+    }
 }
 
 impl IncrementalMbb {
@@ -46,6 +70,7 @@ impl IncrementalMbb {
             num_right,
             edges: HashSet::new(),
             solver,
+            engine: None,
             cached: None,
             dirty: false,
         }
@@ -68,6 +93,7 @@ impl IncrementalMbb {
         let added = self.edges.insert((u, v));
         if added {
             self.dirty = true;
+            self.engine = None; // session indices describe the old graph
         }
         Ok(added)
     }
@@ -77,8 +103,9 @@ impl IncrementalMbb {
         let removed = self.edges.remove(&(u, v));
         if removed {
             self.dirty = true;
-            // Deletion can break the cached biclique; drop it eagerly if
-            // the removed edge spans two cached vertices.
+            self.engine = None; // session indices describe the old graph
+                                // Deletion can break the cached biclique; drop it eagerly if
+                                // the removed edge spans two cached vertices.
             if let Some(cached) = &self.cached {
                 if cached.left.binary_search(&u).is_ok() && cached.right.binary_search(&v).is_ok() {
                     self.cached = None;
@@ -130,12 +157,16 @@ impl IncrementalMbb {
     /// # Ok::<(), mbb_bigraph::graph::GraphError>(())
     /// ```
     pub fn solve(&mut self) -> SolveResult {
-        let graph = self.snapshot();
         if !self.dirty {
             if let Some(cached) = &self.cached {
                 // Nothing changed: the cache is the optimum.
                 let stats = crate::stats::SolveStats {
                     optimum_half: cached.half_size(),
+                    index: self
+                        .engine
+                        .as_ref()
+                        .map(MbbEngine::index_stats)
+                        .unwrap_or_default(),
                     ..Default::default()
                 };
                 return SolveResult {
@@ -144,14 +175,35 @@ impl IncrementalMbb {
                 };
             }
         }
-        let incumbent = match self.cached.take() {
-            Some(cached) if cached.is_valid(&graph) => cached,
+        let incumbent = self.cached.take();
+        let engine = self.refresh_engine();
+        let incumbent = match incumbent {
+            Some(cached) if cached.is_valid(engine.graph()) => cached,
             _ => Biclique::empty(),
         };
-        let result = self.solver.solve_with_incumbent(&graph, incumbent);
-        self.cached = Some(result.biclique.clone());
+        let result = engine.query().warm_start(incumbent).solve();
+        self.cached = Some(result.value.clone());
         self.dirty = false;
-        result
+        SolveResult {
+            biclique: result.value,
+            stats: result.stats,
+        }
+    }
+
+    /// The engine session over the *current* snapshot, (re)built only when
+    /// the edge set changed since the last solve. Use it for ad-hoc
+    /// queries (top-k, anchored, …) between updates — they share the
+    /// session's cached indices with the warm-started solves.
+    pub fn engine(&mut self) -> &MbbEngine {
+        self.refresh_engine()
+    }
+
+    fn refresh_engine(&mut self) -> &MbbEngine {
+        if self.engine.is_none() {
+            let graph = self.snapshot();
+            self.engine = Some(MbbEngine::with_config(graph, self.solver.config));
+        }
+        self.engine.as_ref().expect("engine just ensured")
     }
 
     fn check_bounds(&self, u: u32, v: u32) -> Result<(), GraphError> {
@@ -169,7 +221,8 @@ impl IncrementalMbb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::solve_mbb;
+    use crate::solver::MbbSolver;
+
     use mbb_bigraph::generators;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -182,7 +235,7 @@ mod tests {
             let u = rng.gen_range(0..10);
             let v = rng.gen_range(0..10);
             inc.insert_edge(u, v).unwrap();
-            let fresh = solve_mbb(&inc.snapshot());
+            let fresh = MbbSolver::new().solve(&inc.snapshot()).biclique;
             let warm = inc.solve();
             assert_eq!(warm.biclique.half_size(), fresh.half_size());
             assert!(warm.biclique.is_valid(&inc.snapshot()));
@@ -202,7 +255,7 @@ mod tests {
             } else {
                 inc.insert_edge(u, v).unwrap();
             }
-            let fresh = solve_mbb(&inc.snapshot());
+            let fresh = MbbSolver::new().solve(&inc.snapshot()).biclique;
             let warm = inc.solve();
             assert_eq!(warm.biclique.half_size(), fresh.half_size(), "step {step}");
         }

@@ -21,11 +21,18 @@
 //! (vertex-weighted variant), [`frontier`] (the feasible-size Pareto
 //! frontier), [`size_constrained`] and [`meb`].
 //!
+//! All of these are served by one session object, [`engine::MbbEngine`]:
+//! build it once per graph and it caches the expensive shared indices
+//! (search orders, bicore decomposition, two-hop index) across every
+//! query, with deadlines and cancellation threaded through the hot
+//! search loops ([`budget`]).
+//!
 //! # Quickstart
 //!
 //! ```
+//! use std::time::Duration;
 //! use mbb_bigraph::graph::BipartiteGraph;
-//! use mbb_core::solver::solve_mbb;
+//! use mbb_core::engine::MbbEngine;
 //!
 //! // The sparse example of the paper's Figure 1(b): the MBB is
 //! // ({3, 4}, {9, 10}) — half-size 2.
@@ -34,8 +41,13 @@
 //!     [(0, 0), (1, 0), (1, 1), (2, 1), (2, 2), (2, 3),
 //!      (3, 2), (3, 3), (4, 2), (4, 3), (5, 4), (5, 5)],
 //! )?;
-//! let mbb = solve_mbb(&g);
-//! assert_eq!(mbb.half_size(), 2);
+//! let engine = MbbEngine::new(g);
+//! let mbb = engine.query().deadline(Duration::from_secs(10)).solve();
+//! assert!(mbb.termination.is_complete());
+//! assert_eq!(mbb.value.half_size(), 2);
+//! // Follow-up queries on the same session reuse the cached indices.
+//! let top2 = engine.topk(2);
+//! assert_eq!(top2.value[0].balanced_size(), 2);
 //! # Ok::<(), mbb_bigraph::graph::GraphError>(())
 //! ```
 
@@ -45,7 +57,9 @@ pub mod anchored;
 pub mod basic;
 pub mod biclique;
 pub mod bridge;
+pub mod budget;
 pub mod dense;
+pub mod engine;
 pub mod enumerate;
 pub mod enumerate_scoped;
 pub mod frontier;
@@ -64,9 +78,14 @@ pub mod verify;
 pub mod weighted;
 
 pub use biclique::Biclique;
+pub use budget::{CancelToken, SearchBudget, Termination};
+pub use engine::{Enumeration, MbbEngine, QueryBuilder, QueryResult};
 pub use enumerate::{enumerate_maximal_bicliques, EnumConfig, MaximalBiclique};
 pub use frontier::SizeFrontier;
 pub use incremental::IncrementalMbb;
-pub use solver::{dense_mbb_graph, solve_mbb, MbbSolver, SolveResult, SolverConfig};
-pub use stats::{SolveStats, Stage};
+#[allow(deprecated)]
+pub use solver::solve_mbb;
+pub use solver::{dense_mbb_graph, resolve_threads, MbbSolver, SolveResult, SolverConfig};
+pub use stats::{IndexStats, SolveStats, Stage};
+#[allow(deprecated)]
 pub use topk::topk_balanced_bicliques;

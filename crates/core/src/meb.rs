@@ -14,6 +14,8 @@
 
 use mbb_bigraph::graph::{sorted_intersection, BipartiteGraph};
 
+use crate::budget::SearchBudget;
+
 /// An edge-maximal biclique witness.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EdgeBiclique {
@@ -44,6 +46,15 @@ impl EdgeBiclique {
 /// # Ok::<(), mbb_bigraph::graph::GraphError>(())
 /// ```
 pub fn maximum_edge_biclique(graph: &BipartiteGraph) -> EdgeBiclique {
+    maximum_edge_biclique_budgeted(graph, &SearchBudget::unlimited())
+}
+
+/// [`maximum_edge_biclique`] under a [`SearchBudget`]: returns the best
+/// edge biclique found before the budget expired.
+pub fn maximum_edge_biclique_budgeted(
+    graph: &BipartiteGraph,
+    budget: &SearchBudget,
+) -> EdgeBiclique {
     let mut state = MebSearcher {
         graph,
         best: EdgeBiclique {
@@ -51,6 +62,7 @@ pub fn maximum_edge_biclique(graph: &BipartiteGraph) -> EdgeBiclique {
             right: Vec::new(),
         },
         best_edges: 0,
+        budget: budget.clone(),
     };
     // Left vertices in degree-descending order: large stars early give a
     // strong initial product bound.
@@ -65,10 +77,14 @@ struct MebSearcher<'g> {
     graph: &'g BipartiteGraph,
     best: EdgeBiclique,
     best_edges: usize,
+    budget: SearchBudget,
 }
 
 impl MebSearcher<'_> {
     fn expand(&mut self, chosen: &mut Vec<u32>, common: &[u32], candidates: &[u32]) {
+        if self.budget.is_exhausted() {
+            return;
+        }
         let edges = chosen.len() * common.len();
         if edges > self.best_edges {
             self.best_edges = edges;
@@ -162,7 +178,7 @@ mod tests {
         // k×k balanced biclique has k² edges ≤ MEB edges.
         for seed in 0..8u64 {
             let g = generators::uniform_edges(12, 12, 70, seed);
-            let mbb = crate::solve_mbb(&g);
+            let mbb = crate::MbbSolver::new().solve(&g).biclique;
             let meb = maximum_edge_biclique(&g);
             assert!(
                 meb.edges() >= mbb.half_size() * mbb.half_size(),
@@ -180,7 +196,7 @@ mod tests {
         let g = BipartiteGraph::from_edges(3, 8, edges).unwrap();
         let meb = maximum_edge_biclique(&g);
         assert_eq!(meb.edges(), 6, "star wins on edges");
-        let mbb = crate::solve_mbb(&g);
+        let mbb = crate::MbbSolver::new().solve(&g).biclique;
         assert_eq!(mbb.half_size(), 2, "2x2 block wins on balance");
     }
 }

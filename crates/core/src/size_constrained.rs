@@ -11,6 +11,8 @@ use mbb_bigraph::graph::BipartiteGraph;
 use mbb_bigraph::local::LocalGraph;
 use mbb_bigraph::subgraph::{induce_by_mask, InducedSubgraph};
 
+use crate::budget::SearchBudget;
+
 /// A witness for an `(a, b)`-biclique query: `left.len() ≥ a`,
 /// `right.len() ≥ b`, complete between the sides.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,6 +86,19 @@ pub fn find_size_constrained(
     a: usize,
     b: usize,
 ) -> Option<SizeConstrainedBiclique> {
+    find_size_constrained_budgeted(graph, a, b, &SearchBudget::unlimited())
+}
+
+/// [`find_size_constrained`] under a [`SearchBudget`]. On exhaustion the
+/// query returns `None` without having certified infeasibility — the
+/// engine's [`Termination`](crate::budget::Termination) distinguishes the
+/// two cases.
+pub fn find_size_constrained_budgeted(
+    graph: &BipartiteGraph,
+    a: usize,
+    b: usize,
+    budget: &SearchBudget,
+) -> Option<SizeConstrainedBiclique> {
     if a == 0 || b == 0 {
         // One side empty: any `max(a, …)` vertices of the non-empty side do.
         if a == 0 && graph.num_right() >= b {
@@ -117,7 +132,8 @@ pub fn find_size_constrained(
         c
     };
     let common = BitSet::full(local.num_right());
-    let witness = search(&local, &mut chosen, &common, &candidates, a, b)?;
+    let mut budget = budget.clone();
+    let witness = search(&local, &mut chosen, &common, &candidates, a, b, &mut budget)?;
     let (left_local, right_local) = witness;
     let mut left: Vec<u32> = left_local.iter().map(|&u| reduced.parent_left(u)).collect();
     let mut right: Vec<u32> = right_local
@@ -132,6 +148,7 @@ pub fn find_size_constrained(
 
 /// DFS over left subsets, keeping the common right-neighbourhood; stops at
 /// the first witness.
+#[allow(clippy::too_many_arguments)] // internal DFS state
 fn search(
     local: &LocalGraph,
     chosen: &mut Vec<u32>,
@@ -139,7 +156,11 @@ fn search(
     candidates: &[u32],
     a: usize,
     b: usize,
+    budget: &mut SearchBudget,
 ) -> Option<(Vec<u32>, Vec<u32>)> {
+    if budget.is_exhausted() {
+        return None;
+    }
     if chosen.len() >= a && common.len() >= b {
         return Some((chosen.clone(), common.to_vec()[..b].to_vec()));
     }
@@ -153,7 +174,7 @@ fn search(
             continue;
         }
         chosen.push(u);
-        if let Some(found) = search(local, chosen, &next, &candidates[i + 1..], a, b) {
+        if let Some(found) = search(local, chosen, &next, &candidates[i + 1..], a, b, budget) {
             return Some(found);
         }
         chosen.pop();

@@ -8,14 +8,40 @@ use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::graph::BipartiteGraph;
 use mbb_bigraph::local::LocalGraph;
 use mbb_bigraph::order::{compute_order, SearchOrder};
-use mbb_bigraph::subgraph::InducedSubgraph;
+use mbb_bigraph::subgraph::{project_order, InducedSubgraph};
 
 use crate::biclique::Biclique;
-use crate::bridge::{bridge_mbb, BridgeConfig};
+use crate::bridge::{bridge_mbb_budgeted, BridgeConfig};
+use crate::budget::SearchBudget;
 use crate::dense::{dense_mbb_seeded, DenseConfig};
 use crate::heuristic::{greedy_balanced, hmbb, map_to_parent, DEFAULT_SEEDS};
 use crate::stats::{SolveStats, Stage};
-use crate::verify::{verify_mbb, VerifyConfig};
+use crate::verify::{verify_mbb_budgeted, VerifyConfig};
+
+/// Resolves a thread-count knob: `0` means "one worker per available
+/// core" ([`std::thread::available_parallelism`]), anything else is taken
+/// literally.
+pub fn resolve_threads(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        requested
+    }
+}
+
+/// A cached search order shared by an engine session: the rank of every
+/// session-graph global id under the session's total order, plus the
+/// session graph's bidegeneracy. The solver projects the rank onto the
+/// Lemma 4-reduced residual instead of recomputing a peel order — vertex-
+/// centred decomposition is correct under any total order, so this trades
+/// nothing but the (re-)peeling cost.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SessionOrder<'a> {
+    /// `rank[g]` = position of session global id `g` in the cached order.
+    pub rank: &'a [u32],
+    /// δ̈ of the session graph (0 unless the order is bidegeneracy).
+    pub bidegeneracy: u32,
+}
 
 /// Configuration of the `hbvMBB` framework. The defaults are the paper's
 /// full algorithm; each `bd*` constructor disables one ingredient for the
@@ -36,7 +62,9 @@ pub struct SolverConfig {
     pub order: SearchOrder,
     /// Seeds for the global and local greedy heuristics.
     pub heuristic_seeds: usize,
-    /// Worker threads for verification (1 = the paper's algorithm).
+    /// Worker threads for verification: `1` = the paper's sequential
+    /// algorithm, `0` = one worker per available core (see
+    /// [`resolve_threads`]).
     pub verify_threads: usize,
 }
 
@@ -147,6 +175,21 @@ impl MbbSolver {
     /// Panics when `incumbent` is not a valid balanced biclique of
     /// `graph`.
     pub fn solve_with_incumbent(&self, graph: &BipartiteGraph, incumbent: Biclique) -> SolveResult {
+        self.solve_session(graph, incumbent, &SearchBudget::unlimited(), None)
+    }
+
+    /// The full-control entry point behind the engine: warm start,
+    /// [`SearchBudget`] (deadline / cancellation, checked at stage
+    /// boundaries, per bridged centre and per `denseMBB` node), and an
+    /// optional cached session order. With an unlimited budget and no
+    /// session this is exactly [`solve_with_incumbent`](Self::solve_with_incumbent).
+    pub(crate) fn solve_session(
+        &self,
+        graph: &BipartiteGraph,
+        incumbent: Biclique,
+        budget: &SearchBudget,
+        session: Option<SessionOrder<'_>>,
+    ) -> SolveResult {
         assert!(
             incumbent.is_empty() || incumbent.is_valid(graph),
             "warm-start incumbent must be a balanced biclique of the graph"
@@ -185,8 +228,9 @@ impl MbbSolver {
         stats.heuristic_global_half = best.half_size();
         stats.stage_seconds[0] = stage1_start.elapsed().as_secs_f64();
 
-        // An empty reduced graph means the incumbent is optimal.
-        if reduced.graph.num_left() == 0 || reduced.graph.num_right() == 0 {
+        // An empty reduced graph means the incumbent is optimal; an
+        // exhausted budget means stage 1's best is all we may report.
+        if reduced.graph.num_left() == 0 || reduced.graph.num_right() == 0 || budget.probe() {
             stats.stage = Stage::S1;
             stats.heuristic_local_half = best.half_size();
             stats.optimum_half = best.half_size();
@@ -198,9 +242,18 @@ impl MbbSolver {
 
         // ---- Step 2: bridge to maximality (Algorithms 6 and 7). ----
         let stage2_start = Instant::now();
-        let order = compute_order(&reduced.graph, config.order);
+        let order = match session {
+            // Session path: restrict the cached full-graph order to the
+            // residual instead of re-peeling it.
+            Some(shared) => project_order(shared.rank, graph.num_left(), &reduced),
+            None => compute_order(&reduced.graph, config.order),
+        };
         if config.order == SearchOrder::Bidegeneracy {
-            stats.bidegeneracy = bicore_decomposition(&reduced.graph).bidegeneracy;
+            stats.bidegeneracy = match session {
+                // The session δ̈ bounds the residual's δ̈ from above.
+                Some(shared) => shared.bidegeneracy,
+                None => bicore_decomposition(&reduced.graph).bidegeneracy,
+            };
         }
         // Translate the incumbent into reduced-graph ids for local pruning;
         // its vertices may have been reduced away, but only its *size*
@@ -209,7 +262,7 @@ impl MbbSolver {
             left: vec![u32::MAX; best.half_size()],
             right: vec![u32::MAX; best.half_size()],
         };
-        let bridged = bridge_mbb(
+        let bridged = bridge_mbb_budgeted(
             &reduced.graph,
             &order,
             incumbent_local,
@@ -217,6 +270,7 @@ impl MbbSolver {
                 use_core_pruning: config.use_core_optimizations,
                 heuristic_seeds: config.heuristic_seeds.min(4),
             },
+            budget,
         );
         stats.subgraphs_generated = bridged.stats.generated;
         stats.avg_subgraph_density = bridged.stats.average_density();
@@ -229,7 +283,7 @@ impl MbbSolver {
         stats.subgraphs_verified = bridged.survivors.len();
         stats.stage_seconds[1] = stage2_start.elapsed().as_secs_f64();
 
-        if bridged.survivors.is_empty() {
+        if bridged.survivors.is_empty() || budget.probe() {
             stats.stage = Stage::S2;
             stats.optimum_half = best.half_size();
             return SolveResult {
@@ -249,15 +303,16 @@ impl MbbSolver {
             left: vec![u32::MAX; best.half_size()],
             right: vec![u32::MAX; best.half_size()],
         };
-        let (verified, search_stats) = verify_mbb(
+        let (verified, search_stats) = verify_mbb_budgeted(
             &reduced.graph,
             &bridged.survivors,
             incumbent_local,
             VerifyConfig {
                 use_core_reduction: config.use_core_optimizations,
                 dense: dense_config,
-                threads: config.verify_threads.max(1),
+                threads: config.verify_threads,
             },
+            budget,
         );
         stats.search = search_stats;
         if verified.half_size() > best.half_size() {
@@ -274,7 +329,17 @@ impl MbbSolver {
 }
 
 /// Convenience wrapper: solve with the default configuration.
+///
+/// Deprecated one-shot form; prefer
+/// [`MbbEngine::solve`](crate::engine::MbbEngine::solve), which caches the
+/// expensive per-graph indices for every follow-up query.
+#[deprecated(
+    since = "0.2.0",
+    note = "use MbbEngine::solve / engine.query().solve() instead"
+)]
 pub fn solve_mbb(graph: &BipartiteGraph) -> Biclique {
+    // Equivalent to a one-shot engine's solve(), minus the graph clone
+    // and session bookkeeping legacy callers never asked for.
     MbbSolver::new().solve(graph).biclique
 }
 

@@ -66,6 +66,28 @@ impl std::fmt::Display for Stage {
     }
 }
 
+/// Shared-index bookkeeping of an engine session: how often each cached
+/// structure was computed versus served from the session cache, plus the
+/// wall-clock cost of the computations. A fresh (non-engine) solve leaves
+/// everything at zero.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct IndexStats {
+    /// Search orders computed from scratch this session.
+    pub orders_computed: u64,
+    /// Queries served from the cached search order.
+    pub orders_reused: u64,
+    /// Bicore decompositions computed from scratch this session.
+    pub bicores_computed: u64,
+    /// Queries served from the cached bicore decomposition.
+    pub bicores_reused: u64,
+    /// Two-hop indices computed from scratch this session.
+    pub two_hops_computed: u64,
+    /// Queries served from the cached two-hop index.
+    pub two_hops_reused: u64,
+    /// Total seconds spent building cached indices this session.
+    pub preprocess_seconds: f64,
+}
+
 /// End-to-end statistics of one `hbvMBB` solve.
 #[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct SolveStats {
@@ -73,7 +95,12 @@ pub struct SolveStats {
     pub stage: Stage,
     /// Degeneracy `δ` of the (reduced) graph, if computed.
     pub degeneracy: u32,
-    /// Bidegeneracy `δ̈` of the reduced graph, if computed (0 otherwise).
+    /// Bidegeneracy `δ̈` under the bidegeneracy order (0 otherwise): the
+    /// Lemma 4-reduced residual's `δ̈` for a fresh
+    /// [`MbbSolver`](crate::solver::MbbSolver) solve,
+    /// or the *session graph's* cached `δ̈` (an upper bound on the
+    /// residual's) when solving through an `MbbEngine`, which reuses its
+    /// decomposition instead of re-peeling the residual.
     pub bidegeneracy: u32,
     /// Half-size found by the global heuristic (`heuGlobal` of Figure 4).
     pub heuristic_global_half: usize,
@@ -96,6 +123,9 @@ pub struct SolveStats {
     pub search: SearchStats,
     /// Wall-clock duration of each stage, seconds.
     pub stage_seconds: [f64; 3],
+    /// Session index-reuse counters (cumulative over the owning
+    /// `MbbEngine`; all zero outside an engine session).
+    pub index: IndexStats,
 }
 
 impl Default for SolveStats {
@@ -114,6 +144,7 @@ impl Default for SolveStats {
             max_subgraph_size: 0,
             search: SearchStats::default(),
             stage_seconds: [0.0; 3],
+            index: IndexStats::default(),
         }
     }
 }

@@ -22,6 +22,7 @@ use std::time::Duration;
 
 use mbb_bigraph::graph::BipartiteGraph;
 
+use crate::budget::SearchBudget;
 use crate::enumerate::{enumerate_with_floor, EnumConfig, MaximalBiclique};
 
 /// Ranking key: balanced size first, then total size, then the vertex
@@ -68,25 +69,44 @@ pub struct TopkOutcome {
 /// (`min(|A|, |B|)`, ties by total size). Fewer than `k` are returned
 /// when the graph has fewer maximal bicliques.
 ///
-/// ```
-/// use mbb_bigraph::graph::BipartiteGraph;
-/// use mbb_core::topk::topk_balanced_bicliques;
-///
-/// // A 3×3 block on {0,1,2} plus a pendant edge (3, 3).
-/// let mut edges: Vec<(u32, u32)> = (0..3).flat_map(|u| (0..3).map(move |v| (u, v))).collect();
-/// edges.push((3, 3));
-/// let g = BipartiteGraph::from_edges(4, 4, edges)?;
-/// let top = topk_balanced_bicliques(&g, 2, None);
-/// assert!(top.complete);
-/// assert_eq!(top.bicliques[0].balanced_size(), 3); // the block
-/// assert_eq!(top.bicliques[1].balanced_size(), 1); // the pendant edge
-/// # Ok::<(), mbb_bigraph::graph::GraphError>(())
-/// ```
+/// This is the deprecated one-shot form; prefer
+/// [`MbbEngine::topk`](crate::engine::MbbEngine::topk), which shares
+/// session state across queries and reports a typed
+/// [`Termination`](crate::budget::Termination) instead of a bare flag.
+#[deprecated(
+    since = "0.2.0",
+    note = "use MbbEngine::topk / engine.query().topk(k) instead"
+)]
 pub fn topk_balanced_bicliques(
     graph: &BipartiteGraph,
     k: usize,
     budget: Option<Duration>,
 ) -> TopkOutcome {
+    // Equivalent to a one-shot engine's topk(), minus the graph clone.
+    let budget = budget.map_or_else(SearchBudget::unlimited, SearchBudget::with_deadline);
+    topk_budgeted(graph, k, &budget)
+}
+
+/// The budgeted top-k search: ranks maximal bicliques by balanced size
+/// under a shared [`SearchBudget`]. An exhausted budget yields the best of
+/// what was seen (`complete: false`).
+///
+/// ```
+/// use mbb_bigraph::graph::BipartiteGraph;
+/// use mbb_core::budget::SearchBudget;
+/// use mbb_core::topk::topk_budgeted;
+///
+/// // A 3×3 block on {0,1,2} plus a pendant edge (3, 3).
+/// let mut edges: Vec<(u32, u32)> = (0..3).flat_map(|u| (0..3).map(move |v| (u, v))).collect();
+/// edges.push((3, 3));
+/// let g = BipartiteGraph::from_edges(4, 4, edges)?;
+/// let top = topk_budgeted(&g, 2, &SearchBudget::unlimited());
+/// assert!(top.complete);
+/// assert_eq!(top.bicliques[0].balanced_size(), 3); // the block
+/// assert_eq!(top.bicliques[1].balanced_size(), 1); // the pendant edge
+/// # Ok::<(), mbb_bigraph::graph::GraphError>(())
+/// ```
+pub fn topk_budgeted(graph: &BipartiteGraph, k: usize, budget: &SearchBudget) -> TopkOutcome {
     if k == 0 {
         return TopkOutcome {
             bicliques: Vec::new(),
@@ -96,11 +116,8 @@ pub fn topk_balanced_bicliques(
     let floor = Rc::new(Cell::new(0usize));
     // Min-heap of the current best k (Reverse flips the ordering).
     let mut heap: BinaryHeap<Reverse<Ranked>> = BinaryHeap::with_capacity(k + 1);
-    let config = EnumConfig {
-        budget,
-        ..EnumConfig::default()
-    };
-    let outcome = enumerate_with_floor(graph, &config, Some(Rc::clone(&floor)), |b| {
+    let config = EnumConfig::default();
+    let outcome = enumerate_with_floor(graph, &config, budget, Some(Rc::clone(&floor)), |b| {
         heap.push(Reverse(Ranked {
             biclique: b.clone(),
         }));
@@ -128,7 +145,7 @@ pub fn topk_balanced_bicliques(
 mod tests {
     use super::*;
     use crate::enumerate::all_maximal_bicliques;
-    use crate::solver::solve_mbb;
+    use crate::solver::MbbSolver;
     use mbb_bigraph::generators;
 
     /// Reference: full enumeration, same ranking, truncate to k.
@@ -149,7 +166,7 @@ mod tests {
         for seed in 0..20u64 {
             let g = generators::uniform_edges(9, 9, 35, seed);
             for k in [1usize, 2, 5] {
-                let got = topk_balanced_bicliques(&g, k, None);
+                let got = topk_budgeted(&g, k, &SearchBudget::unlimited());
                 assert!(got.complete, "seed {seed} k {k}");
                 assert_eq!(got.bicliques, brute_topk(&g, k), "seed {seed} k {k}");
             }
@@ -160,8 +177,8 @@ mod tests {
     fn top1_matches_exact_mbb() {
         for seed in 0..15u64 {
             let g = generators::uniform_edges(10, 10, 40, seed ^ 0x5u64);
-            let top = topk_balanced_bicliques(&g, 1, None);
-            let mbb = solve_mbb(&g);
+            let top = topk_budgeted(&g, 1, &SearchBudget::unlimited());
+            let mbb = MbbSolver::new().solve(&g).biclique;
             let top_half = top.bicliques.first().map_or(0, |b| b.balanced_size());
             assert_eq!(top_half, mbb.half_size(), "seed {seed}");
         }
@@ -170,7 +187,7 @@ mod tests {
     #[test]
     fn k_zero_returns_nothing() {
         let g = generators::complete(3, 3);
-        let out = topk_balanced_bicliques(&g, 0, None);
+        let out = topk_budgeted(&g, 0, &SearchBudget::unlimited());
         assert!(out.bicliques.is_empty());
         assert!(out.complete);
     }
@@ -178,7 +195,7 @@ mod tests {
     #[test]
     fn k_larger_than_count_returns_all() {
         let g = BipartiteGraph::from_edges(3, 3, [(0, 0), (1, 1), (2, 2)]).unwrap();
-        let out = topk_balanced_bicliques(&g, 10, None);
+        let out = topk_budgeted(&g, 10, &SearchBudget::unlimited());
         assert_eq!(out.bicliques.len(), 3);
         assert!(out.complete);
     }
@@ -186,7 +203,7 @@ mod tests {
     #[test]
     fn results_are_sorted_best_first() {
         let g = generators::uniform_edges(10, 10, 45, 7);
-        let out = topk_balanced_bicliques(&g, 6, None);
+        let out = topk_budgeted(&g, 6, &SearchBudget::unlimited());
         for w in out.bicliques.windows(2) {
             let a = (w[0].balanced_size(), w[0].total_size());
             let b = (w[1].balanced_size(), w[1].total_size());
@@ -197,7 +214,7 @@ mod tests {
     #[test]
     fn empty_graph() {
         let g = BipartiteGraph::from_edges(4, 4, []).unwrap();
-        let out = topk_balanced_bicliques(&g, 3, None);
+        let out = topk_budgeted(&g, 3, &SearchBudget::unlimited());
         assert!(out.bicliques.is_empty());
         assert!(out.complete);
     }
@@ -208,7 +225,7 @@ mod tests {
         // unpruned reference on every seed.
         for seed in 100..115u64 {
             let g = generators::dense_uniform(8, 8, 0.7, seed);
-            let got = topk_balanced_bicliques(&g, 3, None);
+            let got = topk_budgeted(&g, 3, &SearchBudget::unlimited());
             assert_eq!(got.bicliques, brute_topk(&g, 3), "seed {seed}");
         }
     }

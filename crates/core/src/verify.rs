@@ -19,7 +19,8 @@ use parking_lot::Mutex;
 
 use crate::biclique::Biclique;
 use crate::bridge::CenteredSubgraph;
-use crate::dense::{dense_mbb_seeded, DenseConfig};
+use crate::budget::SearchBudget;
+use crate::dense::{dense_mbb_budgeted, DenseConfig};
 use crate::heuristic::map_to_parent;
 use crate::stats::SearchStats;
 
@@ -54,12 +55,36 @@ pub fn verify_mbb(
     incumbent: Biclique,
     config: VerifyConfig,
 ) -> (Biclique, SearchStats) {
-    if config.threads <= 1 || survivors.len() <= 1 {
+    verify_mbb_budgeted(
+        graph,
+        survivors,
+        incumbent,
+        config,
+        &SearchBudget::unlimited(),
+    )
+}
+
+/// [`verify_mbb`] under a [`SearchBudget`]: the budget is checked between
+/// subgraphs and inside every `denseMBB` node, so an expiring deadline
+/// surfaces the best verified incumbent within a bounded overshoot.
+pub fn verify_mbb_budgeted(
+    graph: &BipartiteGraph,
+    survivors: &[CenteredSubgraph],
+    incumbent: Biclique,
+    config: VerifyConfig,
+    budget: &SearchBudget,
+) -> (Biclique, SearchStats) {
+    let threads = crate::solver::resolve_threads(config.threads);
+    if threads <= 1 || survivors.len() <= 1 {
+        let mut budget = budget.clone();
         let mut best = incumbent;
         let mut stats = SearchStats::default();
         for subgraph in survivors {
+            if budget.is_exhausted() {
+                break;
+            }
             if let Some((candidate, search_stats)) =
-                verify_one(graph, subgraph, best.half_size(), config)
+                verify_one(graph, subgraph, best.half_size(), config, &budget)
             {
                 stats.merge(&search_stats);
                 if candidate.half_size() > best.half_size() {
@@ -71,25 +96,33 @@ pub fn verify_mbb(
     }
 
     // Parallel mode: workers pull subgraph indices from a shared cursor and
-    // race on a shared incumbent.
+    // race on a shared incumbent. Each worker clones the budget; the
+    // exhausted state is shared, so one worker observing the deadline stops
+    // the whole pool at the next check.
     let shared_best = Mutex::new(incumbent);
     let shared_stats = Mutex::new(SearchStats::default());
     let cursor = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
-        for _ in 0..config.threads {
-            scope.spawn(|| loop {
-                let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if index >= survivors.len() {
-                    break;
-                }
-                let bound = shared_best.lock().half_size();
-                if let Some((candidate, search_stats)) =
-                    verify_one(graph, &survivors[index], bound, config)
-                {
-                    shared_stats.lock().merge(&search_stats);
-                    let mut guard = shared_best.lock();
-                    if candidate.half_size() > guard.half_size() {
-                        *guard = candidate;
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut budget = budget.clone();
+                loop {
+                    if budget.is_exhausted() {
+                        break;
+                    }
+                    let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= survivors.len() {
+                        break;
+                    }
+                    let bound = shared_best.lock().half_size();
+                    if let Some((candidate, search_stats)) =
+                        verify_one(graph, &survivors[index], bound, config, &budget)
+                    {
+                        shared_stats.lock().merge(&search_stats);
+                        let mut guard = shared_best.lock();
+                        if candidate.half_size() > guard.half_size() {
+                            *guard = candidate;
+                        }
                     }
                 }
             });
@@ -105,6 +138,7 @@ fn verify_one(
     centered: &CenteredSubgraph,
     best_half: usize,
     config: VerifyConfig,
+    budget: &SearchBudget,
 ) -> Option<(Biclique, SearchStats)> {
     if centered.left_ids.len().min(centered.right_ids.len()) <= best_half {
         return None;
@@ -177,7 +211,7 @@ fn verify_one(
         }
     };
 
-    let (found, stats) = dense_mbb_seeded(&local, a, b, ca, cb, best_half, config.dense);
+    let (found, stats) = dense_mbb_budgeted(&local, a, b, ca, cb, best_half, config.dense, budget);
     if found.half() <= best_half {
         // No improvement; still surface the stats for aggregation.
         return Some((Biclique::empty(), stats));

@@ -22,14 +22,19 @@ use mbb_bigraph::graph::BipartiteGraph;
 use mbb_bigraph::local::LocalGraph;
 
 use crate::biclique::Biclique;
+use crate::budget::SearchBudget;
 use crate::stats::SearchStats;
 
-/// Result of a weighted search: the witness and its total weight.
+/// Result of a weighted search: the witness and its total weight. Indices
+/// are in the ids of the graph the search ran on (local indices for
+/// [`weighted_mbb_local`], original side ids for the graph-level entry
+/// points — which induce the identity local graph, so the two coincide
+/// there).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WeightedBiclique {
-    /// Left local indices, sorted.
+    /// Left vertex indices, sorted.
     pub left: Vec<u32>,
-    /// Right local indices, sorted; same length as `left`.
+    /// Right vertex indices, sorted; same length as `left`.
     pub right: Vec<u32>,
     /// `Σ w(v)` over both sides.
     pub weight: u64,
@@ -53,6 +58,22 @@ pub fn weighted_mbb_local(
     left_weights: &[u64],
     right_weights: &[u64],
 ) -> (WeightedBiclique, SearchStats) {
+    weighted_mbb_local_budgeted(
+        graph,
+        left_weights,
+        right_weights,
+        &SearchBudget::unlimited(),
+    )
+}
+
+/// [`weighted_mbb_local`] under a [`SearchBudget`]: returns the heaviest
+/// balanced biclique found before the budget expired.
+pub fn weighted_mbb_local_budgeted(
+    graph: &LocalGraph,
+    left_weights: &[u64],
+    right_weights: &[u64],
+    budget: &SearchBudget,
+) -> (WeightedBiclique, SearchStats) {
     assert_eq!(left_weights.len(), graph.num_left(), "left weight count");
     assert_eq!(right_weights.len(), graph.num_right(), "right weight count");
     let mut searcher = WeightedSearcher {
@@ -61,6 +82,7 @@ pub fn weighted_mbb_local(
         right_weights,
         best: WeightedBiclique::default(),
         stats: SearchStats::default(),
+        budget: budget.clone(),
     };
     searcher.recurse(
         &mut Vec::new(),
@@ -75,16 +97,38 @@ pub fn weighted_mbb_local(
 
 /// Weighted MBB over a whole [`BipartiteGraph`]. Weights are indexed by
 /// global id (`graph.global_id`): left vertices first, then right.
-/// Materialises the full adjacency as a bitset local graph, so intended
-/// for graphs up to a few thousand vertices per side.
+///
+/// Deprecated: the anonymous `(Biclique, u64)` tuple loses the search
+/// statistics and conflates the witness with its score. Prefer
+/// [`MbbEngine::weighted`](crate::engine::MbbEngine::weighted), which
+/// returns a typed [`WeightedBiclique`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use MbbEngine::weighted / engine.query().weighted(&w); it returns a typed WeightedBiclique"
+)]
 pub fn weighted_mbb(graph: &BipartiteGraph, weights: &[u64]) -> (Biclique, u64) {
+    // Equivalent to a one-shot engine's weighted(), minus the graph clone.
+    let (found, _) = weighted_mbb_budgeted(graph, weights, &SearchBudget::unlimited());
+    (Biclique::balanced(found.left, found.right), found.weight)
+}
+
+/// The graph-level weighted search behind
+/// [`MbbEngine::weighted`](crate::engine::MbbEngine::weighted). Weights
+/// are indexed by global id (left vertices first, then right); the
+/// returned [`WeightedBiclique`] is in original side ids. Materialises
+/// the full adjacency as a bitset local graph, so intended for graphs up
+/// to a few thousand vertices per side.
+pub fn weighted_mbb_budgeted(
+    graph: &BipartiteGraph,
+    weights: &[u64],
+    budget: &SearchBudget,
+) -> (WeightedBiclique, SearchStats) {
     assert_eq!(weights.len(), graph.num_vertices(), "one weight per vertex");
     let left_ids: Vec<u32> = (0..graph.num_left() as u32).collect();
     let right_ids: Vec<u32> = (0..graph.num_right() as u32).collect();
     let local = LocalGraph::induced(graph, &left_ids, &right_ids);
     let (lw, rw) = weights.split_at(graph.num_left());
-    let (found, _) = weighted_mbb_local(&local, lw, rw);
-    (Biclique::balanced(found.left, found.right), found.weight)
+    weighted_mbb_local_budgeted(&local, lw, rw, budget)
 }
 
 struct WeightedSearcher<'g> {
@@ -93,6 +137,7 @@ struct WeightedSearcher<'g> {
     right_weights: &'g [u64],
     best: WeightedBiclique,
     stats: SearchStats,
+    budget: SearchBudget,
 }
 
 impl WeightedSearcher<'_> {
@@ -158,6 +203,9 @@ impl WeightedSearcher<'_> {
         loop {
             self.stats.nodes += 1;
             self.stats.max_depth = self.stats.max_depth.max(depth);
+            if self.budget.is_exhausted() {
+                return;
+            }
             self.record(a, b);
 
             if self.upper_bound(a, b, &ca, &cb) <= self.best.weight {
@@ -282,8 +330,10 @@ mod tests {
         for seed in 0..15u64 {
             let g = generators::uniform_edges(9, 9, 35, seed);
             let weights = vec![1u64; g.num_vertices()];
-            let (biclique, weight) = weighted_mbb(&g, &weights);
-            let unweighted = crate::solver::solve_mbb(&g);
+            let (found, _) = weighted_mbb_budgeted(&g, &weights, &SearchBudget::unlimited());
+            let weight = found.weight;
+            let biclique = Biclique::balanced(found.left, found.right);
+            let unweighted = crate::solver::MbbSolver::new().solve(&g).biclique;
             assert_eq!(weight as usize, 2 * unweighted.half_size(), "seed {seed}");
             assert!(biclique.is_valid(&g));
         }
@@ -342,7 +392,8 @@ mod tests {
     fn graph_level_wrapper_splits_weights() {
         let g = generators::complete(2, 3);
         // Global layout: 2 left weights then 3 right weights.
-        let (biclique, weight) = weighted_mbb(&g, &[10, 1, 1, 2, 30]);
+        let (found, _) = weighted_mbb_budgeted(&g, &[10, 1, 1, 2, 30], &SearchBudget::unlimited());
+        let (biclique, weight) = (Biclique::balanced(found.left, found.right), found.weight);
         assert_eq!(biclique.half_size(), 2);
         // Best: both left (10 + 1) + two heaviest right (30 + 2).
         assert_eq!(weight, 43);

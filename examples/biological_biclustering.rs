@@ -13,7 +13,7 @@
 //! ```
 
 use mbb_bigraph::generators::{chung_lu_bipartite, plant_balanced_biclique, ChungLuParams};
-use mbb_core::{MbbSolver, SolverConfig};
+use mbb_core::MbbEngine;
 
 fn main() {
     // Synthetic expression data: 4000 genes × 300 conditions, ~25k
@@ -42,18 +42,18 @@ fn main() {
         module_conditions.len()
     );
 
-    let solver = MbbSolver::with_config(SolverConfig::default());
+    let engine = MbbEngine::new(expression.clone());
     let start = std::time::Instant::now();
-    let result = solver.solve(&expression);
+    let result = engine.solve();
     let elapsed = start.elapsed();
 
     println!(
         "maximum balanced bicluster: {} genes x {} conditions (found in {elapsed:.2?})",
-        result.biclique.left.len(),
-        result.biclique.right.len()
+        result.value.left.len(),
+        result.value.right.len()
     );
-    println!("genes:      {:?}", result.biclique.left);
-    println!("conditions: {:?}", result.biclique.right);
+    println!("genes:      {:?}", result.value.left);
+    println!("conditions: {:?}", result.value.right);
     println!(
         "solver stopped at stage {} (δ = {}, δ̈ = {}, {} subgraphs verified)",
         result.stats.stage,
@@ -62,9 +62,9 @@ fn main() {
         result.stats.subgraphs_verified
     );
 
-    assert!(result.biclique.is_valid(&expression));
+    assert!(result.value.is_valid(&expression));
     assert!(
-        result.biclique.half_size() >= 12,
+        result.value.half_size() >= 12,
         "the planted module is a lower bound on the optimum"
     );
     // The planted module sits on hub vertices 0..12 of both sides; verify

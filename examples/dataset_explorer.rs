@@ -11,7 +11,7 @@
 use mbb_bigraph::graph::Side;
 use mbb_bigraph::metrics::GraphProfile;
 use mbb_bigraph::projection::project;
-use mbb_core::MbbSolver;
+use mbb_core::MbbEngine;
 use mbb_datasets::{catalog, stand_in, ScaleCaps};
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
         let standin = stand_in(spec, ScaleCaps::small(), 7);
         let g = &standin.graph;
         let profile = GraphProfile::of(g);
-        let result = MbbSolver::new().solve(g);
+        let result = MbbEngine::new(g.clone()).solve();
 
         // The cheapest sound upper bound available before any search:
         // min of the degeneracy, butterfly and projection bounds.
@@ -48,12 +48,12 @@ fn main() {
             profile.degeneracy,
             profile.bidegeneracy,
             profile.butterflies,
-            result.biclique.half_size(),
+            result.value.half_size(),
             upper_bound,
             result.stats.stage.to_string(),
         );
-        assert!(result.biclique.is_valid(g));
-        assert!(result.biclique.half_size() <= upper_bound);
+        assert!(result.value.is_valid(g));
+        assert!(result.value.half_size() <= upper_bound);
     }
 
     println!("\nδ̈ ≪ dmax on every dataset — the paper's key observation (§5.3.1):");

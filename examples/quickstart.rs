@@ -1,11 +1,15 @@
-//! Quickstart: build a bipartite graph, find its maximum balanced biclique.
+//! Quickstart: build a bipartite graph, open an engine session, and ask
+//! for its maximum balanced biclique (plus a couple of sibling queries —
+//! the point of the session API is that they share the cached indices).
 //!
 //! ```text
-//! cargo run -p mbb-bench --release --example quickstart
+//! cargo run -p mbb-examples --release --example quickstart
 //! ```
 
+use std::time::Duration;
+
 use mbb_bigraph::graph::BipartiteGraph;
-use mbb_core::{MbbSolver, SolverConfig};
+use mbb_core::engine::MbbEngine;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Figure 1(b): users 1..6 on the left, items 7..12 on the
@@ -32,23 +36,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("graph: {graph:?}");
 
-    // The one-liner.
-    let mbb = mbb_core::solve_mbb(&graph);
+    // One session per graph; every query below shares its cached indices.
+    let engine = MbbEngine::new(graph);
+
+    // The full builder: deadline, threads, then the query kind.
+    let result = engine
+        .query()
+        .deadline(Duration::from_secs(10))
+        .threads(0) // 0 = one verification worker per core
+        .solve();
+    let mbb = &result.value;
     println!(
         "maximum balanced biclique: L = {:?}, R = {:?} (total size {})",
         mbb.left,
         mbb.right,
         mbb.total_size()
     );
-    assert!(mbb.is_valid(&graph));
+    assert!(result.termination.is_complete(), "10s is plenty here");
+    assert!(mbb.is_valid(engine.graph()));
     assert_eq!(mbb.half_size(), 2);
-
-    // The full API: configure the solver and inspect the statistics.
-    let solver = MbbSolver::with_config(SolverConfig {
-        heuristic_seeds: 4,
-        ..Default::default()
-    });
-    let result = solver.solve(&graph);
     println!(
         "solved in stage {} (δ = {}, δ̈ = {}, {} vertex-centred subgraphs)",
         result.stats.stage,
@@ -56,5 +62,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.stats.bidegeneracy,
         result.stats.subgraphs_generated,
     );
+
+    // Sibling queries on the same session: top-k and the size frontier.
+    let top = engine.topk(2);
+    println!(
+        "top-2 balanced bicliques: sizes {:?}",
+        top.value
+            .iter()
+            .map(|b| b.balanced_size())
+            .collect::<Vec<_>>()
+    );
+    let frontier = engine.frontier();
+    println!("feasible size frontier: {:?}", frontier.value.pairs);
+    assert_eq!(frontier.value.mbb_half(), 2);
+
+    // The session computed its search order exactly once across all three
+    // queries — the index-reuse counters prove it.
+    let index = engine.index_stats();
+    println!(
+        "session indices: {} order(s) computed, {} reuse(s), {:.1}ms preprocessing",
+        index.orders_computed,
+        index.orders_reused,
+        index.preprocess_seconds * 1e3
+    );
+    assert_eq!(index.orders_computed, 1);
     Ok(())
 }

@@ -16,9 +16,9 @@ use std::ops::ControlFlow;
 
 use mbb_bigraph::generators::{chung_lu_bipartite, plant_balanced_biclique, ChungLuParams};
 use mbb_bigraph::graph::Vertex;
-use mbb_core::anchored::anchored_mbb;
-use mbb_core::enumerate::{enumerate_maximal_bicliques, EnumConfig};
-use mbb_core::topk::topk_balanced_bicliques;
+use mbb_core::budget::SearchBudget;
+use mbb_core::engine::MbbEngine;
+use mbb_core::enumerate::{enumerate_budgeted, EnumConfig};
 
 fn main() {
     // A synthetic store: 2 000 users, 800 items, power-law activity, with
@@ -42,11 +42,14 @@ fn main() {
         graph.num_edges()
     );
 
+    // One engine session serves every product question below.
+    let engine = MbbEngine::new(graph);
+
     // --- Question 1: the three strongest communities. ---
-    let top = topk_balanced_bicliques(&graph, 3, None);
-    assert!(top.complete);
+    let top = engine.topk(3);
+    assert!(top.termination.is_complete());
     println!("\ntop-3 co-purchase communities:");
-    for (rank, community) in top.bicliques.iter().enumerate() {
+    for (rank, community) in top.value.iter().enumerate() {
         println!(
             "  #{}: {} users x {} items (balanced size {})",
             rank + 1,
@@ -55,19 +58,17 @@ fn main() {
             community.balanced_size()
         );
     }
-    assert!(
-        top.bicliques[0].balanced_size() >= 8,
-        "planted community found"
-    );
+    assert!(top.value[0].balanced_size() >= 8, "planted community found");
 
     // --- Question 2: the community of one specific user. ---
     let user = first_users[0];
-    let (community, stats) = anchored_mbb(&graph, Vertex::left(user));
+    let anchored = engine.anchored(Vertex::left(user));
+    let community = &anchored.value;
     println!(
         "\nuser {user}'s community: {} users x {} items ({} search nodes)",
         community.left.len(),
         community.right.len(),
-        stats.nodes
+        anchored.stats.search.nodes
     );
     assert!(community.half_size() >= 8);
     assert!(community.left.contains(&user));
@@ -89,7 +90,7 @@ fn main() {
         max_results: Some(10),
         budget: None,
     };
-    enumerate_maximal_bicliques(&graph, &config, |b| {
+    enumerate_budgeted(engine.graph(), &config, &SearchBudget::unlimited(), |b| {
         println!(
             "  {} users x {} items (e.g. users {:?}...)",
             b.left.len(),
@@ -98,4 +99,11 @@ fn main() {
         );
         ControlFlow::Continue(())
     });
+
+    // The whole session computed its shared indices at most once.
+    let index = engine.index_stats();
+    println!(
+        "\nsession: {} order build(s), {} reuse(s)",
+        index.orders_computed, index.orders_reused
+    );
 }

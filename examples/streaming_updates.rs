@@ -74,12 +74,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(final_result.biclique.is_valid(&tracker.snapshot()));
 
     // Warm restarts are exact: compare against a cold solve.
-    let cold = mbb_core::solve_mbb(&tracker.snapshot());
+    let cold = mbb_core::MbbSolver::new()
+        .solve(&tracker.snapshot())
+        .biclique;
     assert_eq!(cold.half_size(), final_result.biclique.half_size());
     println!(
         "warm-started result matches cold solve: {}x{}",
         cold.half_size(),
         cold.half_size()
     );
+
+    // Between updates the tracker exposes its engine session, so ad-hoc
+    // queries (here: top-3) share the indices the solve already built.
+    let top = tracker.engine().topk(3);
+    println!(
+        "top-3 author cliques right now: {:?}",
+        top.value
+            .iter()
+            .map(|b| b.balanced_size())
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(top.value[0].balanced_size(), 10);
     Ok(())
 }

@@ -14,6 +14,7 @@
 
 use mbb_bigraph::generators::dense_uniform;
 use mbb_core::dense_mbb_graph;
+use mbb_core::engine::MbbEngine;
 
 fn main() {
     println!("defect-tolerant crossbar mapping via denseMBB");
@@ -45,4 +46,25 @@ fn main() {
 
     println!("\nEach row is the largest logic array mappable onto the defective fabric.");
     println!("The search is exact: no larger defect-free sub-crossbar exists.");
+
+    // Follow-up engineering question, served by an engine session on the
+    // worst fabric: "if we *must* route through crosspoint (0, 0), how
+    // large an array survives?" — an edge-anchored query.
+    let fabric = dense_uniform(40, 40, 0.65, 96 + 35);
+    let engine = MbbEngine::new(fabric);
+    let (r, c) = engine
+        .graph()
+        .edges()
+        .next()
+        .expect("some crosspoint works");
+    let pinned = engine.anchored_edge(r, c);
+    match &pinned.value {
+        Some(array) => println!(
+            "\npinning crosspoint ({r}, {c}): best array is {}x{}",
+            array.half_size(),
+            array.half_size()
+        ),
+        None => println!("\ncrosspoint ({r}, {c}) is defective"),
+    }
+    assert!(pinned.termination.is_complete());
 }

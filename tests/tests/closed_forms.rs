@@ -3,6 +3,11 @@
 //! hand. Every public API must reproduce the formula — a failure here
 //! localises a bug much faster than a random-graph mismatch.
 
+// These suites intentionally keep exercising the deprecated one-shot
+// wrappers: they are the compatibility surface over the engine, and the
+// engine itself is covered by tests/tests/engine_api.rs.
+#![allow(deprecated)]
+
 use mbb_bigraph::butterfly::count_butterflies;
 use mbb_bigraph::components::connected_components;
 use mbb_bigraph::core_decomp::core_decomposition;

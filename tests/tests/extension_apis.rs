@@ -3,6 +3,11 @@
 //! analysis metrics. Each API is checked against an independent oracle —
 //! usually the exact solver or full enumeration.
 
+// These suites intentionally keep exercising the deprecated one-shot
+// wrappers: they are the compatibility surface over the engine, and the
+// engine itself is covered by tests/tests/engine_api.rs.
+#![allow(deprecated)]
+
 use std::ops::ControlFlow;
 
 use mbb_bigraph::butterfly::{butterflies_per_vertex, count_butterflies};

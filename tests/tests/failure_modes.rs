@@ -1,5 +1,10 @@
 //! Failure injection and degenerate-shape coverage.
 
+// These suites intentionally keep exercising the deprecated one-shot
+// wrappers: they are the compatibility surface over the engine, and the
+// engine itself is covered by tests/tests/engine_api.rs.
+#![allow(deprecated)]
+
 use mbb_bigraph::graph::{BipartiteGraph, GraphError};
 use mbb_bigraph::io;
 use mbb_core::{solve_mbb, MbbSolver};

@@ -1,5 +1,10 @@
 //! Property-based invariants across the workspace.
 
+// These suites intentionally keep exercising the deprecated one-shot
+// wrappers: they are the compatibility surface over the engine, and the
+// engine itself is covered by tests/tests/engine_api.rs.
+#![allow(deprecated)]
+
 use mbb_baselines::exhaustive::brute_force_mbb;
 use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::core_decomp::core_decomposition;
