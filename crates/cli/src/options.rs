@@ -3,6 +3,7 @@
 use std::time::Duration;
 
 use mbb_bigraph::order::SearchOrder;
+use mbb_core::verify::ParallelMode;
 
 /// Usage text.
 pub const USAGE: &str = "\
@@ -19,8 +20,13 @@ options:
       basic  basicBB (Algorithm 1)              — reference, tiny graphs
       ext    extBBClq baseline (Zhou et al. 2018)
   --order <bidegeneracy|degeneracy|degree>  hbv search order (default: bidegeneracy)
-  --threads <N>        parallel verification workers; 0 = one per core
-                       (default: 1, the paper's sequential algorithm)
+  --threads <N>        worker threads for the parallel search stages;
+                       0 = one per core (default: 1, the paper's
+                       sequential algorithm)
+  --parallel-mode <intra|subgraph>  how verification spends the workers
+                       (default: intra — split the branch-and-bound inside
+                       each vertex-centred subgraph; subgraph = split the
+                       subgraphs across workers)
   --deadline-secs <N>  abandon the hbv search after N seconds and report
                        the best-so-far biclique (marked as a lower bound)
   --budget-secs <N>    time budget for the ext baseline (default: none)
@@ -50,8 +56,11 @@ pub struct Options {
     pub algorithm: Algorithm,
     /// Search order for `hbv`.
     pub order: SearchOrder,
-    /// Verification threads for `hbv` (0 = one per available core).
+    /// Worker threads for `hbv`'s parallel stages (0 = one per available
+    /// core).
     pub threads: usize,
+    /// How `hbv` verification spends its workers.
+    pub parallel_mode: ParallelMode,
     /// Deadline for the `hbv` engine query (best-so-far on expiry).
     pub deadline: Option<Duration>,
     /// Budget for the `ext` baseline.
@@ -72,6 +81,7 @@ impl Options {
             algorithm: Algorithm::Hbv,
             order: SearchOrder::Bidegeneracy,
             threads: 1,
+            parallel_mode: ParallelMode::default(),
             deadline: None,
             budget: None,
             json: false,
@@ -108,6 +118,14 @@ impl Options {
                     options.threads = value
                         .parse()
                         .map_err(|_| format!("--threads: bad number {value:?}"))?;
+                }
+                "--parallel-mode" => {
+                    let value = iter.next().ok_or("--parallel-mode needs a value")?;
+                    options.parallel_mode = match value.as_str() {
+                        "intra" => ParallelMode::IntraSubgraph,
+                        "subgraph" => ParallelMode::Subgraph,
+                        other => return Err(format!("unknown parallel mode {other:?}")),
+                    };
                 }
                 "--budget-secs" => {
                     let value = iter.next().ok_or("--budget-secs needs a value")?;
@@ -186,6 +204,17 @@ mod tests {
         let o = parse("g.txt --threads 0 --deadline-secs 2").unwrap();
         assert_eq!(o.threads, 0);
         assert_eq!(o.deadline, Some(Duration::from_secs(2)));
+    }
+
+    #[test]
+    fn parallel_mode_parses() {
+        let o = parse("g.txt").unwrap();
+        assert_eq!(o.parallel_mode, ParallelMode::IntraSubgraph);
+        let o = parse("g.txt --parallel-mode subgraph").unwrap();
+        assert_eq!(o.parallel_mode, ParallelMode::Subgraph);
+        let o = parse("g.txt --parallel-mode intra").unwrap();
+        assert_eq!(o.parallel_mode, ParallelMode::IntraSubgraph);
+        assert!(parse("g.txt --parallel-mode sideways").is_err());
     }
 
     #[test]

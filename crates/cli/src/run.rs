@@ -45,7 +45,8 @@ pub fn run(options: &Options) -> Result<Report, String> {
                 graph.clone(),
                 SolverConfig {
                     order: options.order,
-                    verify_threads: options.threads,
+                    threads: options.threads,
+                    parallel_mode: options.parallel_mode,
                     ..Default::default()
                 },
             );

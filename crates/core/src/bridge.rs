@@ -12,10 +12,13 @@
 //! incumbent, and a local core-greedy heuristic tries to grow the incumbent
 //! before the expensive verification stage.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use mbb_bigraph::core_decomp::core_decomposition;
 use mbb_bigraph::graph::{BipartiteGraph, Side, Vertex};
 use mbb_bigraph::subgraph::induce_by_ids;
 use mbb_bigraph::two_hop::n2_neighbors;
+use parking_lot::Mutex;
 
 use crate::biclique::Biclique;
 use crate::budget::SearchBudget;
@@ -73,6 +76,18 @@ impl BridgeStats {
             self.size_sum as f64 / self.generated as f64
         }
     }
+
+    /// Accumulates another worker's counters into this one (sums, except
+    /// `max_size` which takes the max).
+    pub fn merge(&mut self, other: &BridgeStats) {
+        self.generated += other.generated;
+        self.pruned_size += other.pruned_size;
+        self.pruned_degeneracy += other.pruned_degeneracy;
+        self.density_sum += other.density_sum;
+        self.density_count += other.density_count;
+        self.size_sum += other.size_sum;
+        self.max_size = self.max_size.max(other.max_size);
+    }
 }
 
 /// Outcome of [`bridge_mbb`].
@@ -95,6 +110,12 @@ pub struct BridgeConfig {
     pub use_core_pruning: bool,
     /// Seeds for the local heuristic.
     pub heuristic_seeds: usize,
+    /// Worker threads for the per-centre generation loop: `1` = the
+    /// paper's sequential Algorithm 6, `0` = one worker per available
+    /// core ([`crate::solver::resolve_threads`]). Graphs with fewer than
+    /// [`PARALLEL_MIN_CENTERS`] vertices always run serially — the scope
+    /// spawn would cost more than the loop.
+    pub threads: usize,
 }
 
 impl Default for BridgeConfig {
@@ -102,9 +123,20 @@ impl Default for BridgeConfig {
         BridgeConfig {
             use_core_pruning: true,
             heuristic_seeds: 4,
+            threads: 1,
         }
     }
 }
+
+/// Below this many centres the parallel generation loop falls back to the
+/// serial one: spawning a `std::thread::scope` pool costs tens of
+/// microseconds, more than generating a few hundred small subgraphs.
+pub const PARALLEL_MIN_CENTERS: usize = 256;
+
+/// Centres claimed per cursor increment in the parallel loop — coarse
+/// enough to keep cursor contention negligible, fine enough that the tail
+/// imbalance stays under a chunk per worker.
+const CENTER_CHUNK: usize = 64;
 
 /// Algorithm 6. `order` is a permutation of the graph's global ids;
 /// `incumbent` is the best biclique so far (in the same graph's ids).
@@ -128,7 +160,6 @@ pub fn bridge_mbb_budgeted(
     config: BridgeConfig,
     budget: &SearchBudget,
 ) -> BridgeOutcome {
-    let mut budget = budget.clone();
     let n = graph.num_vertices();
     debug_assert_eq!(order.len(), n);
     let mut rank = vec![0u32; n];
@@ -136,81 +167,219 @@ pub fn bridge_mbb_budgeted(
         rank[g as usize] = i as u32;
     }
 
+    let threads = crate::solver::resolve_threads(config.threads);
+    if threads > 1 && n >= PARALLEL_MIN_CENTERS {
+        return bridge_parallel(graph, order, &rank, incumbent, config, budget, threads);
+    }
+
     let mut best = incumbent;
     let mut stats = BridgeStats::default();
     let mut survivors = Vec::new();
 
     for (i, &center_global) in order.iter().enumerate() {
-        if budget.is_exhausted() {
+        // Per-centre work (induction, core decomposition, heuristic) is
+        // orders of magnitude above a wall-clock read, so pay the
+        // unsampled probe for prompt deadline detection.
+        if budget.probe() {
             break;
         }
-        let center = graph.vertex_of_global(center_global as usize);
-        // Assemble {centre} ∪ (N≤2(centre) ∩ later).
-        let later = |side: Side, idx: u32| -> bool {
-            rank[graph.global_id(Vertex { side, index: idx })] as usize > i
-        };
-        let opposite: Vec<u32> = graph
-            .neighbors(center)
-            .iter()
-            .copied()
-            .filter(|&w| later(center.side.opposite(), w))
+        let (survivor, improvement) = process_center(
+            graph,
+            &rank,
+            i,
+            center_global,
+            best.half_size(),
+            config,
+            &mut stats,
+        );
+        if let Some(better) = improvement {
+            if better.half_size() > best.half_size() {
+                best = better;
+            }
+        }
+        survivors.extend(survivor);
+    }
+
+    finish_bridge(best, survivors, stats)
+}
+
+/// The per-centre generation loop split across `threads` workers.
+///
+/// Workers claim chunks of [`CENTER_CHUNK`] consecutive centres from an
+/// atomic cursor; subgraph generation for a centre depends only on the
+/// (immutable) order ranks, so centres are embarrassingly parallel. The
+/// incumbent half-size is shared through an atomic — an improvement found
+/// by the local heuristic on any worker immediately strengthens every
+/// other worker's size and degeneracy prunes. Survivors are re-assembled
+/// in generation order, so downstream verification sees the same layout
+/// as the serial loop.
+fn bridge_parallel(
+    graph: &BipartiteGraph,
+    order: &[u32],
+    rank: &[u32],
+    incumbent: Biclique,
+    config: BridgeConfig,
+    budget: &SearchBudget,
+    threads: usize,
+) -> BridgeOutcome {
+    let best_half = AtomicUsize::new(incumbent.half_size());
+    let best = Mutex::new(incumbent);
+    let cursor = AtomicUsize::new(0);
+
+    let merged: Vec<(BridgeStats, Vec<(usize, CenteredSubgraph)>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let best = &best;
+                let best_half = &best_half;
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let budget = budget.clone();
+                    let mut stats = BridgeStats::default();
+                    let mut survivors: Vec<(usize, CenteredSubgraph)> = Vec::new();
+                    'pool: loop {
+                        let start = cursor.fetch_add(CENTER_CHUNK, Ordering::Relaxed);
+                        if start >= order.len() {
+                            break;
+                        }
+                        let end = (start + CENTER_CHUNK).min(order.len());
+                        for (i, &center_global) in order.iter().enumerate().take(end).skip(start) {
+                            // Unsampled: per-centre work dwarfs the probe,
+                            // and one worker's probe stops the whole pool.
+                            if budget.probe() {
+                                break 'pool;
+                            }
+                            let bound = best_half.load(Ordering::Relaxed);
+                            let (survivor, improvement) = process_center(
+                                graph,
+                                rank,
+                                i,
+                                center_global,
+                                bound,
+                                config,
+                                &mut stats,
+                            );
+                            if let Some(better) = improvement {
+                                let mut guard = best.lock();
+                                if better.half_size() > guard.half_size() {
+                                    best_half.store(better.half_size(), Ordering::Relaxed);
+                                    *guard = better;
+                                }
+                            }
+                            if let Some(s) = survivor {
+                                survivors.push((i, s));
+                            }
+                        }
+                    }
+                    (stats, survivors)
+                })
+            })
             .collect();
-        let mut same: Vec<u32> = n2_neighbors(graph, center)
+        handles
             .into_iter()
-            .filter(|&w| later(center.side, w))
-            .collect();
-        same.push(center.index);
+            .map(|h| h.join().expect("bridge worker panicked"))
+            .collect()
+    });
 
-        let (left_ids, right_ids) = match center.side {
-            Side::Left => (same, opposite),
-            Side::Right => (opposite, same),
-        };
+    let mut stats = BridgeStats::default();
+    let mut indexed: Vec<(usize, CenteredSubgraph)> = Vec::new();
+    for (worker_stats, worker_survivors) in merged {
+        stats.merge(&worker_stats);
+        indexed.extend(worker_survivors);
+    }
+    indexed.sort_by_key(|&(i, _)| i);
+    let survivors = indexed.into_iter().map(|(_, s)| s).collect();
+    finish_bridge(best.into_inner(), survivors, stats)
+}
 
-        stats.generated += 1;
-        stats.size_sum += left_ids.len() + right_ids.len();
-        stats.max_size = stats.max_size.max(left_ids.len() + right_ids.len());
-        let min_side = left_ids.len().min(right_ids.len());
+/// Generates, measures and prunes the subgraph centred at `order[i]`
+/// against `best_half`, updating `stats` in place. Returns the surviving
+/// subgraph (if not pruned) and any incumbent improvement the local
+/// heuristic found.
+#[allow(clippy::too_many_arguments)] // internal: serial + parallel loops share it
+fn process_center(
+    graph: &BipartiteGraph,
+    rank: &[u32],
+    i: usize,
+    center_global: u32,
+    best_half: usize,
+    config: BridgeConfig,
+    stats: &mut BridgeStats,
+) -> (Option<CenteredSubgraph>, Option<Biclique>) {
+    let center = graph.vertex_of_global(center_global as usize);
+    // Assemble {centre} ∪ (N≤2(centre) ∩ later).
+    let later = |side: Side, idx: u32| -> bool {
+        rank[graph.global_id(Vertex { side, index: idx })] as usize > i
+    };
+    let opposite: Vec<u32> = graph
+        .neighbors(center)
+        .iter()
+        .copied()
+        .filter(|&w| later(center.side.opposite(), w))
+        .collect();
+    let mut same: Vec<u32> = n2_neighbors(graph, center)
+        .into_iter()
+        .filter(|&w| later(center.side, w))
+        .collect();
+    same.push(center.index);
 
-        // Size prune: a strictly larger balanced biclique needs
-        // best_half + 1 vertices on each side.
-        if min_side <= best.half_size() {
-            stats.pruned_size += 1;
-            continue;
+    let (left_ids, right_ids) = match center.side {
+        Side::Left => (same, opposite),
+        Side::Right => (opposite, same),
+    };
+
+    stats.generated += 1;
+    stats.size_sum += left_ids.len() + right_ids.len();
+    stats.max_size = stats.max_size.max(left_ids.len() + right_ids.len());
+    let min_side = left_ids.len().min(right_ids.len());
+
+    // Size prune: a strictly larger balanced biclique needs
+    // best_half + 1 vertices on each side.
+    if min_side <= best_half {
+        stats.pruned_size += 1;
+        return (None, None);
+    }
+
+    let sub = induce_by_ids(graph, left_ids, right_ids);
+    let denom = sub.graph.num_left() * sub.graph.num_right();
+    if denom > 0 {
+        stats.density_sum += sub.graph.num_edges() as f64 / denom as f64;
+        stats.density_count += 1;
+    }
+
+    let mut improvement = None;
+    if config.use_core_pruning {
+        let cores = core_decomposition(&sub.graph);
+        if cores.degeneracy as usize <= best_half {
+            stats.pruned_degeneracy += 1;
+            return (None, None);
         }
-
-        let sub = induce_by_ids(graph, left_ids, right_ids);
-        let denom = sub.graph.num_left() * sub.graph.num_right();
-        if denom > 0 {
-            stats.density_sum += sub.graph.num_edges() as f64 / denom as f64;
-            stats.density_count += 1;
+        // Local heuristic (maximum core-number greedy).
+        let score: Vec<u64> = cores.core.iter().map(|&c| c as u64).collect();
+        let local = greedy_balanced(&sub.graph, &score, config.heuristic_seeds);
+        if local.half_size() > best_half {
+            improvement = Some(map_to_parent(&local, &sub));
         }
+    }
 
-        if config.use_core_pruning {
-            let cores = core_decomposition(&sub.graph);
-            if cores.degeneracy as usize <= best.half_size() {
-                stats.pruned_degeneracy += 1;
-                continue;
-            }
-            // Local heuristic (maximum core-number greedy).
-            let score: Vec<u64> = cores.core.iter().map(|&c| c as u64).collect();
-            let local = greedy_balanced(&sub.graph, &score, config.heuristic_seeds);
-            if local.half_size() > best.half_size() {
-                best = map_to_parent(&local, &sub);
-            }
-        }
-
-        survivors.push(CenteredSubgraph {
+    (
+        Some(CenteredSubgraph {
             center,
             left_ids: sub.left_ids,
             right_ids: sub.right_ids,
-        });
-    }
+        }),
+        improvement,
+    )
+}
 
-    // A final sweep: subgraphs admitted before later best-improvements may
-    // now be prunable by size.
+/// A final sweep shared by both loops: subgraphs admitted before later
+/// best-improvements may now be prunable by size.
+fn finish_bridge(
+    best: Biclique,
+    mut survivors: Vec<CenteredSubgraph>,
+    stats: BridgeStats,
+) -> BridgeOutcome {
     let best_half = best.half_size();
     survivors.retain(|s| s.left_ids.len().min(s.right_ids.len()) > best_half);
-
     BridgeOutcome {
         best,
         survivors,
@@ -299,6 +468,43 @@ mod tests {
         let d = out.stats.average_density();
         assert!((0.0..=1.0).contains(&d), "density {d}");
         assert!(out.stats.average_size() >= 1.0);
+    }
+
+    #[test]
+    fn parallel_generation_is_exact_after_verification() {
+        use crate::verify::{verify_mbb, VerifyConfig};
+        // Big enough to clear PARALLEL_MIN_CENTERS so the pool really
+        // runs. Survivor lists and incumbents may differ from the serial
+        // loop (heuristic improvements race, so prune timing differs) —
+        // the guaranteed property is that verification over the parallel
+        // survivors reaches the same optimum.
+        for seed in 0..3u64 {
+            let g = generators::uniform_edges(220, 220, 1400, seed);
+            assert!(g.num_vertices() >= PARALLEL_MIN_CENTERS);
+            let order = compute_order(&g, SearchOrder::Bidegeneracy);
+            let serial = bridge_mbb(&g, &order, Biclique::empty(), BridgeConfig::default());
+            let parallel = bridge_mbb(
+                &g,
+                &order,
+                Biclique::empty(),
+                BridgeConfig {
+                    threads: 4,
+                    ..BridgeConfig::default()
+                },
+            );
+            // Every centre is processed in both loops.
+            assert_eq!(
+                parallel.stats.generated, serial.stats.generated,
+                "seed {seed}"
+            );
+            assert!(parallel.best.is_valid(&g), "seed {seed}");
+            let finish = |out: BridgeOutcome| {
+                verify_mbb(&g, &out.survivors, out.best, VerifyConfig::default())
+                    .0
+                    .half_size()
+            };
+            assert_eq!(finish(parallel), finish(serial), "seed {seed}");
+        }
     }
 
     #[test]

@@ -20,6 +20,26 @@
 //! How a search ended is reported as a [`Termination`] — the replacement
 //! for the old scattered `complete: bool` flags, which could not say *why*
 //! a run stopped.
+//!
+//! # Sampling cadence and overshoot bound
+//!
+//! The per-node check [`SearchBudget::is_exhausted`] is *sampled*: it
+//! reads the shared state every call but consults the wall clock and the
+//! cancel token only once per [`PROBE_INTERVAL`] (= 256) calls. The
+//! contract that follows:
+//!
+//! * after a deadline expires or a token fires, a worker keeps searching
+//!   for **at most `PROBE_INTERVAL − 1` further nodes** before its own
+//!   probe notices (worst case, if no other clone probes first) — at
+//!   microseconds per node, sub-millisecond overshoot per worker;
+//! * once *any* clone's probe notices, the shared state flips and **every**
+//!   clone stops at its next check — one relaxed load, no probe needed;
+//! * coarse boundaries (stage transitions, per-centre and per-subgraph
+//!   loops, parallel-pool entry) call [`SearchBudget::probe`] directly,
+//!   which is unsampled, so expiry between stages is detected immediately;
+//! * polynomial passes (the stage-1 heuristic, index builds, per-subgraph
+//!   core reductions) do not check at all and run to completion — the
+//!   worst-case overshoot of a whole query adds one such pass.
 
 use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;

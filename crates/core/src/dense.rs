@@ -16,6 +16,19 @@
 //! The "triviality last" strategy picks the candidate with the *most*
 //! missing neighbours, steering the residual graph towards the polynomial
 //! case as fast as possible.
+//!
+//! # Intra-subgraph parallelism
+//!
+//! [`dense_mbb_parallel`] splits one search across a worker pool: the
+//! top levels of the branching tree are expanded breadth-first into a
+//! frontier of disjoint subproblems (each a fixed `a`/`b` prefix plus a
+//! split candidate pair), workers claim a contiguous slice each and steal
+//! leftovers, and the incumbent half-size is shared through an atomic so
+//! every worker prunes against the global best. See `docs/PERFORMANCE.md`
+//! at the repository root for the full threading model.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::local::LocalGraph;
@@ -134,12 +147,21 @@ pub fn dense_mbb_budgeted(
         stats: SearchStats::default(),
         config,
         budget: budget.clone(),
+        shared_best: None,
     };
     let mut a = a;
     let mut b = b;
     searcher.recurse(&mut a, &mut b, ca, cb, 0);
     let stats = searcher.stats;
     (searcher.best.balance(), stats)
+}
+
+/// How a single node of the search resolved: either the subtree is done
+/// (pruned, polynomial-solved, leaf, or budget-exhausted), or the node
+/// must branch on the returned candidate.
+enum StepOutcome {
+    Resolved,
+    Branch { on_left: bool, vertex: u32 },
 }
 
 struct DenseSearcher<'g> {
@@ -149,6 +171,10 @@ struct DenseSearcher<'g> {
     stats: SearchStats,
     config: DenseConfig,
     budget: SearchBudget,
+    /// Incumbent half-size shared with sibling workers of a parallel
+    /// search (`None` when running serial). Read at every node, written
+    /// on every improvement, so one worker's find prunes all the others.
+    shared_best: Option<&'g AtomicUsize>,
 }
 
 impl DenseSearcher<'_> {
@@ -156,13 +182,122 @@ impl DenseSearcher<'_> {
         let half = left.len().min(right.len());
         if half > self.best_half {
             self.best_half = half;
+            if let Some(shared) = self.shared_best {
+                shared.fetch_max(half, Ordering::Relaxed);
+            }
             self.best = LocalBiclique { left, right };
+        }
+    }
+
+    /// Raises the local pruning bound to the pool-wide incumbent. The
+    /// local `best` biclique is untouched: each worker only ever returns
+    /// bicliques it found itself.
+    fn sync_shared_bound(&mut self) {
+        if let Some(shared) = self.shared_best {
+            let global = shared.load(Ordering::Relaxed);
+            if global > self.best_half {
+                self.best_half = global;
+            }
         }
     }
 
     fn leaf(&mut self, depth: u64) {
         self.stats.leaf_depth_sum += depth;
         self.stats.leaf_count += 1;
+    }
+
+    /// One node of Algorithm 3: bound, reduce, re-bound, polynomial case,
+    /// branch selection. Mutates the partial result (`reduce_candidates`
+    /// promotes all-connected candidates into `a`/`b`) and the candidate
+    /// sets in place; the caller owns unwinding.
+    fn step(
+        &mut self,
+        a: &mut Vec<u32>,
+        b: &mut Vec<u32>,
+        ca: &mut BitSet,
+        cb: &mut BitSet,
+        depth: u64,
+    ) -> StepOutcome {
+        self.stats.nodes += 1;
+        self.stats.max_depth = self.stats.max_depth.max(depth);
+        self.sync_shared_bound();
+
+        // Budget: once exhausted every level resolves immediately, so the
+        // whole recursion unwinds with the best-so-far result.
+        if self.budget.is_exhausted() {
+            self.leaf(depth);
+            return StepOutcome::Resolved;
+        }
+
+        // Bounding (line 1).
+        let cap = (a.len() + ca.len()).min(b.len() + cb.len());
+        if cap <= self.best_half {
+            self.stats.bound_prunes += 1;
+            self.leaf(depth);
+            return StepOutcome::Resolved;
+        }
+
+        // Reduction (line 2) and re-bound (line 3).
+        if self.config.use_reductions {
+            reduce_candidates(self.graph, a, b, ca, cb, self.best_half, &mut self.stats);
+            let cap = (a.len() + ca.len()).min(b.len() + cb.len());
+            if cap <= self.best_half {
+                self.stats.bound_prunes += 1;
+                self.leaf(depth);
+                return StepOutcome::Resolved;
+            }
+        }
+
+        // One pass over both candidate sets computing missing-neighbour
+        // counts. It feeds three decisions at once: the degree-histogram
+        // bound, the Lemma 3 polynomial-case test (max missing ≤ 2) and
+        // the triviality-last branch choice (argmax missing).
+        let scan = scan_candidates(self.graph, a.len(), b.len(), ca, cb);
+        if scan.upper_bound <= self.best_half {
+            self.stats.bound_prunes += 1;
+            self.leaf(depth);
+            return StepOutcome::Resolved;
+        }
+
+        // Polynomial case (lines 4–8).
+        if self.config.use_polynomial_case && scan.max_missing <= 2 {
+            if let Some(solution) =
+                dynamic_mbb(self.graph, ca, cb, a.len(), b.len(), &mut self.stats)
+            {
+                if solution.half() > self.best_half {
+                    let mut left = a.clone();
+                    left.extend_from_slice(&solution.chosen_left);
+                    let mut right = b.clone();
+                    right.extend_from_slice(&solution.chosen_right);
+                    self.record(left, right);
+                }
+                self.leaf(depth);
+                return StepOutcome::Resolved;
+            }
+        }
+        if !self.config.use_polynomial_case && ca.is_empty() && cb.is_empty() {
+            self.record(a.clone(), b.clone());
+            self.leaf(depth);
+            return StepOutcome::Resolved;
+        }
+
+        // Branching (lines 9–15): pick the candidate missing the most
+        // neighbours (guaranteed ≥ 3 here when the polynomial case is on).
+        let (on_left, vertex) = if self.config.branch_max_missing {
+            debug_assert!(
+                !self.config.use_polynomial_case || scan.max_missing >= 3,
+                "polynomial case should have caught missing = {}",
+                scan.max_missing
+            );
+            (scan.argmax_on_left, scan.argmax_vertex)
+        } else {
+            // bd3: naive first-candidate branching.
+            match ca.first() {
+                Some(u) => (true, u as u32),
+                None => (false, cb.first().expect("cb non-empty") as u32),
+            }
+        };
+        StepOutcome::Branch { on_left, vertex }
     }
 
     /// Exclude branches iterate in place (they only shrink one candidate
@@ -177,121 +312,285 @@ impl DenseSearcher<'_> {
         mut depth: u64,
     ) {
         let (a_mark, b_mark) = (a.len(), b.len());
-        loop {
-            self.stats.nodes += 1;
-            self.stats.max_depth = self.stats.max_depth.max(depth);
-
-            // Budget: once exhausted every level breaks immediately, so the
-            // whole recursion unwinds with the best-so-far result.
-            if self.budget.is_exhausted() {
-                self.leaf(depth);
-                break;
-            }
-
-            // Bounding (line 1).
-            let cap = (a.len() + ca.len()).min(b.len() + cb.len());
-            if cap <= self.best_half {
-                self.stats.bound_prunes += 1;
-                self.leaf(depth);
-                break;
-            }
-
-            // Reduction (line 2) and re-bound (line 3).
-            if self.config.use_reductions {
-                reduce_candidates(
-                    self.graph,
-                    a,
-                    b,
-                    &mut ca,
-                    &mut cb,
-                    self.best_half,
-                    &mut self.stats,
-                );
-                let cap = (a.len() + ca.len()).min(b.len() + cb.len());
-                if cap <= self.best_half {
-                    self.stats.bound_prunes += 1;
-                    self.leaf(depth);
-                    break;
-                }
-            }
-
-            // One pass over both candidate sets computing missing-neighbour
-            // counts. It feeds three decisions at once: the degree-histogram
-            // bound, the Lemma 3 polynomial-case test (max missing ≤ 2) and
-            // the triviality-last branch choice (argmax missing).
-            let scan = scan_candidates(self.graph, a.len(), b.len(), &ca, &cb);
-            if scan.upper_bound <= self.best_half {
-                self.stats.bound_prunes += 1;
-                self.leaf(depth);
-                break;
-            }
-
-            // Polynomial case (lines 4–8).
-            if self.config.use_polynomial_case && scan.max_missing <= 2 {
-                if let Some(solution) =
-                    dynamic_mbb(self.graph, &ca, &cb, a.len(), b.len(), &mut self.stats)
-                {
-                    if solution.half() > self.best_half {
-                        let mut left = a.clone();
-                        left.extend_from_slice(&solution.chosen_left);
-                        let mut right = b.clone();
-                        right.extend_from_slice(&solution.chosen_right);
-                        self.record(left, right);
-                    }
-                    self.leaf(depth);
-                    break;
-                }
-            }
-            if !self.config.use_polynomial_case && ca.is_empty() && cb.is_empty() {
-                self.record(a.clone(), b.clone());
-                self.leaf(depth);
-                break;
-            }
-
-            // Branching (lines 9–15): pick the candidate missing the most
-            // neighbours (guaranteed ≥ 3 here when the polynomial case is on).
-            let (on_left, u) = if self.config.branch_max_missing {
-                debug_assert!(
-                    !self.config.use_polynomial_case || scan.max_missing >= 3,
-                    "polynomial case should have caught missing = {}",
-                    scan.max_missing
-                );
-                (scan.argmax_on_left, scan.argmax_vertex)
-            } else {
-                // bd3: naive first-candidate branching.
-                match ca.first() {
-                    Some(u) => (true, u as u32),
-                    None => (false, cb.first().expect("cb non-empty") as u32),
-                }
-            };
-
-            if on_left {
-                // Include u (recursive branch).
-                let mut ca_inc = ca.clone();
-                ca_inc.remove(u as usize);
-                let mut cb_inc = cb.clone();
-                cb_inc.intersect_with(self.graph.left_row(u));
-                a.push(u);
-                self.recurse(a, b, ca_inc, cb_inc, depth + 1);
-                a.pop();
-                // Exclude u: continue iterating in place.
-                ca.remove(u as usize);
-            } else {
-                let mut cb_inc = cb.clone();
-                cb_inc.remove(u as usize);
-                let mut ca_inc = ca.clone();
-                ca_inc.intersect_with(self.graph.right_row(u));
-                b.push(u);
-                self.recurse(a, b, ca_inc, cb_inc, depth + 1);
-                b.pop();
-                cb.remove(u as usize);
-            }
+        while let StepOutcome::Branch { on_left, vertex: u } =
+            self.step(a, b, &mut ca, &mut cb, depth)
+        {
+            // Include u (recursive branch).
+            let (ca_inc, cb_inc) = include_candidates(self.graph, &ca, &cb, on_left, u);
+            let side = if on_left { &mut *a } else { &mut *b };
+            side.push(u);
+            self.recurse(a, b, ca_inc, cb_inc, depth + 1);
+            let side = if on_left { &mut *a } else { &mut *b };
+            side.pop();
+            // Exclude u: continue iterating in place.
+            if on_left { &mut ca } else { &mut cb }.remove(u as usize);
             depth += 1;
         }
 
         a.truncate(a_mark);
         b.truncate(b_mark);
     }
+}
+
+/// Candidate sets of the *include* child when branching on `u`: `u`
+/// leaves its own side's candidates (it is now fixed in the result), and
+/// the other side keeps only `u`'s neighbours. The one place the
+/// branching semantics live — the serial recursion and the frontier
+/// expansion both build children through it, which is what keeps the
+/// parallel search space identical to the serial one.
+fn include_candidates(
+    graph: &LocalGraph,
+    ca: &BitSet,
+    cb: &BitSet,
+    on_left: bool,
+    u: u32,
+) -> (BitSet, BitSet) {
+    let mut ca_inc = ca.clone();
+    let mut cb_inc = cb.clone();
+    if on_left {
+        ca_inc.remove(u as usize);
+        cb_inc.intersect_with(graph.left_row(u));
+    } else {
+        cb_inc.remove(u as usize);
+        ca_inc.intersect_with(graph.right_row(u));
+    }
+    (ca_inc, cb_inc)
+}
+
+/// One frontier subproblem of a parallel search: a fixed `a`/`b` prefix
+/// plus the candidate pair still open under it. Tasks partition the
+/// search space — every leaf of the serial recursion tree lies below
+/// exactly one task.
+struct FrontierTask {
+    a: Vec<u32>,
+    b: Vec<u32>,
+    ca: BitSet,
+    cb: BitSet,
+    depth: u64,
+}
+
+/// Frontier subproblems generated per requested worker. More tasks than
+/// workers keeps the pool busy when subtree costs are skewed: a worker
+/// finishing a cheap slice steals the leftovers of an expensive one.
+/// Subtree costs are heavy-tailed, so the granularity is deliberately
+/// fine — expansion cost is a few dozen search nodes per task, noise
+/// against the subtrees it balances.
+const FRONTIER_TASKS_PER_WORKER: usize = 16;
+
+/// Hard cap on the frontier, bounding the serial expansion prefix.
+const MAX_FRONTIER_TASKS: usize = 512;
+
+/// Expands the top of the branching tree breadth-first until `target`
+/// open subproblems exist (or the tree is exhausted first). Nodes that
+/// resolve during expansion — prunes, polynomial solves — are handled by
+/// `searcher` exactly as in the serial search.
+fn expand_frontier(
+    searcher: &mut DenseSearcher<'_>,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    ca: BitSet,
+    cb: BitSet,
+    target: usize,
+) -> VecDeque<FrontierTask> {
+    let mut queue = VecDeque::new();
+    queue.push_back(FrontierTask {
+        a,
+        b,
+        ca,
+        cb,
+        depth: 0,
+    });
+    while queue.len() < target {
+        let Some(mut task) = queue.pop_front() else {
+            break;
+        };
+        let outcome = searcher.step(
+            &mut task.a,
+            &mut task.b,
+            &mut task.ca,
+            &mut task.cb,
+            task.depth,
+        );
+        let StepOutcome::Branch { on_left, vertex: u } = outcome else {
+            continue;
+        };
+        // Include child (owned copies: tasks must be self-contained).
+        let (ca_inc, cb_inc) = include_candidates(searcher.graph, &task.ca, &task.cb, on_left, u);
+        let mut a_inc = task.a.clone();
+        let mut b_inc = task.b.clone();
+        if on_left {
+            a_inc.push(u);
+            task.ca.remove(u as usize);
+        } else {
+            b_inc.push(u);
+            task.cb.remove(u as usize);
+        }
+        queue.push_back(FrontierTask {
+            a: a_inc,
+            b: b_inc,
+            ca: ca_inc,
+            cb: cb_inc,
+            depth: task.depth + 1,
+        });
+        // Exclude child: the popped task itself, one level deeper.
+        task.depth += 1;
+        queue.push_back(task);
+    }
+    queue
+}
+
+/// What one worker of [`dense_mbb_parallel`] hands back.
+struct WorkerOutput {
+    best: LocalBiclique,
+    stats: SearchStats,
+    stolen: u64,
+    skipped: u64,
+}
+
+/// [`dense_mbb_budgeted`] split across `workers` threads — the
+/// intra-subgraph parallel mode.
+///
+/// The top of the branching tree is expanded into 16 × `workers`
+/// disjoint subproblems (each a
+/// fixed `a`/`b` seed plus a candidate-set split); each worker claims a
+/// contiguous slice of them and, once its slice is drained, steals
+/// unclaimed tasks from other slices. All workers prune against one
+/// shared atomic incumbent half-size, so an improvement found anywhere
+/// immediately tightens every bound. The [`SearchBudget`]'s exhausted
+/// state is likewise shared: one worker observing the deadline stops the
+/// whole pool at its next per-node check (anytime semantics — the best
+/// biclique found so far is returned).
+///
+/// With `workers <= 1` this is exactly [`dense_mbb_budgeted`]. The
+/// returned optimum half-size is identical to the serial search's for
+/// any worker count (the split is a partition and every prune is against
+/// a realised biclique); the witness itself and the node counters may
+/// differ run to run.
+///
+/// The returned [`SearchStats`] additionally carries
+/// [`worker_nodes`](SearchStats::worker_nodes),
+/// [`tasks_stolen`](SearchStats::tasks_stolen) and
+/// [`tasks_skipped`](SearchStats::tasks_skipped).
+#[allow(clippy::too_many_arguments)] // mirrors dense_mbb_budgeted
+pub fn dense_mbb_parallel(
+    graph: &LocalGraph,
+    a: Vec<u32>,
+    b: Vec<u32>,
+    ca: BitSet,
+    cb: BitSet,
+    initial_half: usize,
+    config: DenseConfig,
+    budget: &SearchBudget,
+    workers: usize,
+) -> (LocalBiclique, SearchStats) {
+    if workers <= 1 {
+        return dense_mbb_budgeted(graph, a, b, ca, cb, initial_half, config, budget);
+    }
+    // Entry is a coarse boundary: one unsampled probe makes an
+    // already-expired budget visible immediately (and sticky), instead of
+    // after PROBE_INTERVAL search nodes.
+    if budget.probe() {
+        return (LocalBiclique::default(), SearchStats::default());
+    }
+    let shared_best = AtomicUsize::new(initial_half);
+
+    // Serial prefix: expand the frontier. Resolutions met on the way
+    // (poly solves at shallow depth) land in the coordinator's `best`.
+    let mut coordinator = DenseSearcher {
+        graph,
+        best: LocalBiclique::default(),
+        best_half: initial_half,
+        stats: SearchStats::default(),
+        config,
+        budget: budget.clone(),
+        shared_best: Some(&shared_best),
+    };
+    let target = (workers * FRONTIER_TASKS_PER_WORKER).min(MAX_FRONTIER_TASKS);
+    let tasks: Vec<FrontierTask> = expand_frontier(&mut coordinator, a, b, ca, cb, target).into();
+    if tasks.is_empty() {
+        // The whole tree resolved during expansion — nothing to spawn for.
+        return (coordinator.best.balance(), coordinator.stats);
+    }
+    let claimed: Vec<AtomicBool> = tasks.iter().map(|_| AtomicBool::new(false)).collect();
+
+    let outputs: Vec<WorkerOutput> = std::thread::scope(|scope| {
+        let tasks = &tasks;
+        let claimed = &claimed;
+        let shared = &shared_best;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    let mut searcher = DenseSearcher {
+                        graph,
+                        best: LocalBiclique::default(),
+                        best_half: shared.load(Ordering::Relaxed),
+                        stats: SearchStats::default(),
+                        config,
+                        budget: budget.clone(),
+                        shared_best: Some(shared),
+                    };
+                    let chunk = tasks.len().div_ceil(workers).max(1);
+                    let own = (w * chunk).min(tasks.len())..((w + 1) * chunk).min(tasks.len());
+                    let mut stolen = 0u64;
+                    let mut skipped = 0u64;
+                    // Own slice first, then one stealing sweep over the
+                    // rest — `claimed` makes every task run exactly once.
+                    for index in own.clone().chain(0..tasks.len()) {
+                        if claimed[index].swap(true, Ordering::Relaxed) {
+                            continue;
+                        }
+                        if !own.contains(&index) {
+                            stolen += 1;
+                        }
+                        run_task(&mut searcher, &tasks[index], &mut skipped);
+                    }
+                    WorkerOutput {
+                        best: searcher.best,
+                        stats: searcher.stats,
+                        stolen,
+                        skipped,
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dense worker panicked"))
+            .collect()
+    });
+
+    let mut best = coordinator.best;
+    let mut stats = coordinator.stats;
+    stats.worker_nodes = vec![0; workers];
+    for (w, output) in outputs.into_iter().enumerate() {
+        stats.worker_nodes[w] = output.stats.nodes;
+        stats.merge(&output.stats);
+        stats.tasks_stolen += output.stolen;
+        stats.tasks_skipped += output.skipped;
+        if output.best.half() > best.half() {
+            best = output.best;
+        }
+    }
+    (best.balance(), stats)
+}
+
+/// Runs one claimed frontier task to completion (or skips it when the
+/// shared incumbent already reached its optimistic bound).
+fn run_task(searcher: &mut DenseSearcher<'_>, task: &FrontierTask, skipped: &mut u64) {
+    searcher.sync_shared_bound();
+    let cap = (task.a.len() + task.ca.len()).min(task.b.len() + task.cb.len());
+    if cap <= searcher.best_half {
+        *skipped += 1;
+        return;
+    }
+    // Task claim is a coarse boundary: pay for an unsampled probe so an
+    // expired budget is noticed even when every task is tiny.
+    if searcher.budget.probe() {
+        return;
+    }
+    let mut a = task.a.clone();
+    let mut b = task.b.clone();
+    searcher.recurse(&mut a, &mut b, task.ca.clone(), task.cb.clone(), task.depth);
 }
 
 /// Result of the per-node candidate scan.
@@ -531,6 +830,107 @@ mod tests {
             );
             assert_eq!(b.half(), brute_force_half(&g), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn parallel_matches_serial_on_random_graphs() {
+        for seed in 0..25u64 {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1e);
+            let nl = rng.gen_range(2..=10usize);
+            let nr = rng.gen_range(2..=10usize);
+            let density = rng.gen_range(0.3..0.95);
+            let g = random_graph(nl, nr, density, seed);
+            let (serial, _) = dense_mbb(&g, 0);
+            for workers in [2, 4] {
+                let (parallel, stats) = dense_mbb_parallel(
+                    &g,
+                    Vec::new(),
+                    Vec::new(),
+                    BitSet::full(nl),
+                    BitSet::full(nr),
+                    0,
+                    DenseConfig::default(),
+                    &SearchBudget::unlimited(),
+                    workers,
+                );
+                assert_eq!(
+                    parallel.half(),
+                    serial.half(),
+                    "seed {seed} workers {workers}"
+                );
+                assert!(
+                    g.is_biclique(&parallel.left, &parallel.right),
+                    "seed {seed} workers {workers}"
+                );
+                if !stats.worker_nodes.is_empty() {
+                    assert_eq!(stats.worker_nodes.len(), workers);
+                    let worker_total: u64 = stats.worker_nodes.iter().sum();
+                    assert!(worker_total <= stats.nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_respects_initial_bound() {
+        let g = random_graph(8, 8, 0.7, 21);
+        let brute = brute_force_half(&g);
+        let (b, _) = dense_mbb_parallel(
+            &g,
+            Vec::new(),
+            Vec::new(),
+            BitSet::full(8),
+            BitSet::full(8),
+            brute,
+            DenseConfig::default(),
+            &SearchBudget::unlimited(),
+            4,
+        );
+        assert_eq!(b.half(), 0, "nothing strictly better than the optimum");
+    }
+
+    #[test]
+    fn parallel_with_one_worker_is_serial() {
+        let g = random_graph(9, 9, 0.6, 33);
+        let (serial, serial_stats) = dense_mbb(&g, 0);
+        let (one, one_stats) = dense_mbb_parallel(
+            &g,
+            Vec::new(),
+            Vec::new(),
+            BitSet::full(9),
+            BitSet::full(9),
+            0,
+            DenseConfig::default(),
+            &SearchBudget::unlimited(),
+            1,
+        );
+        assert_eq!(serial.half(), one.half());
+        assert_eq!(serial_stats.nodes, one_stats.nodes);
+        assert!(one_stats.worker_nodes.is_empty());
+    }
+
+    #[test]
+    fn parallel_cancelled_search_returns_valid_biclique() {
+        use crate::budget::CancelToken;
+        let g = random_graph(16, 16, 0.8, 7);
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = SearchBudget::with_cancel_token(token);
+        let (found, _) = dense_mbb_parallel(
+            &g,
+            Vec::new(),
+            Vec::new(),
+            BitSet::full(16),
+            BitSet::full(16),
+            0,
+            DenseConfig::default(),
+            &budget,
+            4,
+        );
+        // Best-so-far under an instantly-cancelled budget: possibly empty,
+        // always a valid biclique.
+        assert!(g.is_biclique(&found.left, &found.right));
+        assert_eq!(budget.termination(), crate::budget::Termination::Cancelled);
     }
 
     #[test]

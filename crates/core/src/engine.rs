@@ -63,6 +63,7 @@ use crate::size_constrained::{find_size_constrained_budgeted, SizeConstrainedBic
 use crate::solver::{MbbSolver, SessionOrder, SolverConfig};
 use crate::stats::{IndexStats, SolveStats};
 use crate::topk::topk_budgeted;
+use crate::verify::ParallelMode;
 use crate::weighted::{weighted_mbb_budgeted, WeightedBiclique};
 
 /// The outcome of any engine query: a typed payload, consolidated solver
@@ -181,6 +182,7 @@ impl MbbEngine {
             deadline: None,
             cancel: None,
             threads: None,
+            parallel_mode: None,
             incumbent: Biclique::empty(),
         }
     }
@@ -343,6 +345,7 @@ pub struct QueryBuilder<'e> {
     deadline: Option<Instant>,
     cancel: Option<CancelToken>,
     threads: Option<usize>,
+    parallel_mode: Option<ParallelMode>,
     incumbent: Biclique,
 }
 
@@ -371,10 +374,24 @@ impl<'e> QueryBuilder<'e> {
         self
     }
 
-    /// Verification worker threads for this query: `0` = one per
-    /// available core, unset = the engine config's default.
+    /// Worker threads for this query's parallel stages — the bridging
+    /// generation loop and the verification search: `0` = one per
+    /// available core, unset = the engine config's default (`1`, the
+    /// paper's sequential algorithm). How verification spends the workers
+    /// is set by [`parallel_mode`](Self::parallel_mode).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = Some(threads);
+        self
+    }
+
+    /// How a multi-threaded verification spends its workers: across
+    /// vertex-centred subgraphs ([`ParallelMode::Subgraph`]) or inside
+    /// each subgraph's branch-and-bound
+    /// ([`ParallelMode::IntraSubgraph`], the default — the winning mode
+    /// on skewed graphs where one subgraph dominates). No effect unless
+    /// [`threads`](Self::threads) resolves to more than one worker.
+    pub fn parallel_mode(mut self, mode: ParallelMode) -> Self {
+        self.parallel_mode = Some(mode);
         self
     }
 
@@ -399,7 +416,10 @@ impl<'e> QueryBuilder<'e> {
         let budget = self.budget();
         let mut config = engine.config;
         if let Some(threads) = self.threads {
-            config.verify_threads = threads;
+            config.threads = threads;
+        }
+        if let Some(mode) = self.parallel_mode {
+            config.parallel_mode = mode;
         }
         let order = engine.order_index();
         let session = SessionOrder {

@@ -16,7 +16,7 @@ use crate::budget::SearchBudget;
 use crate::dense::{dense_mbb_seeded, DenseConfig};
 use crate::heuristic::{greedy_balanced, hmbb, map_to_parent, DEFAULT_SEEDS};
 use crate::stats::{SolveStats, Stage};
-use crate::verify::{verify_mbb_budgeted, VerifyConfig};
+use crate::verify::{verify_mbb_budgeted, ParallelMode, VerifyConfig};
 
 /// Resolves a thread-count knob: `0` means "one worker per available
 /// core" ([`std::thread::available_parallelism`]), anything else is taken
@@ -62,10 +62,16 @@ pub struct SolverConfig {
     pub order: SearchOrder,
     /// Seeds for the global and local greedy heuristics.
     pub heuristic_seeds: usize,
-    /// Worker threads for verification: `1` = the paper's sequential
-    /// algorithm, `0` = one worker per available core (see
+    /// Worker threads for the parallel stages (bridging's per-centre
+    /// generation loop and the verification search): `1` = the paper's
+    /// sequential algorithm, `0` = one worker per available core (see
     /// [`resolve_threads`]).
-    pub verify_threads: usize,
+    pub threads: usize,
+    /// How verification spends those threads — across vertex-centred
+    /// subgraphs, or inside each subgraph's branch-and-bound. Irrelevant
+    /// when `threads` resolves to 1. See [`ParallelMode`] for the
+    /// trade-off.
+    pub parallel_mode: ParallelMode,
 }
 
 impl Default for SolverConfig {
@@ -76,7 +82,8 @@ impl Default for SolverConfig {
             use_dense_branching: true,
             order: SearchOrder::Bidegeneracy,
             heuristic_seeds: DEFAULT_SEEDS,
-            verify_threads: 1,
+            threads: 1,
+            parallel_mode: ParallelMode::IntraSubgraph,
         }
     }
 }
@@ -269,6 +276,7 @@ impl MbbSolver {
             BridgeConfig {
                 use_core_pruning: config.use_core_optimizations,
                 heuristic_seeds: config.heuristic_seeds.min(4),
+                threads: config.threads,
             },
             budget,
         );
@@ -310,7 +318,8 @@ impl MbbSolver {
             VerifyConfig {
                 use_core_reduction: config.use_core_optimizations,
                 dense: dense_config,
-                threads: config.verify_threads,
+                threads: config.threads,
+                mode: config.parallel_mode,
             },
             budget,
         );
@@ -520,7 +529,7 @@ mod tests {
             let g = generators::uniform_edges(14, 14, 95, seed);
             let sequential = MbbSolver::new().solve(&g);
             let parallel = MbbSolver::with_config(SolverConfig {
-                verify_threads: 4,
+                threads: 4,
                 ..Default::default()
             })
             .solve(&g);

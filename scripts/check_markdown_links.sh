@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Checks that every intra-repo markdown link resolves to an existing
+# file or directory. External links (http/https/mailto) and pure
+# anchors are skipped; `#section` suffixes on file links are stripped
+# (anchor validity is not checked). Run from anywhere in the repo.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+broken=0
+while IFS= read -r file; do
+    dir="$(dirname "$file")"
+    # Inline links: [text](target). Reference-style links are rare in
+    # this repo; add them here if they ever appear.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -z "$path" ] && continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "BROKEN: $file -> $target"
+            broken=1
+        fi
+    done < <(
+        # Strip fenced code blocks first: snippets quote other repos'
+        # READMEs verbatim, and those links are not ours to keep valid.
+        awk '/^[[:space:]]*```/ { fence = !fence; next } !fence' "$file" |
+            grep -oE '\]\([^)]+\)' | sed -E 's/^\]\(//; s/\)$//' || true
+    )
+done < <(find . -name '*.md' -not -path './vendor/*' -not -path './target/*' -not -path './.git/*')
+
+if [ "$broken" -ne 0 ]; then
+    echo "markdown link check failed" >&2
+    exit 1
+fi
+echo "markdown links OK"

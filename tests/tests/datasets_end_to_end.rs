@@ -72,7 +72,7 @@ fn parallel_and_sequential_agree_on_standins() {
     let standin = stand_in(spec, ScaleCaps::small(), 9);
     let sequential = MbbSolver::new().solve(&standin.graph);
     let parallel = MbbSolver::with_config(SolverConfig {
-        verify_threads: 4,
+        threads: 4,
         ..Default::default()
     })
     .solve(&standin.graph);
