@@ -36,6 +36,7 @@ fn mode_label(mode: ParallelMode) -> &'static str {
     match mode {
         ParallelMode::IntraSubgraph => "intra",
         ParallelMode::Subgraph => "subgraph",
+        ParallelMode::Auto => "auto",
     }
 }
 

@@ -9,6 +9,7 @@ pub mod anchored;
 pub mod enumerate;
 pub mod frontier;
 pub mod generate;
+pub mod serve_batch;
 pub mod stats;
 pub mod topk;
 
@@ -24,6 +25,7 @@ commands:
   topk       the k best balanced bicliques
   anchored   largest balanced biclique through a given vertex
   frontier   Pareto frontier of feasible biclique sizes
+  serve-batch  run a JSONL query batch over sharded engine sessions
 
 `mbb <command> --help` prints per-command options.";
 
@@ -67,6 +69,12 @@ pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
             }
             frontier::run(&frontier::FrontierOptions::parse(args)?)
         }
+        "serve-batch" => {
+            if wants_help {
+                return Ok(format!("{}\n", serve_batch::USAGE));
+            }
+            serve_batch::run(&serve_batch::ServeBatchOptions::parse(args)?)
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -75,7 +83,14 @@ pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
 pub fn is_command(name: &str) -> bool {
     matches!(
         name,
-        "solve" | "stats" | "generate" | "enumerate" | "topk" | "anchored" | "frontier"
+        "solve"
+            | "stats"
+            | "generate"
+            | "enumerate"
+            | "topk"
+            | "anchored"
+            | "frontier"
+            | "serve-batch"
     )
 }
 
@@ -105,6 +120,7 @@ mod tests {
             "topk",
             "anchored",
             "frontier",
+            "serve-batch",
         ] {
             let text = dispatch(cmd, &["--help".to_string()]).unwrap();
             assert!(text.contains("usage:"), "{cmd}");

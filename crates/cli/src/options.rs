@@ -23,10 +23,12 @@ options:
   --threads <N>        worker threads for the parallel search stages;
                        0 = one per core (default: 1, the paper's
                        sequential algorithm)
-  --parallel-mode <intra|subgraph>  how verification spends the workers
-                       (default: intra — split the branch-and-bound inside
-                       each vertex-centred subgraph; subgraph = split the
-                       subgraphs across workers)
+  --parallel-mode <auto|intra|subgraph>  how verification spends the
+                       workers (default: auto — pick intra or subgraph per
+                       solve from the bridge skew stats; intra = split the
+                       branch-and-bound inside each vertex-centred
+                       subgraph; subgraph = split the subgraphs across
+                       workers)
   --deadline-secs <N>  abandon the hbv search after N seconds and report
                        the best-so-far biclique (marked as a lower bound)
   --budget-secs <N>    time budget for the ext baseline (default: none)
@@ -122,6 +124,7 @@ impl Options {
                 "--parallel-mode" => {
                     let value = iter.next().ok_or("--parallel-mode needs a value")?;
                     options.parallel_mode = match value.as_str() {
+                        "auto" => ParallelMode::Auto,
                         "intra" => ParallelMode::IntraSubgraph,
                         "subgraph" => ParallelMode::Subgraph,
                         other => return Err(format!("unknown parallel mode {other:?}")),
@@ -209,11 +212,13 @@ mod tests {
     #[test]
     fn parallel_mode_parses() {
         let o = parse("g.txt").unwrap();
-        assert_eq!(o.parallel_mode, ParallelMode::IntraSubgraph);
+        assert_eq!(o.parallel_mode, ParallelMode::Auto);
         let o = parse("g.txt --parallel-mode subgraph").unwrap();
         assert_eq!(o.parallel_mode, ParallelMode::Subgraph);
         let o = parse("g.txt --parallel-mode intra").unwrap();
         assert_eq!(o.parallel_mode, ParallelMode::IntraSubgraph);
+        let o = parse("g.txt --parallel-mode auto").unwrap();
+        assert_eq!(o.parallel_mode, ParallelMode::Auto);
         assert!(parse("g.txt --parallel-mode sideways").is_err());
     }
 

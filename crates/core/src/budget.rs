@@ -119,6 +119,29 @@ impl std::fmt::Display for Termination {
     }
 }
 
+impl std::str::FromStr for Termination {
+    type Err = String;
+
+    /// Parses the [`Display`](std::fmt::Display) form back — the wire
+    /// representation used by JSON outputs (`"complete"`,
+    /// `"deadline-exceeded"`, `"cancelled"`).
+    ///
+    /// ```
+    /// use mbb_core::budget::Termination;
+    /// let t: Termination = "deadline-exceeded".parse().unwrap();
+    /// assert_eq!(t, Termination::DeadlineExceeded);
+    /// assert_eq!(t.to_string().parse::<Termination>().unwrap(), t);
+    /// ```
+    fn from_str(s: &str) -> Result<Termination, String> {
+        match s {
+            "complete" => Ok(Termination::Complete),
+            "deadline-exceeded" => Ok(Termination::DeadlineExceeded),
+            "cancelled" => Ok(Termination::Cancelled),
+            other => Err(format!("unknown termination {other:?}")),
+        }
+    }
+}
+
 /// The budget itself. Cheap to clone (two `Arc`s); clones share the same
 /// exhausted state, so one clone per worker thread is the intended use.
 /// The per-clone `ticks` counter is deliberately local — it only staggers
@@ -288,5 +311,17 @@ mod tests {
             "deadline-exceeded"
         );
         assert_eq!(Termination::Cancelled.to_string(), "cancelled");
+    }
+
+    #[test]
+    fn termination_round_trips_through_from_str() {
+        for t in [
+            Termination::Complete,
+            Termination::DeadlineExceeded,
+            Termination::Cancelled,
+        ] {
+            assert_eq!(t.to_string().parse::<Termination>().unwrap(), t);
+        }
+        assert!("done".parse::<Termination>().is_err());
     }
 }

@@ -115,14 +115,19 @@ struct Counters {
 ///
 /// The engine is `Sync`: queries take `&self`, so one engine can serve
 /// concurrent readers (each query may additionally parallelise its own
-/// verification stage via [`QueryBuilder::threads`]).
+/// verification stage via [`QueryBuilder::threads`]). Services that want
+/// per-session counters without re-preprocessing can [`fork`](Self::fork)
+/// an engine: the cached indices are `Arc`-shared, so a fork is a few
+/// pointer copies.
 #[derive(Debug)]
 pub struct MbbEngine {
     graph: Arc<BipartiteGraph>,
     config: SolverConfig,
-    order: OnceLock<OrderIndex>,
-    bicore: OnceLock<BicoreDecomposition>,
-    two_hop: OnceLock<TwoHopIndex>,
+    // Each cached index is Arc-wrapped so `fork` can share an already
+    // materialised index across sessions without re-deriving it.
+    order: OnceLock<Arc<OrderIndex>>,
+    bicore: OnceLock<Arc<BicoreDecomposition>>,
+    two_hop: OnceLock<Arc<TwoHopIndex>>,
     counters: Counters,
 }
 
@@ -151,9 +156,53 @@ impl MbbEngine {
         }
     }
 
+    /// A new engine session over the same graph, sharing every index the
+    /// parent has already materialised (the caches are `Arc`-shared, so
+    /// this is a few pointer copies — no re-peeling, no re-indexing) but
+    /// with fresh index-reuse counters. This is the cheap per-session
+    /// clone a batching service wants: one warm parent per graph shard,
+    /// one fork per client session whose `IndexStats` should start at
+    /// zero.
+    ///
+    /// Indices the parent has *not* yet computed stay lazy in the fork
+    /// and are built on first use there. A pre-built index served to the
+    /// fork counts as a reuse (never a compute) in the fork's counters.
+    ///
+    /// ```
+    /// use mbb_core::engine::MbbEngine;
+    /// let graph = mbb_bigraph::generators::uniform_edges(30, 30, 140, 5);
+    /// let parent = MbbEngine::new(graph);
+    /// let warm = parent.solve();
+    /// let fork = parent.fork();
+    /// let again = fork.solve();
+    /// assert_eq!(again.value.half_size(), warm.value.half_size());
+    /// // The fork never recomputed the order: it arrived pre-built.
+    /// assert_eq!(again.stats.index.orders_computed, 0);
+    /// assert!(again.stats.index.orders_reused >= 1);
+    /// ```
+    pub fn fork(&self) -> MbbEngine {
+        let fork = MbbEngine::from_arc(Arc::clone(&self.graph), self.config);
+        if let Some(cached) = self.order.get() {
+            let _ = fork.order.set(Arc::clone(cached));
+        }
+        if let Some(cached) = self.bicore.get() {
+            let _ = fork.bicore.set(Arc::clone(cached));
+        }
+        if let Some(cached) = self.two_hop.get() {
+            let _ = fork.two_hop.set(Arc::clone(cached));
+        }
+        fork
+    }
+
     /// The session graph.
     pub fn graph(&self) -> &BipartiteGraph {
         &self.graph
+    }
+
+    /// The session graph's shared handle, for callers that keep the graph
+    /// alive beyond the engine (or hand it to other readers).
+    pub fn graph_arc(&self) -> Arc<BipartiteGraph> {
+        Arc::clone(&self.graph)
     }
 
     /// The session solver configuration.
@@ -253,7 +302,7 @@ impl MbbEngine {
             self.counters
                 .bicores_computed
                 .fetch_add(1, Ordering::Relaxed);
-            decomposition
+            Arc::new(decomposition)
         })
     }
 
@@ -287,7 +336,7 @@ impl MbbEngine {
             self.counters
                 .orders_computed
                 .fetch_add(1, Ordering::Relaxed);
-            OrderIndex { rank, bidegeneracy }
+            Arc::new(OrderIndex { rank, bidegeneracy })
         })
     }
 
@@ -305,19 +354,19 @@ impl MbbEngine {
             self.counters
                 .two_hops_reused
                 .fetch_add(1, Ordering::Relaxed);
-            return Some(cached);
+            return Some(&**cached);
         }
         if prior == 0 {
             return None;
         }
-        Some(self.two_hop.get_or_init(|| {
+        Some(&**self.two_hop.get_or_init(|| {
             let start = Instant::now();
             let index = TwoHopIndex::build(&self.graph);
             self.note_preprocess(start);
             self.counters
                 .two_hops_computed
                 .fetch_add(1, Ordering::Relaxed);
-            index
+            Arc::new(index)
         }))
     }
 
@@ -385,11 +434,12 @@ impl<'e> QueryBuilder<'e> {
     }
 
     /// How a multi-threaded verification spends its workers: across
-    /// vertex-centred subgraphs ([`ParallelMode::Subgraph`]) or inside
+    /// vertex-centred subgraphs ([`ParallelMode::Subgraph`]), inside
     /// each subgraph's branch-and-bound
-    /// ([`ParallelMode::IntraSubgraph`], the default — the winning mode
-    /// on skewed graphs where one subgraph dominates). No effect unless
-    /// [`threads`](Self::threads) resolves to more than one worker.
+    /// ([`ParallelMode::IntraSubgraph`]), or picked per solve from the
+    /// bridge stage's skew statistics ([`ParallelMode::Auto`], the
+    /// default). No effect unless [`threads`](Self::threads) resolves to
+    /// more than one worker.
     pub fn parallel_mode(mut self, mode: ParallelMode) -> Self {
         self.parallel_mode = Some(mode);
         self
@@ -581,6 +631,42 @@ mod tests {
         let third = engine.anchored(Vertex::right(3));
         assert_eq!(third.stats.index.two_hops_computed, 1);
         assert!(third.stats.index.two_hops_reused >= 1);
+    }
+
+    #[test]
+    fn fork_shares_materialised_indices() {
+        let g = generators::uniform_edges(25, 25, 120, 4);
+        let engine = MbbEngine::new(g);
+        let warm = engine.solve();
+        let _ = engine.anchored(Vertex::left(0));
+        let _ = engine.anchored(Vertex::left(1)); // materialises two-hop
+
+        let fork = engine.fork();
+        assert!(Arc::ptr_eq(&engine.graph_arc(), &fork.graph_arc()));
+        let again = fork.solve();
+        assert_eq!(again.value.half_size(), warm.value.half_size());
+        // The fork's counters are fresh, and everything it needed arrived
+        // pre-built from the parent: reuse only, zero computes.
+        let index = fork.index_stats();
+        assert_eq!(index.orders_computed, 0);
+        assert!(index.orders_reused >= 1);
+        assert_eq!(index.two_hops_computed, 0);
+        let anchored = fork.anchored(Vertex::left(2));
+        assert!(anchored.stats.index.two_hops_reused >= 1);
+        // The parent's counters are unaffected by the fork's queries.
+        assert_eq!(engine.index_stats().orders_computed, 1);
+    }
+
+    #[test]
+    fn fork_of_cold_engine_stays_lazy() {
+        let g = generators::uniform_edges(15, 15, 70, 8);
+        let engine = MbbEngine::new(g);
+        let fork = engine.fork();
+        let solved = fork.solve();
+        // Nothing was materialised in the parent, so the fork computes
+        // its own order exactly once.
+        assert_eq!(solved.stats.index.orders_computed, 1);
+        assert_eq!(engine.index_stats().orders_computed, 0);
     }
 
     #[test]

@@ -68,9 +68,10 @@ pub struct SolverConfig {
     /// [`resolve_threads`]).
     pub threads: usize,
     /// How verification spends those threads — across vertex-centred
-    /// subgraphs, or inside each subgraph's branch-and-bound. Irrelevant
-    /// when `threads` resolves to 1. See [`ParallelMode`] for the
-    /// trade-off.
+    /// subgraphs, inside each subgraph's branch-and-bound, or (the
+    /// default, [`ParallelMode::Auto`]) picked per solve from the bridge
+    /// skew statistics. Irrelevant when `threads` resolves to 1. See
+    /// [`ParallelMode`] for the trade-off.
     pub parallel_mode: ParallelMode,
 }
 
@@ -83,7 +84,7 @@ impl Default for SolverConfig {
             order: SearchOrder::Bidegeneracy,
             heuristic_seeds: DEFAULT_SEEDS,
             threads: 1,
-            parallel_mode: ParallelMode::IntraSubgraph,
+            parallel_mode: ParallelMode::Auto,
         }
     }
 }

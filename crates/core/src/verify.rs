@@ -12,11 +12,14 @@
 //! * [`ParallelMode::Subgraph`] splits the *subgraphs* across workers
 //!   sharing the incumbent — effective when many comparable subgraphs
 //!   survive, Amdahl-bound by the largest one on skewed graphs;
-//! * [`ParallelMode::IntraSubgraph`] (the default) walks the subgraphs in
+//! * [`ParallelMode::IntraSubgraph`] walks the subgraphs in
 //!   order but splits the branch-and-bound *inside* each sufficiently
 //!   large one ([`dense_mbb_parallel`]) — effective exactly where the
 //!   subgraph-level mode stalls, on the one dominant subgraph of size
 //!   ≈ δ̈ + 1 that carries most of the search nodes.
+//!
+//! [`ParallelMode::Auto`] (the default) picks between them per
+//! verification stage from the surviving subgraphs' skew.
 
 use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::core_decomp::{core_decomposition, k_core_mask};
@@ -34,12 +37,14 @@ use crate::stats::SearchStats;
 
 /// How a multi-threaded verification stage spends its workers.
 ///
-/// Which one wins is a property of the workload's skew: `Subgraph` scales
-/// with the *number* of comparable surviving subgraphs, `IntraSubgraph`
-/// with the *size* of the dominant one. On skewed real-world graphs the
-/// single subgraph centred near the densest region usually carries most
-/// of the search nodes (see `docs/PERFORMANCE.md`), which is why
-/// `IntraSubgraph` is the default.
+/// Which fixed mode wins is a property of the workload's skew: `Subgraph`
+/// scales with the *number* of comparable surviving subgraphs,
+/// `IntraSubgraph` with the *size* of the dominant one. On skewed
+/// real-world graphs the single subgraph centred near the densest region
+/// usually carries most of the search nodes (see `docs/PERFORMANCE.md`).
+/// `Auto` (the default) reads exactly that skew off the survivors of the
+/// bridging stage and picks per solve, so mixed workloads — the batch
+/// service case — get the right mode per query without tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ParallelMode {
     /// Split the surviving subgraphs across workers (each searched
@@ -48,8 +53,93 @@ pub enum ParallelMode {
     /// Walk the subgraphs in order; split the branch-and-bound inside
     /// each subgraph with at least [`INTRA_PARALLEL_MIN_VERTICES`]
     /// vertices across the workers ([`dense_mbb_parallel`]).
-    #[default]
     IntraSubgraph,
+    /// Decide per solve from the bridge skew statistics: broad, low-skew
+    /// survivor sets (at least [`AUTO_MIN_SURVIVORS`] subgraphs whose
+    /// largest member stays within [`AUTO_SKEW_RATIO`]× the average
+    /// size) run [`Subgraph`](Self::Subgraph); everything else —
+    /// including the common one-dominant-subgraph shape — runs
+    /// [`IntraSubgraph`](Self::IntraSubgraph). See
+    /// [`ParallelMode::resolve_auto`] for the exact rule.
+    #[default]
+    Auto,
+}
+
+/// `Auto` picks [`ParallelMode::Subgraph`] only when at least this many
+/// subgraphs survive bridging: below this the per-subgraph pool has too
+/// few units of work to beat splitting the dominant search itself.
+pub const AUTO_MIN_SURVIVORS: usize = 16;
+
+/// `Auto` picks [`ParallelMode::Subgraph`] only when the largest
+/// surviving subgraph is within this factor of the average survivor size
+/// — i.e. no single subgraph dominates the verification work.
+pub const AUTO_SKEW_RATIO: f64 = 1.5;
+
+impl ParallelMode {
+    /// The decision rule behind [`ParallelMode::Auto`], exposed so
+    /// services can log or replicate the choice: given the number of
+    /// subgraphs that survived bridging (reported as
+    /// `SolveStats::subgraphs_verified`), the largest survivor's vertex
+    /// count and the mean survivor vertex count, returns the fixed mode
+    /// `Auto` resolves to.
+    ///
+    /// Note the size inputs are measured on the **survivors** handed to
+    /// verification; the `max_subgraph_size` / `avg_subgraph_size`
+    /// aggregates in `SolveStats` cover all *generated* subgraphs
+    /// (pruned ones included), so they approximate — but do not exactly
+    /// reproduce — what a solve's `Auto` decided.
+    ///
+    /// ```
+    /// use mbb_core::verify::ParallelMode;
+    /// // Broad and flat: hundreds of comparable subgraphs.
+    /// assert_eq!(
+    ///     ParallelMode::resolve_auto(300, 24, 20.0),
+    ///     ParallelMode::Subgraph
+    /// );
+    /// // Skewed: one subgraph is 4x the average — split inside it.
+    /// assert_eq!(
+    ///     ParallelMode::resolve_auto(300, 80, 20.0),
+    ///     ParallelMode::IntraSubgraph
+    /// );
+    /// // Too few subgraphs to share out, whatever the skew.
+    /// assert_eq!(
+    ///     ParallelMode::resolve_auto(3, 20, 20.0),
+    ///     ParallelMode::IntraSubgraph
+    /// );
+    /// ```
+    pub fn resolve_auto(
+        subgraphs_verified: usize,
+        max_subgraph_size: usize,
+        avg_subgraph_size: f64,
+    ) -> ParallelMode {
+        let flat = max_subgraph_size as f64 <= AUTO_SKEW_RATIO * avg_subgraph_size;
+        if subgraphs_verified >= AUTO_MIN_SURVIVORS && flat {
+            ParallelMode::Subgraph
+        } else {
+            ParallelMode::IntraSubgraph
+        }
+    }
+
+    /// Resolves `self` against a concrete survivor set: fixed modes pass
+    /// through, `Auto` measures the survivors and delegates to
+    /// [`resolve_auto`](Self::resolve_auto).
+    fn resolve_for(self, survivors: &[CenteredSubgraph]) -> ParallelMode {
+        match self {
+            ParallelMode::Auto => {
+                let sizes = survivors
+                    .iter()
+                    .map(|s| s.left_ids.len() + s.right_ids.len());
+                let max = sizes.clone().max().unwrap_or(0);
+                let avg = if survivors.is_empty() {
+                    0.0
+                } else {
+                    sizes.sum::<usize>() as f64 / survivors.len() as f64
+                };
+                ParallelMode::resolve_auto(survivors.len(), max, avg)
+            }
+            fixed => fixed,
+        }
+    }
 }
 
 /// Subgraphs smaller than this are searched serially even under
@@ -113,11 +203,14 @@ pub fn verify_mbb_budgeted(
     budget: &SearchBudget,
 ) -> (Biclique, SearchStats) {
     let threads = crate::solver::resolve_threads(config.threads);
-    if threads <= 1 || survivors.len() <= 1 || config.mode == ParallelMode::IntraSubgraph {
+    // `Auto` is resolved here, once per verification stage, against the
+    // actual survivor set (the bridge skew is fully known by now).
+    let mode = config.mode.resolve_for(survivors);
+    if threads <= 1 || survivors.len() <= 1 || mode == ParallelMode::IntraSubgraph {
         // Sequential walk over the subgraphs. Under `IntraSubgraph` with
         // threads > 1, each sufficiently large subgraph's own search is
         // split across the workers instead.
-        let intra_workers = if config.mode == ParallelMode::IntraSubgraph {
+        let intra_workers = if mode == ParallelMode::IntraSubgraph {
             threads
         } else {
             1
@@ -386,6 +479,44 @@ mod tests {
         assert!(
             parallel_branch_ran,
             "no subgraph reached the intra-parallel threshold; grow the test graphs"
+        );
+    }
+
+    #[test]
+    fn auto_mode_matches_sequential_and_fixed_modes() {
+        for seed in 0..6u64 {
+            let g = generators::uniform_edges(16, 16, 110, seed ^ 0x5a);
+            let sequential = full_pipeline(&g, 1);
+            let (auto, _) = full_pipeline_mode(&g, 4, ParallelMode::Auto);
+            assert_eq!(sequential.half_size(), auto.half_size(), "seed {seed}");
+            assert!(auto.is_valid(&g), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn auto_resolution_rule() {
+        // Flat and broad → subgraph-level; skewed or narrow → intra.
+        assert_eq!(
+            ParallelMode::resolve_auto(AUTO_MIN_SURVIVORS, 10, 10.0),
+            ParallelMode::Subgraph
+        );
+        assert_eq!(
+            ParallelMode::resolve_auto(AUTO_MIN_SURVIVORS - 1, 10, 10.0),
+            ParallelMode::IntraSubgraph
+        );
+        assert_eq!(
+            ParallelMode::resolve_auto(1000, 31, 20.0),
+            ParallelMode::IntraSubgraph
+        );
+        assert_eq!(
+            ParallelMode::resolve_auto(1000, 30, 20.0),
+            ParallelMode::Subgraph
+        );
+        // Degenerate empty survivor set resolves (to intra) without
+        // dividing by zero.
+        assert_eq!(
+            ParallelMode::Auto.resolve_for(&[]),
+            ParallelMode::IntraSubgraph
         );
     }
 

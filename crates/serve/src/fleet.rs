@@ -1,0 +1,295 @@
+//! The sharded engine fleet: one warm [`MbbEngine`] session per graph
+//! shard, with deterministic request routing.
+
+use std::sync::Arc;
+
+use mbb_bigraph::graph::BipartiteGraph;
+use mbb_core::engine::MbbEngine;
+use mbb_core::stats::IndexStats;
+use mbb_core::SolverConfig;
+
+use crate::request::QueryRequest;
+
+/// Service-level errors: routing failures, malformed requests, fleet
+/// misconfiguration. Execution-level problems (a deadline expiring, a
+/// query finding nothing) are **not** errors — they are typed results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The fleet has no shards; nothing can be routed.
+    EmptyFleet,
+    /// A request named a graph id no shard carries.
+    UnknownShard(String),
+    /// Two shards were registered under the same graph id.
+    DuplicateShard(String),
+    /// A JSONL request line failed to parse or validate. `line` is
+    /// 1-based.
+    BadRequest {
+        /// 1-based line number in the request stream.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::EmptyFleet => write!(f, "the fleet has no shards"),
+            ServeError::UnknownShard(id) => write!(f, "unknown shard {id:?}"),
+            ServeError::DuplicateShard(id) => write!(f, "duplicate shard {id:?}"),
+            ServeError::BadRequest { line, message } => {
+                write!(f, "request line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One shard: a graph id and the warm engine session serving it.
+#[derive(Debug)]
+pub struct Shard {
+    id: String,
+    engine: Arc<MbbEngine>,
+}
+
+impl Shard {
+    /// The shard's graph id (the routing key requests name).
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The shard's engine session.
+    pub fn engine(&self) -> &Arc<MbbEngine> {
+        &self.engine
+    }
+}
+
+/// A fixed set of graph shards, each served by one persistent
+/// [`MbbEngine`] session, with deterministic routing from requests to
+/// shards. The fleet is the state a [`BatchExecutor`](crate::BatchExecutor)
+/// schedules over; it can also be queried directly (each engine is
+/// `Sync`).
+///
+/// Routing is two-level and deterministic:
+///
+/// * a request with a `graph` id goes to the shard registered under
+///   exactly that id (unknown ids are [`ServeError::UnknownShard`]);
+/// * a request without one is assigned by FNV-1a hashing its request id
+///   — stable across runs and across fleets with the same shard count.
+///
+/// ```
+/// use mbb_serve::{QueryKind, QueryRequest, ShardedFleet};
+///
+/// let mut fleet = ShardedFleet::new();
+/// fleet
+///     .add_shard("a", mbb_bigraph::generators::uniform_edges(10, 10, 40, 1))?
+///     .add_shard("b", mbb_bigraph::generators::uniform_edges(12, 12, 50, 2))?;
+/// assert_eq!(fleet.len(), 2);
+///
+/// // Explicit routing by graph id…
+/// let explicit = QueryRequest::new(1, QueryKind::Solve).on_graph("b");
+/// assert_eq!(fleet.route(&explicit)?, 1);
+/// // …and deterministic hash routing without one.
+/// let hashed = QueryRequest::new(1, QueryKind::Solve);
+/// assert_eq!(fleet.route(&hashed)?, fleet.route(&hashed)?);
+/// # Ok::<(), mbb_serve::ServeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ShardedFleet {
+    shards: Vec<Shard>,
+}
+
+impl ShardedFleet {
+    /// An empty fleet; add shards before routing anything.
+    pub fn new() -> ShardedFleet {
+        ShardedFleet::default()
+    }
+
+    /// Registers a shard with the default solver configuration. Returns
+    /// `&mut self` so registrations chain.
+    pub fn add_shard(
+        &mut self,
+        id: impl Into<String>,
+        graph: BipartiteGraph,
+    ) -> Result<&mut Self, ServeError> {
+        self.add_engine(id, MbbEngine::new(graph))
+    }
+
+    /// Registers a shard with an explicit solver configuration.
+    pub fn add_shard_with_config(
+        &mut self,
+        id: impl Into<String>,
+        graph: BipartiteGraph,
+        config: SolverConfig,
+    ) -> Result<&mut Self, ServeError> {
+        self.add_engine(id, MbbEngine::with_config(graph, config))
+    }
+
+    /// Registers an already-built engine session as a shard — the path
+    /// for pre-warmed engines or [`MbbEngine::fork`]s.
+    pub fn add_engine(
+        &mut self,
+        id: impl Into<String>,
+        engine: MbbEngine,
+    ) -> Result<&mut Self, ServeError> {
+        let id = id.into();
+        if self.shards.iter().any(|s| s.id == id) {
+            return Err(ServeError::DuplicateShard(id));
+        }
+        self.shards.push(Shard {
+            id,
+            engine: Arc::new(engine),
+        });
+        Ok(self)
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// True when no shard is registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// The shards, in registration order (the order shard indices refer
+    /// to).
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The engine of shard `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `index` is out of range.
+    pub fn engine(&self, index: usize) -> &Arc<MbbEngine> {
+        &self.shards[index].engine
+    }
+
+    /// Resolves a graph id to its shard index.
+    pub fn route_id(&self, graph_id: &str) -> Result<usize, ServeError> {
+        if self.shards.is_empty() {
+            return Err(ServeError::EmptyFleet);
+        }
+        self.shards
+            .iter()
+            .position(|s| s.id == graph_id)
+            .ok_or_else(|| ServeError::UnknownShard(graph_id.to_string()))
+    }
+
+    /// Deterministically assigns an arbitrary routing key to a shard:
+    /// 64-bit FNV-1a of the key, modulo the shard count. Stable across
+    /// runs, processes and fleets with equal shard counts.
+    pub fn route_key(&self, key: &str) -> Result<usize, ServeError> {
+        if self.shards.is_empty() {
+            return Err(ServeError::EmptyFleet);
+        }
+        Ok((fnv1a(key.as_bytes()) % self.shards.len() as u64) as usize)
+    }
+
+    /// Routes a request: by its `graph` id when present, else by hashing
+    /// its request id ([`route_key`](Self::route_key) of the decimal
+    /// id).
+    pub fn route(&self, request: &QueryRequest) -> Result<usize, ServeError> {
+        match &request.graph {
+            Some(id) => self.route_id(id),
+            None => self.route_key(&request.id.to_string()),
+        }
+    }
+
+    /// Per-shard snapshot of the engines' cumulative index-reuse
+    /// counters, in shard order. Batch reports diff two snapshots to
+    /// attribute reuse to one batch.
+    pub fn index_stats(&self) -> Vec<IndexStats> {
+        self.shards.iter().map(|s| s.engine.index_stats()).collect()
+    }
+}
+
+/// 64-bit FNV-1a — tiny, dependency-free, and stable, which is all the
+/// routing hash needs (this is placement, not security).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryKind;
+    use mbb_bigraph::generators;
+
+    fn two_shards() -> ShardedFleet {
+        let mut fleet = ShardedFleet::new();
+        fleet
+            .add_shard("a", generators::uniform_edges(8, 8, 30, 1))
+            .unwrap()
+            .add_shard("b", generators::uniform_edges(8, 8, 30, 2))
+            .unwrap();
+        fleet
+    }
+
+    #[test]
+    fn explicit_routing_is_exact() {
+        let fleet = two_shards();
+        assert_eq!(fleet.route_id("a").unwrap(), 0);
+        assert_eq!(fleet.route_id("b").unwrap(), 1);
+        assert_eq!(
+            fleet.route_id("c"),
+            Err(ServeError::UnknownShard("c".into()))
+        );
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_total() {
+        let fleet = two_shards();
+        for id in 0..50u64 {
+            let request = QueryRequest::new(id, QueryKind::Solve);
+            let first = fleet.route(&request).unwrap();
+            assert_eq!(fleet.route(&request).unwrap(), first);
+            assert!(first < fleet.len());
+        }
+        // Both shards receive some hash-routed traffic.
+        let hits: std::collections::HashSet<usize> = (0..50u64)
+            .map(|id| {
+                fleet
+                    .route(&QueryRequest::new(id, QueryKind::Solve))
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_and_empty_are_errors() {
+        let mut fleet = two_shards();
+        assert_eq!(
+            fleet
+                .add_shard("a", generators::uniform_edges(4, 4, 8, 3))
+                .err(),
+            Some(ServeError::DuplicateShard("a".into()))
+        );
+        let empty = ShardedFleet::new();
+        assert_eq!(empty.route_id("a"), Err(ServeError::EmptyFleet));
+        assert_eq!(empty.route_key("a"), Err(ServeError::EmptyFleet));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(ServeError::UnknownShard("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(ServeError::BadRequest {
+            line: 3,
+            message: "no kind".into()
+        }
+        .to_string()
+        .contains("line 3"));
+    }
+}

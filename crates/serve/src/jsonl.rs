@@ -1,0 +1,550 @@
+//! The JSONL wire format: one JSON object per line, requests in,
+//! responses out. The full schema with a worked example lives in
+//! `docs/SERVING.md`; this module is the single implementation of it
+//! (the CLI `serve-batch` subcommand and the tests both go through
+//! here).
+//!
+//! Conventions, matching the rest of the `mbb` CLI:
+//!
+//! * vertex ids are **1-based** on the wire (KONECT convention) and
+//!   0-based in memory;
+//! * field names are `snake_case`; the `kind` field carries the
+//!   [`QueryKind::label`] names;
+//! * terminations use the [`Termination`](mbb_core::budget::Termination)
+//!   display form (`"complete"`, `"deadline-exceeded"`, `"cancelled"`);
+//! * rejected requests come back as `{"id": …, "kind": …, "error": …}` —
+//!   the presence of `"error"` is the discriminator.
+
+use std::time::Duration;
+
+use mbb_bigraph::graph::Vertex;
+use mbb_core::{Biclique, MaximalBiclique};
+use serde_json::Value;
+
+use crate::fleet::ServeError;
+use crate::request::{QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+
+// ---------------------------------------------------------------------
+// Request parsing.
+
+/// Parses a whole JSONL request document (one request per non-empty
+/// line; `#`-prefixed lines are comments). Line numbers in errors are
+/// 1-based.
+///
+/// ```
+/// use mbb_serve::jsonl::parse_requests;
+/// let text = r#"
+/// {"id": 1, "graph": "a", "kind": "solve", "deadline_ms": 500}
+/// {"kind": "topk", "k": 3}
+/// "#;
+/// let requests = parse_requests(text)?;
+/// assert_eq!(requests.len(), 2);
+/// assert_eq!(requests[0].id, 1);
+/// assert_eq!(requests[1].id, 3); // defaults to its 1-based line number
+/// # Ok::<(), mbb_serve::ServeError>(())
+/// ```
+pub fn parse_requests(text: &str) -> Result<Vec<QueryRequest>, ServeError> {
+    let mut requests = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        requests.push(parse_request_line(trimmed, line_no)?);
+    }
+    Ok(requests)
+}
+
+/// Parses one request line. `line_no` (1-based) seeds error messages and
+/// the default `id` for requests that omit one.
+pub fn parse_request_line(line: &str, line_no: usize) -> Result<QueryRequest, ServeError> {
+    let bad = |message: String| ServeError::BadRequest {
+        line: line_no,
+        message,
+    };
+    let value: Value = serde_json::from_str(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    if value.get("kind").is_none() {
+        return Err(bad("missing \"kind\"".into()));
+    }
+    let kind_name = value["kind"]
+        .as_str()
+        .ok_or_else(|| bad("\"kind\" must be a string".into()))?
+        .to_string();
+
+    let u64_field = |key: &str| -> Result<Option<u64>, ServeError> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_u64()
+                .map(Some)
+                .ok_or_else(|| bad(format!("{key:?} must be a non-negative integer"))),
+        }
+    };
+    let required_u64 = |key: &str| -> Result<u64, ServeError> {
+        u64_field(key)?.ok_or_else(|| bad(format!("{kind_name}: missing {key:?}")))
+    };
+    // 1-based on the wire → 0-based in memory.
+    let vertex_index = |key: &str| -> Result<u32, ServeError> {
+        let raw = required_u64(key)?;
+        if raw == 0 {
+            return Err(bad(format!("{key:?} is 1-based; 0 is out of range")));
+        }
+        u32::try_from(raw - 1).map_err(|_| bad(format!("{key:?} out of range")))
+    };
+
+    let kind = match kind_name.as_str() {
+        "solve" => QueryKind::Solve,
+        "topk" => QueryKind::Topk {
+            k: required_u64("k")? as usize,
+        },
+        "anchored" => {
+            let index = vertex_index("vertex")?;
+            let side = match value.get("side") {
+                None => "left",
+                Some(v) => v
+                    .as_str()
+                    .ok_or_else(|| bad("\"side\" must be a string".into()))?,
+            };
+            let vertex = match side {
+                "left" => Vertex::left(index),
+                "right" => Vertex::right(index),
+                other => return Err(bad(format!("\"side\" must be left|right, got {other:?}"))),
+            };
+            QueryKind::Anchored { vertex }
+        }
+        "anchored_edge" => QueryKind::AnchoredEdge {
+            u: vertex_index("u")?,
+            v: vertex_index("v")?,
+        },
+        "weighted" => {
+            let weights = value
+                .get("weights")
+                .and_then(Value::as_array)
+                .ok_or_else(|| bad("weighted: missing \"weights\" array".into()))?
+                .iter()
+                .map(|w| {
+                    w.as_u64()
+                        .ok_or_else(|| bad("weights must be non-negative integers".into()))
+                })
+                .collect::<Result<Vec<u64>, ServeError>>()?;
+            QueryKind::Weighted { weights }
+        }
+        "meb" => QueryKind::Meb,
+        "frontier" => QueryKind::Frontier,
+        "size_constrained" => QueryKind::SizeConstrained {
+            a: required_u64("a")? as usize,
+            b: required_u64("b")? as usize,
+        },
+        "enumerate" => QueryKind::Enumerate {
+            min_left: u64_field("min_left")?.unwrap_or(1) as usize,
+            min_right: u64_field("min_right")?.unwrap_or(1) as usize,
+            max_results: u64_field("max_results")?,
+        },
+        other => return Err(bad(format!("unknown kind {other:?}"))),
+    };
+
+    let mut request = QueryRequest::new(u64_field("id")?.unwrap_or(line_no as u64), kind);
+    if let Some(graph) = value.get("graph") {
+        let graph = graph
+            .as_str()
+            .ok_or_else(|| bad("\"graph\" must be a string".into()))?;
+        request = request.on_graph(graph);
+    }
+    if let Some(ms) = u64_field("deadline_ms")? {
+        request = request.with_deadline(Duration::from_millis(ms));
+    }
+    if let Some(threads) = u64_field("threads")? {
+        request = request.with_threads(threads as usize);
+    }
+    Ok(request)
+}
+
+// ---------------------------------------------------------------------
+// Request encoding (round-trip support for tooling and tests).
+
+/// Encodes a request as one JSONL line — the inverse of
+/// [`parse_request_line`] for everything the wire can carry (a
+/// [`CancelToken`](mbb_core::budget::CancelToken) cannot cross the
+/// wire and is dropped).
+pub fn encode_request(request: &QueryRequest) -> String {
+    let mut fields = vec![
+        ("id".to_string(), Value::UInt(request.id)),
+        (
+            "kind".to_string(),
+            Value::String(request.kind.label().to_string()),
+        ),
+    ];
+    if let Some(graph) = &request.graph {
+        fields.push(("graph".into(), Value::String(graph.clone())));
+    }
+    match &request.kind {
+        QueryKind::Solve | QueryKind::Meb | QueryKind::Frontier => {}
+        QueryKind::Topk { k } => fields.push(("k".into(), Value::UInt(*k as u64))),
+        QueryKind::Anchored { vertex } => {
+            let side = match vertex.side {
+                mbb_bigraph::graph::Side::Left => "left",
+                mbb_bigraph::graph::Side::Right => "right",
+            };
+            fields.push(("side".into(), Value::String(side.into())));
+            fields.push(("vertex".into(), Value::UInt(u64::from(vertex.index) + 1)));
+        }
+        QueryKind::AnchoredEdge { u, v } => {
+            fields.push(("u".into(), Value::UInt(u64::from(*u) + 1)));
+            fields.push(("v".into(), Value::UInt(u64::from(*v) + 1)));
+        }
+        QueryKind::Weighted { weights } => fields.push((
+            "weights".into(),
+            Value::Array(weights.iter().map(|&w| Value::UInt(w)).collect()),
+        )),
+        QueryKind::SizeConstrained { a, b } => {
+            fields.push(("a".into(), Value::UInt(*a as u64)));
+            fields.push(("b".into(), Value::UInt(*b as u64)));
+        }
+        QueryKind::Enumerate {
+            min_left,
+            min_right,
+            max_results,
+        } => {
+            fields.push(("min_left".into(), Value::UInt(*min_left as u64)));
+            fields.push(("min_right".into(), Value::UInt(*min_right as u64)));
+            if let Some(max) = max_results {
+                fields.push(("max_results".into(), Value::UInt(*max)));
+            }
+        }
+    }
+    if let Some(deadline) = request.deadline {
+        fields.push((
+            "deadline_ms".into(),
+            Value::UInt(deadline.as_millis() as u64),
+        ));
+    }
+    if let Some(threads) = request.threads {
+        fields.push(("threads".into(), Value::UInt(threads as u64)));
+    }
+    Value::Object(fields).to_string()
+}
+
+// ---------------------------------------------------------------------
+// Response encoding.
+
+/// 1-based id list.
+fn ids(side: &[u32]) -> Value {
+    Value::Array(
+        side.iter()
+            .map(|&v| Value::UInt(u64::from(v) + 1))
+            .collect(),
+    )
+}
+
+fn biclique(b: &Biclique) -> Vec<(String, Value)> {
+    vec![
+        ("left".into(), ids(&b.left)),
+        ("right".into(), ids(&b.right)),
+        ("half_size".into(), Value::UInt(b.half_size() as u64)),
+    ]
+}
+
+fn maximal(list: &[MaximalBiclique]) -> Value {
+    Value::Array(
+        list.iter()
+            .enumerate()
+            .map(|(i, b)| {
+                Value::Object(vec![
+                    ("rank".into(), Value::UInt(i as u64 + 1)),
+                    (
+                        "balanced_size".into(),
+                        Value::UInt(b.balanced_size() as u64),
+                    ),
+                    ("left".into(), ids(&b.left)),
+                    ("right".into(), ids(&b.right)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// `{"found": bool, …payload}` for the two witness-or-nothing kinds.
+fn optional(found: Option<Vec<(String, Value)>>) -> Value {
+    match found {
+        Some(mut fields) => {
+            fields.insert(0, ("found".into(), Value::Bool(true)));
+            Value::Object(fields)
+        }
+        None => Value::Object(vec![("found".into(), Value::Bool(false))]),
+    }
+}
+
+fn millis(d: Duration) -> Value {
+    // Three decimals is plenty for service timings and keeps lines tidy.
+    Value::Float((d.as_secs_f64() * 1e3 * 1e3).round() / 1e3)
+}
+
+fn outcome_value(outcome: &QueryOutcome) -> Value {
+    match outcome {
+        QueryOutcome::Solve(b) | QueryOutcome::Anchored(b) => Value::Object(biclique(b)),
+        QueryOutcome::AnchoredEdge(found) => optional(found.as_ref().map(biclique)),
+        QueryOutcome::SizeConstrained(found) => optional(found.as_ref().map(|w| {
+            vec![
+                ("left".into(), ids(&w.left)),
+                ("right".into(), ids(&w.right)),
+            ]
+        })),
+        QueryOutcome::Topk(list) => Value::Object(vec![("bicliques".into(), maximal(list))]),
+        QueryOutcome::Weighted(w) => Value::Object(vec![
+            ("left".into(), ids(&w.left)),
+            ("right".into(), ids(&w.right)),
+            ("weight".into(), Value::UInt(w.weight)),
+        ]),
+        QueryOutcome::Meb(m) => Value::Object(vec![
+            ("left".into(), ids(&m.left)),
+            ("right".into(), ids(&m.right)),
+            ("edges".into(), Value::UInt(m.edges() as u64)),
+        ]),
+        QueryOutcome::Frontier(f) => Value::Object(vec![
+            (
+                "pairs".into(),
+                Value::Array(
+                    f.pairs
+                        .iter()
+                        .map(|&(a, b)| {
+                            Value::Array(vec![Value::UInt(a as u64), Value::UInt(b as u64)])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("complete".into(), Value::Bool(f.complete)),
+        ]),
+        QueryOutcome::Enumerate(e) => Value::Object(vec![
+            ("bicliques".into(), maximal(&e.bicliques)),
+            ("reported".into(), Value::UInt(e.outcome.reported)),
+            ("visited".into(), Value::UInt(e.outcome.visited)),
+            ("complete".into(), Value::Bool(e.outcome.complete)),
+        ]),
+        QueryOutcome::Rejected { .. } => Value::Null,
+    }
+}
+
+/// Encodes one response as one JSONL line.
+pub fn encode_response(response: &QueryResponse) -> String {
+    let mut fields = vec![("id".to_string(), Value::UInt(response.id))];
+    if let Some(shard) = &response.shard {
+        fields.push(("graph".into(), Value::String(shard.clone())));
+    }
+    fields.push(("kind".into(), Value::String(response.kind.to_string())));
+    if let QueryOutcome::Rejected { reason } = &response.outcome {
+        fields.push(("error".into(), Value::String(reason.clone())));
+        return Value::Object(fields).to_string();
+    }
+    fields.push((
+        "termination".into(),
+        Value::String(response.termination.to_string()),
+    ));
+    fields.push(("queue_wait_ms".into(), millis(response.queue_wait)));
+    fields.push(("service_ms".into(), millis(response.service)));
+    fields.push(("search_nodes".into(), Value::UInt(response.search_nodes())));
+    fields.push(("result".into(), outcome_value(&response.outcome)));
+    Value::Object(fields).to_string()
+}
+
+/// Encodes a whole [`BatchReport`](crate::BatchReport): one line per
+/// response (request order), plus, when `include_stats` is set, one
+/// trailing `{"batch": …}` summary line.
+pub fn encode_report(report: &crate::BatchReport, include_stats: bool) -> String {
+    let mut out = String::new();
+    for response in &report.responses {
+        out.push_str(&encode_response(response));
+        out.push('\n');
+    }
+    if include_stats {
+        let stats = &report.stats;
+        let shards = Value::Array(
+            stats
+                .per_shard
+                .iter()
+                .map(|s| {
+                    Value::Object(vec![
+                        ("graph".into(), Value::String(s.shard.clone())),
+                        ("requests".into(), Value::UInt(s.requests as u64)),
+                        ("search_nodes".into(), Value::UInt(s.search_nodes)),
+                        ("index_reuse_hits".into(), Value::UInt(s.index_reuse_hits)),
+                    ])
+                })
+                .collect(),
+        );
+        let batch = Value::Object(vec![
+            ("requests".into(), Value::UInt(stats.requests as u64)),
+            ("rejected".into(), Value::UInt(stats.rejected as u64)),
+            ("wall_clock_ms".into(), millis(stats.wall_clock)),
+            ("total_queue_wait_ms".into(), millis(stats.total_queue_wait)),
+            ("max_queue_wait_ms".into(), millis(stats.max_queue_wait)),
+            ("total_service_ms".into(), millis(stats.total_service)),
+            (
+                "index_reuse_hits".into(),
+                Value::UInt(stats.index_reuse_hits),
+            ),
+            ("shards".into(), shards),
+        ]);
+        out.push_str(&Value::Object(vec![("batch".into(), batch)]).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_kind() {
+        let text = r#"
+{"id": 1, "graph": "g", "kind": "solve"}
+{"id": 2, "kind": "topk", "k": 4}
+{"id": 3, "kind": "anchored", "side": "right", "vertex": 5}
+{"id": 4, "kind": "anchored_edge", "u": 2, "v": 3}
+{"id": 5, "kind": "weighted", "weights": [1, 2, 3]}
+{"id": 6, "kind": "meb"}
+{"id": 7, "kind": "frontier"}
+{"id": 8, "kind": "size_constrained", "a": 2, "b": 3}
+{"id": 9, "kind": "enumerate", "min_left": 2, "max_results": 10}
+"#;
+        let requests = parse_requests(text).unwrap();
+        assert_eq!(requests.len(), 9);
+        assert_eq!(requests[0].kind, QueryKind::Solve);
+        assert_eq!(requests[1].kind, QueryKind::Topk { k: 4 });
+        assert_eq!(
+            requests[2].kind,
+            QueryKind::Anchored {
+                vertex: Vertex::right(4) // 1-based wire → 0-based memory
+            }
+        );
+        assert_eq!(requests[3].kind, QueryKind::AnchoredEdge { u: 1, v: 2 });
+        assert_eq!(
+            requests[4].kind,
+            QueryKind::Weighted {
+                weights: vec![1, 2, 3]
+            }
+        );
+        assert_eq!(
+            requests[8].kind,
+            QueryKind::Enumerate {
+                min_left: 2,
+                min_right: 1,
+                max_results: Some(10)
+            }
+        );
+    }
+
+    #[test]
+    fn envelope_fields_parse() {
+        let r = parse_request_line(
+            r#"{"id": 9, "graph": "a", "kind": "solve", "deadline_ms": 250, "threads": 2}"#,
+            1,
+        )
+        .unwrap();
+        assert_eq!(r.id, 9);
+        assert_eq!(r.graph.as_deref(), Some("a"));
+        assert_eq!(r.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(r.threads, Some(2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_requests("{\"kind\": \"solve\"}\nnot json\n").unwrap_err();
+        assert_eq!(
+            match err {
+                ServeError::BadRequest { line, .. } => line,
+                other => panic!("unexpected {other:?}"),
+            },
+            2
+        );
+        assert!(parse_request_line("{}", 1).is_err());
+        assert!(parse_request_line(r#"{"kind": "quantum"}"#, 1).is_err());
+        assert!(parse_request_line(r#"{"kind": "topk"}"#, 1).is_err());
+        assert!(parse_request_line(r#"{"kind": "anchored", "vertex": 0}"#, 1).is_err());
+        // A malformed side must be rejected, never silently defaulted.
+        assert!(parse_request_line(r#"{"kind": "anchored", "vertex": 1, "side": 2}"#, 1).is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let originals = vec![
+            QueryRequest::new(1, QueryKind::Solve).on_graph("g"),
+            QueryRequest::new(2, QueryKind::Topk { k: 3 })
+                .with_deadline(Duration::from_millis(100)),
+            QueryRequest::new(
+                3,
+                QueryKind::Anchored {
+                    vertex: Vertex::left(7),
+                },
+            )
+            .with_threads(4),
+            QueryRequest::new(
+                4,
+                QueryKind::Enumerate {
+                    min_left: 2,
+                    min_right: 3,
+                    max_results: Some(5),
+                },
+            ),
+        ];
+        for original in &originals {
+            let line = encode_request(original);
+            let parsed = parse_request_line(&line, 1).unwrap();
+            assert_eq!(parsed.id, original.id);
+            assert_eq!(parsed.graph, original.graph);
+            assert_eq!(parsed.kind, original.kind);
+            assert_eq!(parsed.deadline, original.deadline);
+            assert_eq!(parsed.threads, original.threads);
+        }
+    }
+
+    #[test]
+    fn response_lines_are_one_json_object() {
+        use mbb_core::budget::Termination;
+        use mbb_core::stats::SolveStats;
+        let response = QueryResponse {
+            id: 7,
+            shard: Some("g".into()),
+            kind: "solve",
+            outcome: QueryOutcome::Solve(Biclique::balanced(vec![0, 2], vec![1, 3])),
+            termination: Termination::Complete,
+            queue_wait: Duration::from_micros(1500),
+            service: Duration::from_millis(2),
+            stats: SolveStats::default(),
+        };
+        let line = encode_response(&response);
+        let value: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(value["id"].as_u64(), Some(7));
+        assert_eq!(value["termination"].as_str(), Some("complete"));
+        // 1-based ids on the wire.
+        assert_eq!(
+            value["result"]["left"].as_array().unwrap()[0].as_u64(),
+            Some(1)
+        );
+        assert_eq!(value["result"]["half_size"].as_u64(), Some(2));
+        assert_eq!(value["queue_wait_ms"].as_f64(), Some(1.5));
+    }
+
+    #[test]
+    fn rejected_responses_encode_the_error() {
+        use mbb_core::budget::Termination;
+        use mbb_core::stats::SolveStats;
+        let response = QueryResponse {
+            id: 3,
+            shard: None,
+            kind: "solve",
+            outcome: QueryOutcome::Rejected {
+                reason: "unknown shard \"zz\"".into(),
+            },
+            termination: Termination::Complete,
+            queue_wait: Duration::ZERO,
+            service: Duration::ZERO,
+            stats: SolveStats::default(),
+        };
+        let line = encode_response(&response);
+        let value: Value = serde_json::from_str(&line).unwrap();
+        assert!(value["error"].as_str().unwrap().contains("zz"));
+        assert!(value.get("termination").is_none());
+    }
+}

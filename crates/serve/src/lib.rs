@@ -1,0 +1,67 @@
+//! `mbb-serve` — the batched, sharded query service front-end over
+//! [`MbbEngine`](mbb_core::engine::MbbEngine) sessions.
+//!
+//! `mbb-core` answers one query at a time against one graph. A service
+//! answering heavy traffic wants three more layers, and this crate is
+//! exactly those three:
+//!
+//! * a [`ShardedFleet`] — N persistent engine sessions, one per graph
+//!   shard, with deterministic request routing by graph id (exact) or
+//!   request id (FNV-1a hash);
+//! * a [`BatchExecutor`] — a persistent worker pool that takes a
+//!   `Vec<`[`QueryRequest`]`>` (any of the nine query kinds as a typed
+//!   enum), schedules deadline-soonest first, runs every request with
+//!   its own budget, and returns a consolidated [`BatchReport`]
+//!   (per-request [`QueryResponse`]s in request order + fleet-level
+//!   stats: index-reuse hits, queue wait, per-shard node counts);
+//! * a [`jsonl`] wire layer — requests in, responses out, one JSON
+//!   object per line — shared by the `mbb serve-batch` CLI subcommand
+//!   and any embedding service.
+//!
+//! The semantics (fairness, deadlines that include queue wait, the
+//! amortisation argument) are documented in `docs/SERVING.md`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::time::Duration;
+//! use mbb_serve::{BatchExecutor, QueryKind, QueryOutcome, QueryRequest, ShardedFleet};
+//!
+//! // Two graph shards, one engine session each.
+//! let mut fleet = ShardedFleet::new();
+//! fleet
+//!     .add_shard("users", mbb_bigraph::generators::uniform_edges(20, 20, 90, 1))?
+//!     .add_shard("items", mbb_bigraph::generators::uniform_edges(20, 20, 90, 2))?;
+//!
+//! // A persistent pool: build once, run many batches.
+//! let executor = BatchExecutor::new(fleet, 2);
+//! let report = executor.run_batch(vec![
+//!     QueryRequest::new(0, QueryKind::Solve).on_graph("users"),
+//!     QueryRequest::new(1, QueryKind::Topk { k: 3 }).on_graph("users"),
+//!     QueryRequest::new(2, QueryKind::Frontier)
+//!         .on_graph("items")
+//!         .with_deadline(Duration::from_secs(5)),
+//!     QueryRequest::new(3, QueryKind::Solve).on_graph("users"),
+//! ]);
+//!
+//! assert_eq!(report.responses.len(), 4);
+//! let solve = &report.responses[0];
+//! assert!(solve.termination.is_complete());
+//! if let QueryOutcome::Solve(biclique) = &solve.outcome {
+//!     assert!(biclique.is_valid(executor.fleet().engine(0).graph()));
+//! }
+//! // Requests 0 and 1 shared the "users" session's cached indices.
+//! assert!(report.stats.index_reuse_hits >= 1);
+//! # Ok::<(), mbb_serve::ServeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod fleet;
+pub mod jsonl;
+pub mod request;
+
+pub use batch::{BatchExecutor, BatchReport, BatchStats, ShardBatchStats};
+pub use fleet::{ServeError, Shard, ShardedFleet};
+pub use request::{QueryKind, QueryOutcome, QueryRequest, QueryResponse};
