@@ -6,12 +6,13 @@
 //! cargo run -p mbb-bench --release --bin fig4 -- [--caps default]
 //! ```
 
-use mbb_bench::{Args, Table};
+use mbb_bench::{Args, StandInCache, Table};
 use mbb_core::MbbEngine;
-use mbb_datasets::{stand_in, tough_datasets};
+use mbb_datasets::tough_datasets;
 
 fn main() {
     let args = Args::from_env();
+    let cache = StandInCache::from_env();
     let caps = args.caps();
     let seed = args.seed();
 
@@ -26,7 +27,7 @@ fn main() {
         "gapLocal",
     ]);
     for spec in tough_datasets() {
-        let standin = stand_in(spec, caps, seed);
+        let standin = cache.get(spec, caps, seed);
         let result = MbbEngine::new(standin.graph).solve();
         let optimum = result.stats.optimum_half;
         let global = result.stats.heuristic_global_half;
@@ -42,4 +43,5 @@ fn main() {
     }
     table.print();
     println!("\nGaps are in half-size units (the paper plots size gap to MBB).");
+    eprintln!("{}", cache.summary());
 }

@@ -6,14 +6,15 @@
 //! cargo run -p mbb-bench --release --bin fig5 -- [--caps default]
 //! ```
 
-use mbb_bench::{Args, Table};
+use mbb_bench::{Args, StandInCache, Table};
 use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::order::SearchOrder;
 use mbb_core::{MbbEngine, SolverConfig};
-use mbb_datasets::{stand_in, tough_datasets};
+use mbb_datasets::tough_datasets;
 
 fn main() {
     let args = Args::from_env();
+    let cache = StandInCache::from_env();
     let caps = args.caps();
     let seed = args.seed();
 
@@ -37,7 +38,7 @@ fn main() {
     ]);
 
     for spec in tough_datasets() {
-        let standin = stand_in(spec, caps, seed);
+        let standin = cache.get(spec, caps, seed);
         let bidegeneracy = bicore_decomposition(&standin.graph).bidegeneracy.max(1);
 
         let mut depths = Vec::new();
@@ -63,4 +64,5 @@ fn main() {
     }
     table.print();
     println!("\nDepth 0 means verification never branched (stage S1/S2 exit).");
+    eprintln!("{}", cache.summary());
 }

@@ -6,13 +6,14 @@
 //! cargo run -p mbb-bench --release --bin fig6 -- [--caps default]
 //! ```
 
-use mbb_bench::{Args, Table};
+use mbb_bench::{Args, StandInCache, Table};
 use mbb_bigraph::order::SearchOrder;
 use mbb_core::{MbbEngine, SolverConfig};
-use mbb_datasets::{stand_in, tough_datasets};
+use mbb_datasets::tough_datasets;
 
 fn main() {
     let args = Args::from_env();
+    let cache = StandInCache::from_env();
     let caps = args.caps();
     let seed = args.seed();
 
@@ -35,7 +36,7 @@ fn main() {
     ]);
 
     for spec in tough_datasets() {
-        let standin = stand_in(spec, caps, seed);
+        let standin = cache.get(spec, caps, seed);
         let mut densities = Vec::new();
         let mut sizes = Vec::new();
         for (_, order) in orders {
@@ -59,4 +60,5 @@ fn main() {
     }
     table.print();
     println!("\nDensity 0 means the solver exited before bridging (stage S1).");
+    eprintln!("{}", cache.summary());
 }

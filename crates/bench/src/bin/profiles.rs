@@ -6,13 +6,14 @@
 //! cargo run -p mbb-bench --release --bin profiles -- [--caps small] [--tough]
 //! ```
 
-use mbb_bench::{Args, Table};
+use mbb_bench::{Args, StandInCache, Table};
 use mbb_bigraph::metrics::GraphProfile;
 use mbb_core::MbbEngine;
-use mbb_datasets::{catalog, stand_in, tough_datasets};
+use mbb_datasets::{catalog, tough_datasets};
 
 fn main() {
     let args = Args::from_env();
+    let cache = StandInCache::from_env();
     let caps = args.caps();
     let seed = args.seed();
     let specs: Vec<&'static mbb_datasets::DatasetSpec> = if args.flag("tough") {
@@ -38,7 +39,7 @@ fn main() {
     ]);
 
     for spec in specs {
-        let standin = stand_in(spec, caps, seed);
+        let standin = cache.get(spec, caps, seed);
         let graph = &standin.graph;
         let profile = GraphProfile::of(graph);
         let d_max = profile.left_degrees.max.max(profile.right_degrees.max);
@@ -62,4 +63,5 @@ fn main() {
         "\nδ̈ ≫ δ but δ̈ ≪ n throughout — the gap the O*(1.3803^δ̈) bound exploits.\n\
          `found opt` is the stand-in's optimum (planted ≥ paper's value by construction)."
     );
+    eprintln!("{}", cache.summary());
 }

@@ -8,12 +8,15 @@
 //! ```
 
 use mbb_baselines::{all_adapted, ext_bbclq};
-use mbb_bench::{fmt_seconds, run_timed, run_with_timeout, Args, Table, TimedOutcome};
+use mbb_bench::{
+    fmt_seconds, run_timed, run_with_timeout, Args, StandInCache, Table, TimedOutcome,
+};
 use mbb_core::MbbEngine;
-use mbb_datasets::{catalog, stand_in};
+use mbb_datasets::catalog;
 
 fn main() {
     let args = Args::from_env();
+    let cache = StandInCache::from_env();
     let budget = args.budget(30);
     let caps = args.caps();
     let seed = args.seed();
@@ -49,7 +52,7 @@ fn main() {
                 continue;
             }
         }
-        let standin = stand_in(spec, caps, seed);
+        let standin = cache.get(spec, caps, seed);
         let graph = std::sync::Arc::new(standin.graph);
 
         // hbvMBB (ours) — also establishes the stand-in's true optimum.
@@ -94,4 +97,5 @@ fn main() {
     table.print();
     println!("\n`-` = budget exceeded (the paper's 4 h timeout, scaled).");
     println!("`Paper opt` is the real-dataset optimum; `Found opt` is the stand-in's.");
+    eprintln!("{}", cache.summary());
 }

@@ -14,13 +14,20 @@
 //! All binaries accept `--budget-secs N`, `--caps small|default|large`,
 //! `--seed N` and print GitHub-flavoured Markdown so results paste straight
 //! into `EXPERIMENTS.md`.
+//!
+//! Stand-ins load through [`StandInCache`] — a `.mbbg` binary cache under
+//! `target/standin-cache` (override with `MBB_STANDIN_CACHE`, `off`
+//! disables) — so repeated sweeps skip regeneration; each binary prints a
+//! hit/miss summary to stderr.
 
 #![warn(missing_docs)]
 
 pub mod args;
 pub mod report;
 pub mod runner;
+pub mod standin_cache;
 
 pub use args::Args;
 pub use report::{fmt_seconds, Table};
 pub use runner::{run_timed, run_with_timeout, TimedOutcome};
+pub use standin_cache::StandInCache;

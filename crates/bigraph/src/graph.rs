@@ -81,6 +81,13 @@ pub enum GraphError {
         /// Declared size of that side.
         side_size: u32,
     },
+    /// Pre-built CSR arrays handed to [`BipartiteGraph::from_csr`] violate
+    /// a structural invariant (non-monotone offsets, unsorted or duplicate
+    /// rows, out-of-range ids, or left/right sides that disagree).
+    InvalidCsr {
+        /// Which invariant failed.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for GraphError {
@@ -90,6 +97,7 @@ impl fmt::Display for GraphError {
                 f,
                 "edge endpoint {vertex} out of range (side has {side_size} vertices)"
             ),
+            GraphError::InvalidCsr { reason } => write!(f, "invalid CSR arrays: {reason}"),
         }
     }
 }
@@ -119,6 +127,99 @@ impl BipartiteGraph {
             builder.add_edge(u, v)?;
         }
         Ok(builder.build())
+    }
+
+    /// Rebuilds a graph from pre-built CSR arrays, validating every
+    /// structural invariant: monotone offset arrays ending at the adjacency
+    /// length, strictly sorted (therefore deduplicated) rows, in-range ids,
+    /// and a right side that is exactly the transpose of the left side.
+    ///
+    /// This is the deserialization entry point for the binary graph cache
+    /// (`mbb-store`) and the streaming edge-list reader: both construct the
+    /// same arrays [`Builder::build`] would, so a graph loaded through
+    /// either path is byte-identical to its buffered-parse twin. Corrupt or
+    /// hand-rolled arrays are rejected with [`GraphError::InvalidCsr`].
+    pub fn from_csr(
+        left_offsets: Vec<usize>,
+        left_neighbors: Vec<u32>,
+        right_offsets: Vec<usize>,
+        right_neighbors: Vec<u32>,
+    ) -> Result<BipartiteGraph, GraphError> {
+        let invalid = |reason: &'static str| GraphError::InvalidCsr { reason };
+        let check_side = |offsets: &[usize], neighbors: &[u32], opposite: usize| {
+            if offsets.is_empty() || offsets[0] != 0 {
+                return Err(invalid("offsets must start with 0"));
+            }
+            if offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(invalid("offsets must be non-decreasing"));
+            }
+            if *offsets.last().expect("non-empty") != neighbors.len() {
+                return Err(invalid("last offset must equal the adjacency length"));
+            }
+            for w in offsets.windows(2) {
+                let row = &neighbors[w[0]..w[1]];
+                if row.windows(2).any(|p| p[0] >= p[1]) {
+                    return Err(invalid("rows must be strictly increasing"));
+                }
+                if row.last().is_some_and(|&v| v as usize >= opposite) {
+                    return Err(invalid("neighbor id out of range"));
+                }
+            }
+            Ok(())
+        };
+        let nl = left_offsets.len() - usize::from(!left_offsets.is_empty());
+        let nr = right_offsets.len() - usize::from(!right_offsets.is_empty());
+        check_side(&left_offsets, &left_neighbors, nr)?;
+        check_side(&right_offsets, &right_neighbors, nl)?;
+        if left_neighbors.len() != right_neighbors.len() {
+            return Err(invalid("left/right edge counts disagree"));
+        }
+        // The right side must be the exact transpose of the left side —
+        // rebuild it the way `Builder::build` does and compare.
+        let mut cursor: Vec<usize> = right_offsets[..nr].to_vec();
+        for u in 0..nl {
+            for &v in &left_neighbors[left_offsets[u]..left_offsets[u + 1]] {
+                let slot = cursor[v as usize];
+                if slot >= right_offsets[v as usize + 1] || right_neighbors[slot] != u as u32 {
+                    return Err(invalid("right side is not the transpose of the left"));
+                }
+                cursor[v as usize] += 1;
+            }
+        }
+        Ok(BipartiteGraph {
+            left_offsets: left_offsets.into_boxed_slice(),
+            left_neighbors: left_neighbors.into_boxed_slice(),
+            right_offsets: right_offsets.into_boxed_slice(),
+            right_neighbors: right_neighbors.into_boxed_slice(),
+        })
+    }
+
+    /// Raw CSR offset array of the left side (`num_left() + 1` entries).
+    ///
+    /// Together with the other three raw accessors this is the complete
+    /// serialization surface of the graph: feeding the four arrays back
+    /// through [`from_csr`](Self::from_csr) reproduces it byte-identically.
+    #[inline]
+    pub fn left_offsets(&self) -> &[usize] {
+        &self.left_offsets
+    }
+
+    /// Raw left→right CSR adjacency (see [`left_offsets`](Self::left_offsets)).
+    #[inline]
+    pub fn left_neighbors(&self) -> &[u32] {
+        &self.left_neighbors
+    }
+
+    /// Raw CSR offset array of the right side (`num_right() + 1` entries).
+    #[inline]
+    pub fn right_offsets(&self) -> &[usize] {
+        &self.right_offsets
+    }
+
+    /// Raw right→left CSR adjacency (see [`left_offsets`](Self::left_offsets)).
+    #[inline]
+    pub fn right_neighbors(&self) -> &[u32] {
+        &self.right_neighbors
     }
 
     /// Number of vertices in `L`.
@@ -551,6 +652,63 @@ mod tests {
         assert_eq!(sorted_intersection(&a, &b), vec![3, 5]);
         assert_eq!(sorted_intersection_len(&a, &[]), 0);
         assert_eq!(sorted_intersection(&[], &b), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn from_csr_roundtrips_raw_arrays() {
+        let g = figure_1b();
+        let back = BipartiteGraph::from_csr(
+            g.left_offsets().to_vec(),
+            g.left_neighbors().to_vec(),
+            g.right_offsets().to_vec(),
+            g.right_neighbors().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(back.left_offsets(), g.left_offsets());
+        assert_eq!(back.left_neighbors(), g.left_neighbors());
+        assert_eq!(back.right_offsets(), g.right_offsets());
+        assert_eq!(back.right_neighbors(), g.right_neighbors());
+    }
+
+    #[test]
+    fn from_csr_accepts_empty_graph() {
+        let g = BipartiteGraph::from_csr(vec![0], vec![], vec![0], vec![]).unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn from_csr_rejects_broken_invariants() {
+        let g = figure_1b();
+        let parts = || {
+            (
+                g.left_offsets().to_vec(),
+                g.left_neighbors().to_vec(),
+                g.right_offsets().to_vec(),
+                g.right_neighbors().to_vec(),
+            )
+        };
+        // Non-monotone offsets.
+        let (mut lo, ln, ro, rn) = parts();
+        lo[1] = lo[2] + 1;
+        assert!(BipartiteGraph::from_csr(lo, ln, ro, rn).is_err());
+        // Unsorted row.
+        let (lo, mut ln, ro, rn) = parts();
+        ln.swap(4, 5); // vertex 3's row {1,2,3} becomes {1,3,2}
+        assert!(BipartiteGraph::from_csr(lo, ln, ro, rn).is_err());
+        // Out-of-range neighbor.
+        let (lo, mut ln, ro, rn) = parts();
+        let last = ln.len() - 1;
+        ln[last] = 99;
+        assert!(BipartiteGraph::from_csr(lo, ln, ro, rn).is_err());
+        // Right side not the transpose of the left.
+        let (lo, ln, ro, mut rn) = parts();
+        rn.swap(0, 1);
+        let err = BipartiteGraph::from_csr(lo, ln, ro, rn).unwrap_err();
+        assert!(matches!(err, GraphError::InvalidCsr { .. }), "{err}");
+        // Truncated offsets.
+        assert!(BipartiteGraph::from_csr(vec![], vec![], vec![0], vec![]).is_err());
+        assert!(BipartiteGraph::from_csr(vec![1], vec![0], vec![0, 1], vec![0]).is_err());
     }
 
     #[test]

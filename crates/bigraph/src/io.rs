@@ -7,10 +7,14 @@
 //! real KONECT files can be dropped in unchanged if available.
 
 use std::fmt;
-use std::io::{self, BufRead, Write};
+use std::io::{self, BufRead, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use crate::graph::{BipartiteGraph, Builder, GraphError};
+
+/// Parse-error line content is truncated to this many bytes so a bad
+/// million-column line cannot explode the error message.
+const MAX_ERROR_CONTENT: usize = 120;
 
 /// Errors raised while parsing an edge list.
 #[derive(Debug)]
@@ -21,7 +25,8 @@ pub enum IoError {
     Parse {
         /// 1-based line number.
         line: usize,
-        /// The offending line content.
+        /// The offending line content, truncated to a readable length
+        /// (with a `… (N bytes)` suffix) when the line is oversized.
         content: String,
     },
     /// An endpoint index was 0 (KONECT ids are 1-based) or out of range.
@@ -62,38 +67,75 @@ impl From<GraphError> for IoError {
     }
 }
 
-/// Reads a KONECT-style bipartite edge list.
+/// Builds the [`IoError::Parse`] for a bad line, truncating oversized
+/// content at a char boundary so the message stays readable.
+fn parse_error(line: usize, content: &str) -> IoError {
+    let content = if content.len() > MAX_ERROR_CONTENT {
+        let mut cut = MAX_ERROR_CONTENT;
+        while !content.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        format!("{}… ({} bytes)", &content[..cut], content.len())
+    } else {
+        content.to_string()
+    };
+    IoError::Parse { line, content }
+}
+
+/// Scans a KONECT-style edge list line by line, calling `edge` with each
+/// 0-based `(left, right)` pair. Comments (`%`/`#`) and blank lines are
+/// skipped; malformed lines abort with a per-line [`IoError::Parse`].
 ///
-/// Lines starting with `%` or `#` are comments; blank lines are skipped.
-/// Vertex ids are 1-based and the side sizes are inferred from the maxima.
-pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BipartiteGraph, IoError> {
-    let mut edges: Vec<(u32, u32)> = Vec::new();
-    let mut max_l = 0u32;
-    let mut max_r = 0u32;
-    for (idx, line) in reader.lines().enumerate() {
-        let line = line?;
+/// The line buffer is reused across lines, so one scan allocates O(longest
+/// line), not O(file).
+fn scan_edges<R: BufRead>(
+    reader: &mut R,
+    mut edge: impl FnMut(u32, u32) -> Result<(), IoError>,
+) -> Result<(), IoError> {
+    let mut line = String::new();
+    let mut line_no = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(());
+        }
+        line_no += 1;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('%') || trimmed.starts_with('#') {
             continue;
         }
         let mut fields = trimmed.split_whitespace();
         let (Some(a), Some(b)) = (fields.next(), fields.next()) else {
-            return Err(IoError::Parse {
-                line: idx + 1,
-                content: line.clone(),
-            });
+            return Err(parse_error(line_no, trimmed));
         };
         let parse = |s: &str| -> Option<u32> { s.parse::<u32>().ok().filter(|&v| v >= 1) };
         let (Some(u), Some(v)) = (parse(a), parse(b)) else {
-            return Err(IoError::Parse {
-                line: idx + 1,
-                content: line.clone(),
-            });
+            return Err(parse_error(line_no, trimmed));
         };
-        max_l = max_l.max(u);
-        max_r = max_r.max(v);
-        edges.push((u - 1, v - 1));
+        edge(u - 1, v - 1)?;
     }
+}
+
+/// Reads a KONECT-style bipartite edge list from any reader, buffering the
+/// edge list before building CSR.
+///
+/// Lines starting with `%` or `#` are comments; blank lines are skipped.
+/// Vertex ids are 1-based and the side sizes are inferred from the maxima.
+///
+/// For seekable inputs (files, cursors) prefer
+/// [`read_edge_list_streaming`], which builds the identical graph in two
+/// passes without materialising the edge `Vec`;
+/// [`read_edge_list_file`] already does.
+pub fn read_edge_list<R: BufRead>(mut reader: R) -> Result<BipartiteGraph, IoError> {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_l = 0u32;
+    let mut max_r = 0u32;
+    scan_edges(&mut reader, |u, v| {
+        max_l = max_l.max(u + 1);
+        max_r = max_r.max(v + 1);
+        edges.push((u, v));
+        Ok(())
+    })?;
     let mut builder = Builder::new(max_l, max_r);
     builder.reserve(edges.len());
     for (u, v) in edges {
@@ -102,10 +144,127 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<BipartiteGraph, IoError> 
     Ok(builder.build())
 }
 
-/// Reads a bipartite edge list from a file path.
+/// Reads a KONECT-style bipartite edge list in two streaming passes,
+/// producing a graph byte-identical (CSR offsets and adjacency) to
+/// [`read_edge_list`] without ever materialising the full edge `Vec`.
+///
+/// Pass 1 counts per-vertex degrees and the edge total; pass 2 rewinds and
+/// writes each edge directly into its final CSR slot, then sorts and
+/// deduplicates each row in place and derives the right side by counting
+/// sort — exactly the construction [`crate::graph::Builder::build`] uses.
+///
+/// Peak transient memory is one `u32` per raw (pre-dedup) edge plus the
+/// per-side degree arrays, roughly half of what the buffered reader's
+/// `(u32, u32)` edge buffer costs on top of the final graph, and no global
+/// edge sort is performed (per-row sorts touch `O(d log d)` each).
+pub fn read_edge_list_streaming<R: BufRead + Seek>(
+    mut reader: R,
+) -> Result<BipartiteGraph, IoError> {
+    let changed = || {
+        IoError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "input changed between passes",
+        ))
+    };
+
+    // Pass 1: degree counting. Side sizes are inferred from the maxima, so
+    // the degree arrays grow on demand.
+    let mut left_deg: Vec<usize> = Vec::new();
+    let mut right_deg: Vec<usize> = Vec::new();
+    let mut raw_edges = 0usize;
+    scan_edges(&mut reader, |u, v| {
+        let (u, v) = (u as usize, v as usize);
+        if u >= left_deg.len() {
+            left_deg.resize(u + 1, 0);
+        }
+        if v >= right_deg.len() {
+            right_deg.resize(v + 1, 0);
+        }
+        left_deg[u] += 1;
+        right_deg[v] += 1;
+        raw_edges += 1;
+        Ok(())
+    })?;
+    let nl = left_deg.len();
+    let nr = right_deg.len();
+
+    // Pass 2: place every edge into its left-row slot in file order.
+    let mut left_offsets = vec![0usize; nl + 1];
+    for u in 0..nl {
+        left_offsets[u + 1] = left_offsets[u] + left_deg[u];
+    }
+    let mut cursor: Vec<usize> = left_offsets[..nl].to_vec();
+    let mut left_neighbors = vec![0u32; raw_edges];
+    reader.seek(SeekFrom::Start(0))?;
+    let mut seen = 0usize;
+    scan_edges(&mut reader, |u, v| {
+        let u = u as usize;
+        if u >= nl || v as usize >= nr || cursor[u] == left_offsets[u + 1] {
+            return Err(changed());
+        }
+        left_neighbors[cursor[u]] = v;
+        cursor[u] += 1;
+        seen += 1;
+        Ok(())
+    })?;
+    if seen != raw_edges {
+        return Err(changed());
+    }
+
+    // Sort + dedup each left row in place, compacting downward (the write
+    // cursor never overtakes a row's start, so rows are read before they
+    // are overwritten).
+    let mut write = 0usize;
+    let mut deduped_offsets = vec![0usize; nl + 1];
+    for u in 0..nl {
+        let (start, end) = (left_offsets[u], left_offsets[u + 1]);
+        left_neighbors[start..end].sort_unstable();
+        let mut prev = None;
+        for i in start..end {
+            let v = left_neighbors[i];
+            if prev != Some(v) {
+                left_neighbors[write] = v;
+                write += 1;
+                prev = Some(v);
+            }
+        }
+        deduped_offsets[u + 1] = write;
+    }
+    left_neighbors.truncate(write);
+    let left_offsets = deduped_offsets;
+
+    // Right side by counting sort over the deduplicated left CSR; visiting
+    // rows in left order keeps every right row sorted.
+    let mut right_offsets = vec![0usize; nr + 1];
+    for &v in &left_neighbors {
+        right_offsets[v as usize + 1] += 1;
+    }
+    for v in 0..nr {
+        right_offsets[v + 1] += right_offsets[v];
+    }
+    let mut rcursor: Vec<usize> = right_offsets[..nr].to_vec();
+    let mut right_neighbors = vec![0u32; write];
+    for u in 0..nl {
+        for &v in &left_neighbors[left_offsets[u]..left_offsets[u + 1]] {
+            right_neighbors[rcursor[v as usize]] = u as u32;
+            rcursor[v as usize] += 1;
+        }
+    }
+
+    Ok(BipartiteGraph::from_csr(
+        left_offsets,
+        left_neighbors,
+        right_offsets,
+        right_neighbors,
+    )?)
+}
+
+/// Reads a bipartite edge list from a file path via the two-pass streaming
+/// builder ([`read_edge_list_streaming`]) — the graph is identical to the
+/// buffered [`read_edge_list`], without the transient edge buffer.
 pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<BipartiteGraph, IoError> {
     let file = std::fs::File::open(path)?;
-    read_edge_list(io::BufReader::new(file))
+    read_edge_list_streaming(io::BufReader::new(file))
 }
 
 /// Writes a graph as a KONECT-style edge list (1-based ids, `%` header).
@@ -178,6 +337,58 @@ mod tests {
         let g = read_edge_list(Cursor::new("% nothing\n")).unwrap();
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
+    }
+
+    fn assert_same_csr(a: &BipartiteGraph, b: &BipartiteGraph) {
+        assert_eq!(a.left_offsets(), b.left_offsets());
+        assert_eq!(a.left_neighbors(), b.left_neighbors());
+        assert_eq!(a.right_offsets(), b.right_offsets());
+        assert_eq!(a.right_neighbors(), b.right_neighbors());
+    }
+
+    #[test]
+    fn streaming_matches_buffered_reader() {
+        // Comments, duplicates, out-of-order edges, extra columns.
+        let text = "% header\n3 2\n1 1\n3 2\n# mid comment\n2 3 77 1370000000\n\n1 2\n2 1\n";
+        let buffered = read_edge_list(Cursor::new(text)).unwrap();
+        let streamed = read_edge_list_streaming(Cursor::new(text)).unwrap();
+        assert_same_csr(&buffered, &streamed);
+        assert_eq!(streamed.num_edges(), 5); // the duplicate collapsed
+    }
+
+    #[test]
+    fn streaming_rejects_what_buffered_rejects() {
+        for bad in ["1 x\n", "0 1\n", "42\n", "zz\n"] {
+            assert!(
+                read_edge_list_streaming(Cursor::new(bad)).is_err(),
+                "{bad:?}"
+            );
+        }
+        let empty = read_edge_list_streaming(Cursor::new("% nothing\n")).unwrap();
+        assert_eq!(empty.num_vertices(), 0);
+    }
+
+    #[test]
+    fn oversized_bad_line_is_truncated_in_the_error() {
+        // A million-byte line of garbage must not explode the message.
+        let long = format!("1 x{}\n", "y".repeat(1_000_000));
+        let err = read_edge_list_streaming(Cursor::new(long.as_str())).unwrap_err();
+        let IoError::Parse { line, content } = err else {
+            panic!("expected parse error");
+        };
+        assert_eq!(line, 1);
+        assert!(
+            content.len() < 160,
+            "error content too long: {} bytes",
+            content.len()
+        );
+        assert!(content.contains("bytes)"), "{content}");
+        // Short lines still appear verbatim.
+        let err = read_edge_list(Cursor::new("1 x\n")).unwrap_err();
+        let IoError::Parse { content, .. } = err else {
+            panic!("expected parse error");
+        };
+        assert_eq!(content, "1 x");
     }
 
     #[test]

@@ -1,7 +1,6 @@
 //! `mbb anchored` — the largest balanced biclique through a given vertex.
 
 use mbb_bigraph::graph::Vertex;
-use mbb_bigraph::io::read_edge_list_file;
 use mbb_core::MbbEngine;
 use serde::Serialize;
 
@@ -102,8 +101,8 @@ struct JsonAnchored {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &AnchoredOptions) -> Result<String, String> {
-    let graph =
-        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
+    let loaded = crate::commands::load_graph(&options.input)?;
+    let graph = loaded.graph;
     let zero_based = options.id - 1;
     let side_size = if options.left_side {
         graph.num_left()
@@ -122,7 +121,7 @@ pub fn run(options: &AnchoredOptions) -> Result<String, String> {
     } else {
         Vertex::right(zero_based)
     };
-    let engine = MbbEngine::new(graph);
+    let engine = MbbEngine::from_arc(graph, Default::default());
     let biclique = engine
         .query()
         .threads(options.threads)

@@ -2,7 +2,6 @@
 
 use std::time::Duration;
 
-use mbb_bigraph::io::read_edge_list_file;
 use mbb_core::enumerate::EnumConfig;
 use mbb_core::MbbEngine;
 use serde::Serialize;
@@ -113,15 +112,15 @@ struct JsonLine {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &EnumerateOptions) -> Result<String, String> {
-    let graph =
-        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
+    let loaded = crate::commands::load_graph(&options.input)?;
+    let graph = loaded.graph;
     let config = EnumConfig {
         min_left: options.min_left,
         min_right: options.min_right,
         max_results: options.max_results,
         budget: options.budget_secs.map(Duration::from_secs),
     };
-    let engine = MbbEngine::new(graph);
+    let engine = MbbEngine::from_arc(graph, Default::default());
     let result = engine.query().threads(options.threads).enumerate(config);
     let mut out = String::new();
     for b in &result.value.bicliques {

@@ -9,9 +9,21 @@ pub mod anchored;
 pub mod enumerate;
 pub mod frontier;
 pub mod generate;
+pub mod ingest;
 pub mod serve_batch;
 pub mod stats;
 pub mod topk;
+
+use mbb_store::{GraphStore, LoadedGraph};
+
+/// Loads a graph through the [`GraphStore`] — every subcommand's input
+/// path goes through here, so warm `.mbbg` caches are used (and
+/// written/refreshed) everywhere. `MBB_CACHE=off|ro` opts out.
+pub fn load_graph(spec: &str) -> Result<LoadedGraph, String> {
+    GraphStore::from_env()
+        .load(spec)
+        .map_err(|e| format!("{spec}: {e}"))
+}
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -21,11 +33,15 @@ commands:
   solve      find the maximum balanced biclique (default command)
   stats      structural profile: density, degrees, δ, δ̈, butterflies
   generate   write a seeded synthetic bipartite graph
+  ingest     pre-build the .mbbg binary cache for edge-list files
   enumerate  stream maximal bicliques
   topk       the k best balanced bicliques
   anchored   largest balanced biclique through a given vertex
   frontier   Pareto frontier of feasible biclique sizes
   serve-batch  run a JSONL query batch over sharded engine sessions
+
+Graph inputs accept an edge list or a .mbbg binary cache; a fresh cache
+next to an edge list is used automatically (MBB_CACHE=off disables).
 
 `mbb <command> --help` prints per-command options.";
 
@@ -44,6 +60,12 @@ pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
                 return Ok(format!("{}\n", generate::USAGE));
             }
             generate::run(&generate::GenerateOptions::parse(args)?)
+        }
+        "ingest" => {
+            if wants_help {
+                return Ok(format!("{}\n", ingest::USAGE));
+            }
+            ingest::run(&ingest::IngestOptions::parse(args)?)
         }
         "enumerate" => {
             if wants_help {
@@ -86,6 +108,7 @@ pub fn is_command(name: &str) -> bool {
         "solve"
             | "stats"
             | "generate"
+            | "ingest"
             | "enumerate"
             | "topk"
             | "anchored"
@@ -116,6 +139,7 @@ mod tests {
         for cmd in [
             "stats",
             "generate",
+            "ingest",
             "enumerate",
             "topk",
             "anchored",

@@ -1,9 +1,9 @@
 //! `mbb serve-batch` — run a JSONL request batch against a sharded
 //! engine fleet.
 
-use mbb_bigraph::io::read_edge_list_file;
 use mbb_serve::jsonl::{encode_report, parse_requests};
 use mbb_serve::{BatchExecutor, ShardedFleet};
+use mbb_store::GraphStore;
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "\
@@ -15,6 +15,10 @@ JSON request per line from the --requests file, executes the batch on a
 worker pool (deadline-soonest first), and prints one JSON response per
 line in request order. --workers 0 uses one worker per core (default 1).
 --stats appends a final {\"batch\": ...} summary line.
+
+Shards load through the graph store: a fresh .mbbg binary cache next to
+an edge list (see `mbb ingest`) is used instead of re-parsing, and a
+shard file may itself be a .mbbg path. MBB_CACHE=off disables caching.
 
 The request/response schema (nine query kinds, per-request deadline_ms
 and threads, 1-based vertex ids) is documented in docs/SERVING.md.
@@ -87,11 +91,13 @@ impl ServeBatchOptions {
 
 /// Runs the subcommand, returning the rendered JSONL output.
 pub fn run(options: &ServeBatchOptions) -> Result<String, String> {
+    // Shards resolve through the store: a warm .mbbg cache next to the
+    // edge list skips the parse entirely (MBB_CACHE=off opts out).
+    let store = GraphStore::from_env();
     let mut fleet = ShardedFleet::new();
     for (id, path) in &options.shards {
-        let graph = read_edge_list_file(path).map_err(|e| format!("{path}: {e}"))?;
         fleet
-            .add_shard(id.clone(), graph)
+            .add_shard_from_store(id.clone(), &store, path)
             .map_err(|e| e.to_string())?;
     }
     let text = std::fs::read_to_string(&options.requests)

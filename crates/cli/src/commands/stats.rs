@@ -1,6 +1,5 @@
 //! `mbb stats` — structural profile of an edge list.
 
-use mbb_bigraph::io::read_edge_list_file;
 use mbb_bigraph::metrics::GraphProfile;
 use serde::Serialize;
 
@@ -9,9 +8,10 @@ pub const USAGE: &str = "\
 usage: mbb stats <edge-list-file> [--full] [--json]
 
 Prints a structural profile: sizes, density, degree summaries and the
-degeneracy. With --full, also the bidegeneracy (the paper's sparsity
-measure) and the butterfly count — these cost O(Σ deg²), so use them on
-graphs that fit that budget.";
+degeneracy, plus how the graph was loaded (parsed vs. binary cache hit,
+with the load time). With --full, also the bidegeneracy (the paper's
+sparsity measure) and the butterfly count — these cost O(Σ deg²), so use
+them on graphs that fit that budget.";
 
 /// Parsed `stats` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,16 +70,18 @@ struct JsonProfile {
     #[serde(skip_serializing_if = "Option::is_none")]
     butterflies: Option<u64>,
     mbb_half_upper_bound: usize,
+    load_provenance: &'static str,
+    load_ms: f64,
 }
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &StatsOptions) -> Result<String, String> {
-    let graph =
-        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
+    let loaded = crate::commands::load_graph(&options.input)?;
+    let graph = &*loaded.graph;
     let profile = if options.full {
-        GraphProfile::of(&graph)
+        GraphProfile::of(graph)
     } else {
-        GraphProfile::cheap(&graph)
+        GraphProfile::cheap(graph)
     };
     if options.json {
         let json = JsonProfile {
@@ -95,6 +97,8 @@ pub fn run(options: &StatsOptions) -> Result<String, String> {
             bidegeneracy: options.full.then_some(profile.bidegeneracy),
             butterflies: options.full.then_some(profile.butterflies),
             mbb_half_upper_bound: profile.mbb_half_upper_bound(),
+            load_provenance: loaded.provenance.label(),
+            load_ms: loaded.load_time.as_secs_f64() * 1e3,
         };
         let mut out = serde_json::to_string_pretty(&json).expect("profile serialises");
         out.push('\n');
@@ -111,6 +115,7 @@ pub fn run(options: &StatsOptions) -> Result<String, String> {
         "\nMBB half-size upper bound: {}\n",
         profile.mbb_half_upper_bound()
     ));
+    out.push_str(&format!("load: {}\n", loaded.describe()));
     Ok(out)
 }
 

@@ -2,7 +2,6 @@
 
 use std::time::Duration;
 
-use mbb_bigraph::io::read_edge_list_file;
 use mbb_core::MbbEngine;
 use serde::Serialize;
 
@@ -109,9 +108,9 @@ struct JsonBiclique {
 
 /// Runs the subcommand, returning the rendered output.
 pub fn run(options: &TopkOptions) -> Result<String, String> {
-    let graph =
-        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?;
-    let engine = MbbEngine::new(graph);
+    let loaded = crate::commands::load_graph(&options.input)?;
+    let graph = loaded.graph;
+    let engine = MbbEngine::from_arc(graph, Default::default());
     let mut query = engine.query().threads(options.threads);
     if let Some(secs) = options.budget_secs {
         query = query.deadline(Duration::from_secs(secs));

@@ -2,7 +2,6 @@
 
 use std::time::Instant;
 
-use mbb_bigraph::io::read_edge_list_file;
 use mbb_bigraph::local::LocalGraph;
 use mbb_core::basic::basic_bb;
 use mbb_core::biclique::Biclique;
@@ -32,11 +31,10 @@ pub struct Report {
     pub algorithm: &'static str,
 }
 
-/// Loads the graph and runs the selected solver.
+/// Loads the graph (through the store, so warm `.mbbg` caches are used)
+/// and runs the selected solver.
 pub fn run(options: &Options) -> Result<Report, String> {
-    let graph = std::sync::Arc::new(
-        read_edge_list_file(&options.input).map_err(|e| format!("{}: {e}", options.input))?,
-    );
+    let graph = crate::commands::load_graph(&options.input)?.graph;
     let start = Instant::now();
     let (biclique, stats, timed_out, algorithm) = match options.algorithm {
         Algorithm::Hbv => {

@@ -29,6 +29,14 @@ pub enum ServeError {
         /// What was wrong.
         message: String,
     },
+    /// A store-resolved shard failed to load (flattened to a message so
+    /// the error stays `Clone + Eq`).
+    ShardLoad {
+        /// The name or path as handed to the store.
+        source: String,
+        /// The underlying `StoreError`, rendered.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -39,6 +47,9 @@ impl std::fmt::Display for ServeError {
             ServeError::DuplicateShard(id) => write!(f, "duplicate shard {id:?}"),
             ServeError::BadRequest { line, message } => {
                 write!(f, "request line {line}: {message}")
+            }
+            ServeError::ShardLoad { source, message } => {
+                write!(f, "shard {source}: {message}")
             }
         }
     }
@@ -124,6 +135,37 @@ impl ShardedFleet {
         config: SolverConfig,
     ) -> Result<&mut Self, ServeError> {
         self.add_engine(id, MbbEngine::with_config(graph, config))
+    }
+
+    /// Registers a shard by resolving a name or path through a
+    /// [`GraphStore`](mbb_store::GraphStore): warm `.mbbg` caches load
+    /// without re-parsing, cold sources are parsed (and cached, per the
+    /// store's mode). Returns the load provenance so callers can report
+    /// how each shard came up.
+    ///
+    /// ```no_run
+    /// use mbb_serve::ShardedFleet;
+    /// use mbb_store::GraphStore;
+    ///
+    /// let store = GraphStore::new();
+    /// let mut fleet = ShardedFleet::new();
+    /// let loaded = fleet.add_shard_from_store("a", &store, "data/github.txt")?;
+    /// println!("shard a: {}", loaded.describe());
+    /// # Ok::<(), mbb_serve::ServeError>(())
+    /// ```
+    pub fn add_shard_from_store(
+        &mut self,
+        id: impl Into<String>,
+        store: &mbb_store::GraphStore,
+        source: &str,
+    ) -> Result<mbb_store::LoadedGraph, ServeError> {
+        let loaded = store.load(source).map_err(|e| ServeError::ShardLoad {
+            source: source.to_string(),
+            message: e.to_string(),
+        })?;
+        let engine = MbbEngine::from_arc(loaded.graph.clone(), SolverConfig::default());
+        self.add_engine(id, engine)?;
+        Ok(loaded)
     }
 
     /// Registers an already-built engine session as a shard — the path
@@ -278,6 +320,38 @@ mod tests {
         let empty = ShardedFleet::new();
         assert_eq!(empty.route_id("a"), Err(ServeError::EmptyFleet));
         assert_eq!(empty.route_key("a"), Err(ServeError::EmptyFleet));
+    }
+
+    #[test]
+    fn store_resolved_shards_load_and_route() {
+        let dir = std::env::temp_dir().join(format!("mbb-fleet-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard.txt");
+        mbb_bigraph::io::write_edge_list_file(&generators::uniform_edges(6, 6, 20, 4), &path)
+            .unwrap();
+        let store = mbb_store::GraphStore::new();
+        let mut fleet = ShardedFleet::new();
+        let cold = fleet
+            .add_shard_from_store("s", &store, path.to_str().unwrap())
+            .unwrap();
+        assert!(!cold.provenance.is_cache_hit());
+        assert_eq!(fleet.route_id("s").unwrap(), 0);
+        // A second fleet over the same source comes up from the cache.
+        let mut warm_fleet = ShardedFleet::new();
+        let warm = warm_fleet
+            .add_shard_from_store("s", &store, path.to_str().unwrap())
+            .unwrap();
+        assert!(warm.provenance.is_cache_hit());
+        assert_eq!(
+            warm_fleet.engine(0).graph().num_edges(),
+            fleet.engine(0).graph().num_edges()
+        );
+        // Unresolvable sources surface as ShardLoad.
+        assert!(matches!(
+            fleet.add_shard_from_store("t", &store, "no-such-file.txt"),
+            Err(ServeError::ShardLoad { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
