@@ -5,33 +5,28 @@
 //! `(spec, caps, seed)` triple on each run — deterministic, but the
 //! Chung–Lu sampling plus plant construction dominates harness startup
 //! once solver budgets are small. [`StandInCache`] keys a `.mbbg` graph
-//! cache (plus a small JSON sidecar for the stand-in's provenance fields)
-//! by that triple under one directory, and the sweep binaries load
+//! cache by that triple under one directory, and the sweep binaries load
 //! through it.
+//!
+//! A cached stand-in is a single self-describing `.mbbg` file: the
+//! header's source stamp carries the generation identity instead of file
+//! metadata ([`SourceStamp::generated`]) — a 64-bit FNV-1a key of
+//! `name|max_edges|max_vertices|seed` plus the generator's `scale` and
+//! `planted_half` provenance fields. No JSON sidecar.
 //!
 //! The cache directory defaults to `target/standin-cache`; the
 //! `MBB_STANDIN_CACHE` environment variable overrides it (`off` disables
 //! caching entirely). Stand-ins are bit-identical across machines for a
 //! given triple, so a cache hit is always equivalent to regeneration —
-//! any unreadable/corrupt entry is silently regenerated and rewritten.
+//! any unreadable/corrupt/mismatched entry is silently regenerated and
+//! rewritten.
 
 use std::cell::Cell;
 use std::path::PathBuf;
 
 use mbb_datasets::{stand_in, DatasetSpec, ScaleCaps, StandIn};
 use mbb_store::binfmt;
-use serde::{Deserialize, Serialize};
-
-/// Sidecar fields that make a cached graph a full [`StandIn`] again.
-#[derive(Debug, Serialize, Deserialize, PartialEq)]
-struct StandInMeta {
-    /// Catalog name, re-checked on load against the requested spec.
-    name: String,
-    /// Linear scale factor the generator applied.
-    scale: f64,
-    /// Planted balanced-biclique half-size (optimum lower bound).
-    planted_half: u32,
-}
+use mbb_store::SourceStamp;
 
 /// A directory of `.mbbg`-cached stand-ins keyed by `(name, caps, seed)`.
 #[derive(Debug)]
@@ -39,6 +34,16 @@ pub struct StandInCache {
     dir: Option<PathBuf>,
     hits: Cell<usize>,
     misses: Cell<usize>,
+}
+
+/// The 64-bit generation-parameter key stamped into a cached stand-in's
+/// header: FNV-1a of `name|max_edges|max_vertices|seed`.
+fn cache_key(spec: &DatasetSpec, caps: ScaleCaps, seed: u64) -> u64 {
+    let text = format!(
+        "{}|{}|{}|{seed}",
+        spec.name, caps.max_edges, caps.max_vertices
+    );
+    binfmt::fnv1a64(text.as_bytes())
 }
 
 impl StandInCache {
@@ -75,26 +80,19 @@ impl StandInCache {
             spec.name, caps.max_edges, caps.max_vertices
         );
         let graph_path = dir.join(format!("{stem}.mbbg"));
-        let meta_path = dir.join(format!("{stem}.meta.json"));
+        let key = cache_key(spec, caps, seed);
 
-        if let Some(standin) = self.try_load(spec, &graph_path, &meta_path) {
+        if let Some(standin) = self.try_load(spec, key, &graph_path) {
             self.hits.set(self.hits.get() + 1);
             return standin;
         }
 
         self.misses.set(self.misses.get() + 1);
         let standin = stand_in(spec, caps, seed);
+        let stamp = SourceStamp::generated(key, standin.scale, standin.planted_half);
         // Best-effort write: a read-only checkout just regenerates forever.
-        let meta = StandInMeta {
-            name: spec.name.to_string(),
-            scale: standin.scale,
-            planted_half: standin.planted_half,
-        };
-        if std::fs::create_dir_all(dir).is_ok()
-            && binfmt::save_graph(&standin.graph, binfmt::SourceStamp::default(), &graph_path)
-                .is_ok()
-        {
-            let _ = serde_json::to_string(&meta).map(|s| std::fs::write(&meta_path, s));
+        if std::fs::create_dir_all(dir).is_ok() {
+            let _ = binfmt::save_graph(&standin.graph, stamp, &graph_path);
         }
         standin
     }
@@ -102,20 +100,20 @@ impl StandInCache {
     fn try_load(
         &self,
         spec: &'static DatasetSpec,
+        key: u64,
         graph_path: &std::path::Path,
-        meta_path: &std::path::Path,
     ) -> Option<StandIn> {
-        let (graph, _) = binfmt::load_graph(graph_path).ok()?;
-        let meta: StandInMeta =
-            serde_json::from_str(&std::fs::read_to_string(meta_path).ok()?).ok()?;
-        if meta.name != spec.name {
+        let (graph, stamp) = binfmt::load_graph(graph_path).ok()?;
+        // A stale entry (written for other parameters, or by the old
+        // sidecar-era writer, whose stamp is all zeros) must regenerate.
+        if stamp.generated_key() != key {
             return None;
         }
         Some(StandIn {
             graph,
             spec,
-            scale: meta.scale,
-            planted_half: meta.planted_half,
+            scale: stamp.generated_scale(),
+            planted_half: stamp.generated_planted_half(),
         })
     }
 
@@ -165,6 +163,15 @@ mod tests {
         assert_eq!(warm.graph.right_offsets(), cold.graph.right_offsets());
         assert_eq!(warm.graph.right_neighbors(), cold.graph.right_neighbors());
 
+        // The entry is exactly one self-describing .mbbg — no sidecar.
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 1, "{files:?}");
+        assert!(files[0].ends_with(".mbbg"), "{files:?}");
+
         // A fresh generation agrees too (determinism + faithful cache).
         let direct = stand_in(spec, ScaleCaps::small(), 5);
         assert_eq!(direct.graph.left_neighbors(), warm.graph.left_neighbors());
@@ -197,6 +204,40 @@ mod tests {
         let again = cache.get(spec, ScaleCaps::small(), 2);
         assert!(again.graph.num_edges() > 0);
         assert_eq!(cache.misses.get(), 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sidecar_era_entries_regenerate_with_a_stamped_header() {
+        let dir = std::env::temp_dir().join(format!("mbb-standin-legacy-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = StandInCache::at(Some(dir.clone()));
+        let spec = find("unicodelang").unwrap();
+        let caps = ScaleCaps::small();
+        let fresh = stand_in(spec, caps, 9);
+        // Plant an old-format entry: default (all-zero) stamp, as the
+        // sidecar-era writer produced.
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = format!(
+            "{}-e{}-v{}-s9",
+            spec.name, caps.max_edges, caps.max_vertices
+        );
+        binfmt::save_graph(
+            &fresh.graph,
+            SourceStamp::default(),
+            &dir.join(format!("{stem}.mbbg")),
+        )
+        .unwrap();
+
+        // Keyless entry → miss + rewrite; second get is a hit with the
+        // provenance fields restored from the header alone.
+        let first = cache.get(spec, caps, 9);
+        assert_eq!(cache.misses.get(), 1);
+        let second = cache.get(spec, caps, 9);
+        assert_eq!(cache.hits.get(), 1);
+        assert_eq!(second.scale, fresh.scale);
+        assert_eq!(second.planted_half, fresh.planted_half);
+        assert_eq!(first.graph.left_neighbors(), second.graph.left_neighbors());
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -10,6 +10,7 @@ pub mod enumerate;
 pub mod frontier;
 pub mod generate;
 pub mod ingest;
+pub mod serve;
 pub mod serve_batch;
 pub mod stats;
 pub mod topk;
@@ -39,6 +40,7 @@ commands:
   anchored   largest balanced biclique through a given vertex
   frontier   Pareto frontier of feasible biclique sizes
   serve-batch  run a JSONL query batch over sharded engine sessions
+  serve      resident JSONL stream service with admission control
 
 Graph inputs accept an edge list or a .mbbg binary cache; a fresh cache
 next to an edge list is used automatically (MBB_CACHE=off disables).
@@ -97,6 +99,12 @@ pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
             }
             serve_batch::run(&serve_batch::ServeBatchOptions::parse(args)?)
         }
+        "serve" => {
+            if wants_help {
+                return Ok(format!("{}\n", serve::USAGE));
+            }
+            serve::run(&serve::ServeOptions::parse(args)?)
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -114,6 +122,7 @@ pub fn is_command(name: &str) -> bool {
             | "anchored"
             | "frontier"
             | "serve-batch"
+            | "serve"
     )
 }
 
@@ -145,6 +154,7 @@ mod tests {
             "anchored",
             "frontier",
             "serve-batch",
+            "serve",
         ] {
             let text = dispatch(cmd, &["--help".to_string()]).unwrap();
             assert!(text.contains("usage:"), "{cmd}");

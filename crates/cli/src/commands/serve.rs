@@ -1,0 +1,209 @@
+//! `mbb serve` — resident mode: serve a JSONL request stream from stdin
+//! until EOF, with cross-batch EDF admission control.
+
+use std::io::{BufRead, Write};
+
+use mbb_serve::{ShardedFleet, StreamConfig, StreamServer};
+use mbb_store::GraphStore;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "\
+usage: mbb serve --shard <id>=<edge-list-file> [--shard ...]
+                 [--workers <N>] [--queue-depth <N>] [--fairness-burst <N>]
+                 [--stats]
+
+Builds one engine session per --shard (routable by its <id>), then stays
+resident: one JSON request per stdin line, one JSON event per stdout
+line as requests complete, until stdin closes. Unlike `mbb serve-batch`
+(one file, one batch, exit), requests are admitted to a global
+deadline-soonest queue as they arrive — a later tight-deadline request
+overtakes queued slack ones — with:
+
+  backpressure   the queue holds at most --queue-depth requests
+                 (default 1024); when full, reading stdin pauses
+  load-shedding  a request whose deadline budget is already blown is
+                 answered with {\"error_kind\": \"shed\"}, never executed
+  fairness       one shard wins at most --fairness-burst consecutive
+                 slots while another has queued work (default 8; 0 = off)
+
+Control lines manage the resident fleet without a restart:
+
+  {\"control\": \"stats\"}                           counters snapshot
+  {\"control\": \"drain\"}                           wait for quiescence
+  {\"control\": \"reload\", \"graph\": <id>, \"source\": <file>}
+                                  swap a shard's graph; in-flight and
+                                  already-queued requests finish on the
+                                  old session, later ones see the new one
+
+--workers 0 uses one worker per core (default 1). --stats prints a final
+stats line at EOF. Shards and reload sources resolve through the graph
+store (.mbbg caches apply; MBB_CACHE=off disables). The wire schema is
+documented in docs/SERVING.md (\"Resident mode\").";
+
+/// Parsed `serve` options.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// `(shard id, graph source)` pairs, in registration order.
+    pub shards: Vec<(String, String)>,
+    /// Worker pool size (0 = one per core).
+    pub workers: usize,
+    /// Admission queue bound.
+    pub queue_depth: usize,
+    /// Consecutive-pop cap per shard (0 disables).
+    pub fairness_burst: usize,
+    /// Emit a final stats line at EOF.
+    pub stats: bool,
+}
+
+impl ServeOptions {
+    /// Parses the subcommand's argv (after `serve`).
+    pub fn parse(args: &[String]) -> Result<ServeOptions, String> {
+        let defaults = StreamConfig::default();
+        let mut options = ServeOptions {
+            shards: Vec::new(),
+            workers: defaults.workers,
+            queue_depth: defaults.queue_depth,
+            fairness_burst: defaults.fairness_burst,
+            stats: false,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value_of = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            let number = |flag: &str, value: String| {
+                value
+                    .parse::<usize>()
+                    .map_err(|_| format!("{flag}: bad number {value:?}"))
+            };
+            match arg.as_str() {
+                "--stats" => options.stats = true,
+                "--shard" => {
+                    let value = value_of("--shard")?;
+                    let (id, path) = value
+                        .split_once('=')
+                        .ok_or_else(|| format!("--shard: expected <id>=<file>, got {value:?}"))?;
+                    if id.is_empty() || path.is_empty() {
+                        return Err(format!("--shard: expected <id>=<file>, got {value:?}"));
+                    }
+                    options.shards.push((id.to_string(), path.to_string()));
+                }
+                "--workers" => options.workers = number("--workers", value_of("--workers")?)?,
+                "--queue-depth" => {
+                    options.queue_depth = number("--queue-depth", value_of("--queue-depth")?)?;
+                    if options.queue_depth == 0 {
+                        return Err("--queue-depth must be at least 1".to_string());
+                    }
+                }
+                "--fairness-burst" => {
+                    options.fairness_burst =
+                        number("--fairness-burst", value_of("--fairness-burst")?)?;
+                }
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        if options.shards.is_empty() {
+            return Err("at least one --shard <id>=<file> is required".to_string());
+        }
+        Ok(options)
+    }
+}
+
+/// Runs the resident loop over explicit input/output streams — the
+/// testable core of [`run`].
+pub fn run_with<R: BufRead, W: Write + Send>(
+    options: &ServeOptions,
+    input: R,
+    output: W,
+) -> Result<(), String> {
+    let store = GraphStore::from_env();
+    let mut fleet = ShardedFleet::new();
+    for (id, path) in &options.shards {
+        fleet
+            .add_shard_from_store(id.clone(), &store, path)
+            .map_err(|e| e.to_string())?;
+    }
+    let config = StreamConfig {
+        workers: options.workers,
+        queue_depth: options.queue_depth,
+        fairness_burst: options.fairness_burst,
+        stats_on_exit: options.stats,
+    };
+    let server = StreamServer::new(fleet, config).with_store(store);
+    server.serve(input, output).map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+/// Runs the subcommand resident on stdin/stdout until EOF. Events are
+/// written as they happen, so the returned string is empty.
+pub fn run(options: &ServeOptions) -> Result<String, String> {
+    run_with(options, std::io::stdin().lock(), std::io::stdout())?;
+    Ok(String::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<ServeOptions, String> {
+        ServeOptions::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_options_with_defaults() {
+        let o = parse("--shard a=x.txt").unwrap();
+        assert_eq!(o.shards, vec![("a".to_string(), "x.txt".to_string())]);
+        assert_eq!(o.workers, 1);
+        assert_eq!(o.queue_depth, 1024);
+        assert_eq!(o.fairness_burst, 8);
+        assert!(!o.stats);
+
+        let o = parse(
+            "--shard a=x.txt --shard b=y.txt --workers 0 --queue-depth 4 \
+             --fairness-burst 0 --stats",
+        )
+        .unwrap();
+        assert_eq!(o.shards.len(), 2);
+        assert_eq!(o.workers, 0);
+        assert_eq!(o.queue_depth, 4);
+        assert_eq!(o.fairness_burst, 0);
+        assert!(o.stats);
+    }
+
+    #[test]
+    fn rejects_bad_options() {
+        assert!(parse("").is_err());
+        assert!(parse("--shard ax.txt").is_err());
+        assert!(parse("--shard a=x.txt --queue-depth 0").is_err());
+        assert!(parse("--shard a=x.txt --workers many").is_err());
+        assert!(parse("--shard a=x.txt --frobnicate").is_err());
+    }
+
+    #[test]
+    fn resident_loop_end_to_end_over_pipes() {
+        let dir = std::env::temp_dir().join("mbb-serve-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let graph_path = dir.join("g.txt");
+        std::fs::write(&graph_path, "1 1\n1 2\n2 1\n2 2\n3 3\n").unwrap();
+        let options = parse(&format!("--shard g={} --stats", graph_path.display())).unwrap();
+        let input = "{\"id\": 1, \"graph\": \"g\", \"kind\": \"solve\"}\n\
+                     {\"id\": 2, \"graph\": \"g\", \"kind\": \"solve\", \"deadline_ms\": 0}\n\
+                     {\"control\": \"drain\"}\n";
+        let mut output = Vec::new();
+        run_with(&options, input.as_bytes(), &mut output).unwrap();
+        let text = String::from_utf8(output).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines.len(),
+            4,
+            "response + shed + drain ack + stats:\n{text}"
+        );
+        assert!(text.contains("\"half_size\":2"), "{text}");
+        assert!(text.contains("\"error_kind\":\"shed\""), "{text}");
+        assert!(text.contains("\"control\":\"drain\""), "{text}");
+        assert!(lines[3].contains("\"stats\""), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

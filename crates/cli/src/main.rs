@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! mbb <command> [args]            subcommands: solve stats generate
-//!                                 enumerate topk anchored
+//!                                 enumerate topk anchored serve
 //! mbb <edge-list> [solve options] back-compatible default (= solve)
 //! ```
 //!

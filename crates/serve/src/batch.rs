@@ -305,8 +305,9 @@ pub const MAX_REQUEST_TOPK: usize = 100_000;
 
 /// The parameter checks that would otherwise panic inside the engine
 /// (anchors out of range, mismatched weight vectors) or abuse the host
-/// (absurd thread counts, allocation-sized `k`).
-fn validate(
+/// (absurd thread counts, allocation-sized `k`). Shared with the
+/// resident stream loop, which applies the same admission validation.
+pub(crate) fn validate(
     graph: &mbb_bigraph::graph::BipartiteGraph,
     request: &QueryRequest,
 ) -> Result<(), String> {
@@ -354,7 +355,11 @@ fn validate(
 /// `shard` is the routed shard's id for validation failures, `None`
 /// when routing itself failed (matching `QueryResponse::shard`'s
 /// contract — never the unroutable graph id the request named).
-fn rejected(request: &QueryRequest, shard: Option<String>, reason: String) -> QueryResponse {
+pub(crate) fn rejected(
+    request: &QueryRequest,
+    shard: Option<String>,
+    reason: String,
+) -> QueryResponse {
     QueryResponse {
         id: request.id,
         shard,
@@ -374,11 +379,33 @@ fn run_job(fleet: &ShardedFleet, job: Job) {
     let shard_id = fleet.shards()[job.shard].id().to_string();
     let request = &job.request;
 
-    let executed = catch_unwind(AssertUnwindSafe(|| execute(engine, request, job.deadline)));
-    let (outcome, termination, stats) = match executed {
+    let (outcome, termination, stats) = execute_guarded(&engine, request, job.deadline);
+    job.batch.complete(
+        job.seq,
+        QueryResponse {
+            id: request.id,
+            shard: Some(shard_id),
+            kind: request.kind.label(),
+            outcome,
+            termination,
+            queue_wait,
+            service: started.elapsed(),
+            stats,
+        },
+    );
+}
+
+/// [`execute`] behind a panic guard: a panicking query must not wedge
+/// the batch (or kill a resident server's worker) — it is reported as a
+/// rejection and the worker keeps draining the queue. Shared by the
+/// batch executor and the resident stream loop.
+pub(crate) fn execute_guarded(
+    engine: &MbbEngine,
+    request: &QueryRequest,
+    deadline: Option<Instant>,
+) -> (QueryOutcome, Termination, SolveStats) {
+    match catch_unwind(AssertUnwindSafe(|| execute(engine, request, deadline))) {
         Ok(result) => result,
-        // A panicking query must not wedge the batch: report it and keep
-        // the worker alive for the rest of the queue.
         Err(panic) => {
             let reason = panic
                 .downcast_ref::<&str>()
@@ -393,20 +420,7 @@ fn run_job(fleet: &ShardedFleet, job: Job) {
                 SolveStats::default(),
             )
         }
-    };
-    job.batch.complete(
-        job.seq,
-        QueryResponse {
-            id: request.id,
-            shard: Some(shard_id),
-            kind: request.kind.label(),
-            outcome,
-            termination,
-            queue_wait,
-            service: started.elapsed(),
-            stats,
-        },
-    );
+    }
 }
 
 /// Dispatches one request on one engine session.

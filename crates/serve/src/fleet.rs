@@ -1,7 +1,16 @@
 //! The sharded engine fleet: one warm [`MbbEngine`] session per graph
-//! shard, with deterministic request routing.
+//! shard, with deterministic request routing and hot engine swaps.
+//!
+//! Engine slots are interior-mutable: [`ShardedFleet::reload_shard_from_store`]
+//! swaps a shard's session for a freshly loaded graph through a shared
+//! reference, so a resident server (see [`crate::stream`]) can reload a
+//! shard while workers execute against it. Callers hold `Arc` clones of
+//! the session they are using, so in-flight queries always finish on the
+//! engine they started on; only queries admitted after the swap see the
+//! new graph.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 use mbb_bigraph::graph::BipartiteGraph;
 use mbb_core::engine::MbbEngine;
@@ -57,11 +66,15 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// One shard: a graph id and the warm engine session serving it.
+/// One shard: a graph id and the warm engine session serving it. The
+/// session slot is swappable ([`ShardedFleet::reload_shard_from_store`]);
+/// callers get an `Arc` clone of whatever session is current, so a swap
+/// never invalidates a session already handed out.
 #[derive(Debug)]
 pub struct Shard {
     id: String,
-    engine: Arc<MbbEngine>,
+    engine: RwLock<Arc<MbbEngine>>,
+    reloads: AtomicU64,
 }
 
 impl Shard {
@@ -70,9 +83,16 @@ impl Shard {
         &self.id
     }
 
-    /// The shard's engine session.
-    pub fn engine(&self) -> &Arc<MbbEngine> {
-        &self.engine
+    /// The shard's current engine session (an `Arc` clone — keep it for
+    /// the duration of one query and it survives a concurrent reload).
+    pub fn engine(&self) -> Arc<MbbEngine> {
+        Arc::clone(&self.engine.read().unwrap())
+    }
+
+    /// How many times this shard's engine has been swapped since
+    /// registration.
+    pub fn reloads(&self) -> u64 {
+        self.reloads.load(Ordering::Relaxed)
     }
 }
 
@@ -181,9 +201,60 @@ impl ShardedFleet {
         }
         self.shards.push(Shard {
             id,
-            engine: Arc::new(engine),
+            engine: RwLock::new(Arc::new(engine)),
+            reloads: AtomicU64::new(0),
         });
         Ok(self)
+    }
+
+    /// Swaps shard `id`'s engine session for `engine`, returning the
+    /// shard index. In-flight queries holding the old `Arc` finish on the
+    /// old session; queries that fetch the engine after the swap get the
+    /// new one. This is the primitive under
+    /// [`reload_shard_from_store`](Self::reload_shard_from_store).
+    pub fn reload_engine(&self, id: &str, engine: MbbEngine) -> Result<usize, ServeError> {
+        let index = self.route_id(id)?;
+        *self.shards[index].engine.write().unwrap() = Arc::new(engine);
+        self.shards[index].reloads.fetch_add(1, Ordering::Relaxed);
+        Ok(index)
+    }
+
+    /// Reloads shard `id` from a store-resolved `source` without dropping
+    /// in-flight queries: the new graph is loaded (warm `.mbbg` caches
+    /// apply), a fresh session is built for it, and the shard's engine
+    /// slot is swapped atomically.
+    ///
+    /// When the loaded graph is byte-identical to the one already being
+    /// served (a reload of an unchanged source), the new session is a
+    /// [`MbbEngine::fork`] of the current one instead — the swap then
+    /// costs no index recomputation at all. The returned flag says which
+    /// path was taken (`true` = warm fork).
+    pub fn reload_shard_from_store(
+        &self,
+        id: &str,
+        store: &mbb_store::GraphStore,
+        source: &str,
+    ) -> Result<(mbb_store::LoadedGraph, bool), ServeError> {
+        let index = self.route_id(id)?;
+        let loaded = store.load(source).map_err(|e| ServeError::ShardLoad {
+            source: source.to_string(),
+            message: e.to_string(),
+        })?;
+        let current = self.shards[index].engine();
+        let forked = loaded.matches(current.graph());
+        let engine = if forked {
+            current.fork()
+        } else {
+            MbbEngine::from_arc(loaded.graph.clone(), *current.config())
+        };
+        *self.shards[index].engine.write().unwrap() = Arc::new(engine);
+        self.shards[index].reloads.fetch_add(1, Ordering::Relaxed);
+        Ok((loaded, forked))
+    }
+
+    /// Total engine swaps across all shards since fleet construction.
+    pub fn total_reloads(&self) -> u64 {
+        self.shards.iter().map(Shard::reloads).sum()
     }
 
     /// Number of shards.
@@ -202,13 +273,14 @@ impl ShardedFleet {
         &self.shards
     }
 
-    /// The engine of shard `index`.
+    /// The current engine of shard `index` (an `Arc` clone — see
+    /// [`Shard::engine`] for the reload semantics).
     ///
     /// # Panics
     ///
     /// Panics when `index` is out of range.
-    pub fn engine(&self, index: usize) -> &Arc<MbbEngine> {
-        &self.shards[index].engine
+    pub fn engine(&self, index: usize) -> Arc<MbbEngine> {
+        self.shards[index].engine()
     }
 
     /// Resolves a graph id to its shard index.
@@ -246,7 +318,10 @@ impl ShardedFleet {
     /// counters, in shard order. Batch reports diff two snapshots to
     /// attribute reuse to one batch.
     pub fn index_stats(&self) -> Vec<IndexStats> {
-        self.shards.iter().map(|s| s.engine.index_stats()).collect()
+        self.shards
+            .iter()
+            .map(|s| s.engine().index_stats())
+            .collect()
     }
 }
 
@@ -349,6 +424,55 @@ mod tests {
         // Unresolvable sources surface as ShardLoad.
         assert!(matches!(
             fleet.add_shard_from_store("t", &store, "no-such-file.txt"),
+            Err(ServeError::ShardLoad { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reload_swaps_engine_but_not_sessions_already_held() {
+        let dir = std::env::temp_dir().join(format!("mbb-fleet-reload-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old_graph = generators::uniform_edges(8, 8, 30, 1);
+        let new_graph = generators::uniform_edges(12, 12, 60, 2);
+        let path = dir.join("next.txt");
+        mbb_bigraph::io::write_edge_list_file(&new_graph, &path).unwrap();
+
+        let mut fleet = ShardedFleet::new();
+        fleet.add_shard("a", old_graph.clone()).unwrap();
+        let held = fleet.engine(0); // a session in flight across the swap
+
+        let store = mbb_store::GraphStore::new();
+        let (loaded, forked) = fleet
+            .reload_shard_from_store("a", &store, path.to_str().unwrap())
+            .unwrap();
+        assert!(!forked, "different graph must build a fresh session");
+        assert_eq!(loaded.graph.num_edges(), new_graph.num_edges());
+        // The held session still serves the old graph; new fetches see
+        // the new one.
+        assert_eq!(held.graph().num_edges(), old_graph.num_edges());
+        assert_eq!(fleet.engine(0).graph().num_edges(), new_graph.num_edges());
+        assert_eq!(fleet.shards()[0].reloads(), 1);
+        assert_eq!(fleet.total_reloads(), 1);
+
+        // Reloading the unchanged source forks the warm session instead.
+        let warm = fleet.engine(0);
+        warm.solve(); // warm the order cache
+        let (_, forked) = fleet
+            .reload_shard_from_store("a", &store, path.to_str().unwrap())
+            .unwrap();
+        assert!(forked, "identical graph must fork the warm session");
+        let again = fleet.engine(0).solve();
+        assert_eq!(again.stats.index.orders_computed, 0);
+        assert!(again.stats.index.orders_reused >= 1);
+
+        // Unknown shards and unloadable sources are typed errors.
+        assert!(matches!(
+            fleet.reload_shard_from_store("zz", &store, path.to_str().unwrap()),
+            Err(ServeError::UnknownShard(_))
+        ));
+        assert!(matches!(
+            fleet.reload_shard_from_store("a", &store, "no-such.txt"),
             Err(ServeError::ShardLoad { .. })
         ));
         std::fs::remove_dir_all(&dir).ok();

@@ -23,6 +23,7 @@ use serde_json::Value;
 
 use crate::fleet::ServeError;
 use crate::request::{QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+use crate::stream::{ServeStats, StreamEvent};
 
 // ---------------------------------------------------------------------
 // Request parsing.
@@ -158,6 +159,80 @@ pub fn parse_request_line(line: &str, line_no: usize) -> Result<QueryRequest, Se
         request = request.with_threads(threads as usize);
     }
     Ok(request)
+}
+
+// ---------------------------------------------------------------------
+// Stream lines: requests plus control verbs (resident mode).
+
+/// A control verb of the resident stream — a line with a `"control"`
+/// field instead of a `"kind"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlRequest {
+    /// `{"control": "stats"}` — emit a [`ServeStats`] snapshot line.
+    Stats,
+    /// `{"control": "drain"}` — block admission until everything
+    /// admitted so far has completed, then acknowledge.
+    Drain,
+    /// `{"control": "reload", "graph": …, "source": …}` — swap the
+    /// shard's engine for a freshly store-loaded graph.
+    Reload {
+        /// The shard (graph id) to reload.
+        graph: String,
+        /// The name or path the store resolves the new graph from.
+        source: String,
+    },
+}
+
+/// One parsed line of the resident request stream.
+#[derive(Debug, Clone)]
+pub enum StreamLine {
+    /// An admissible query request.
+    Request(QueryRequest),
+    /// A control verb.
+    Control(ControlRequest),
+}
+
+/// Parses one resident-stream line: a control line when a `"control"`
+/// field is present, otherwise a request line per [`parse_request_line`].
+///
+/// ```
+/// use mbb_serve::jsonl::{parse_stream_line, ControlRequest, StreamLine};
+/// let line = parse_stream_line(r#"{"control": "reload", "graph": "a", "source": "a2.txt"}"#, 1)?;
+/// assert!(matches!(
+///     line,
+///     StreamLine::Control(ControlRequest::Reload { .. })
+/// ));
+/// # Ok::<(), mbb_serve::ServeError>(())
+/// ```
+pub fn parse_stream_line(line: &str, line_no: usize) -> Result<StreamLine, ServeError> {
+    let bad = |message: String| ServeError::BadRequest {
+        line: line_no,
+        message,
+    };
+    let value: Value = serde_json::from_str(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    let Some(control) = value.get("control") else {
+        return Ok(StreamLine::Request(parse_request_line(line, line_no)?));
+    };
+    let verb = control
+        .as_str()
+        .ok_or_else(|| bad("\"control\" must be a string".into()))?;
+    let string_field = |key: &str| -> Result<String, ServeError> {
+        value
+            .get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| bad(format!("control {verb:?}: missing string {key:?}")))
+    };
+    let control = match verb {
+        "stats" => ControlRequest::Stats,
+        "drain" => ControlRequest::Drain,
+        "reload" => ControlRequest::Reload {
+            graph: string_field("graph")?,
+            source: string_field("source")?,
+        },
+        other => return Err(bad(format!("unknown control {other:?}"))),
+    };
+    Ok(StreamLine::Control(control))
 }
 
 // ---------------------------------------------------------------------
@@ -334,6 +409,7 @@ pub fn encode_response(response: &QueryResponse) -> String {
     fields.push(("kind".into(), Value::String(response.kind.to_string())));
     if let QueryOutcome::Rejected { reason } = &response.outcome {
         fields.push(("error".into(), Value::String(reason.clone())));
+        fields.push(("error_kind".into(), Value::String("invalid".into())));
         return Value::Object(fields).to_string();
     }
     fields.push((
@@ -345,6 +421,109 @@ pub fn encode_response(response: &QueryResponse) -> String {
     fields.push(("search_nodes".into(), Value::UInt(response.search_nodes())));
     fields.push(("result".into(), outcome_value(&response.outcome)));
     Value::Object(fields).to_string()
+}
+
+// ---------------------------------------------------------------------
+// Stream event encoding (resident mode).
+
+fn serve_stats_value(stats: &ServeStats) -> Value {
+    let shards = Value::Array(
+        stats
+            .per_shard
+            .iter()
+            .map(|s| {
+                Value::Object(vec![
+                    ("graph".into(), Value::String(s.shard.clone())),
+                    ("served".into(), Value::UInt(s.served)),
+                    ("shed".into(), Value::UInt(s.shed)),
+                    ("search_nodes".into(), Value::UInt(s.search_nodes)),
+                    ("index_reuse_hits".into(), Value::UInt(s.index_reuse_hits)),
+                    ("reloads".into(), Value::UInt(s.reloads)),
+                ])
+            })
+            .collect(),
+    );
+    Value::Object(vec![
+        ("admitted".into(), Value::UInt(stats.admitted)),
+        ("completed".into(), Value::UInt(stats.completed)),
+        ("shed".into(), Value::UInt(stats.shed)),
+        ("rejected".into(), Value::UInt(stats.rejected)),
+        ("parse_errors".into(), Value::UInt(stats.parse_errors)),
+        ("reloads".into(), Value::UInt(stats.reloads)),
+        ("queue_depth".into(), Value::UInt(stats.queue_depth as u64)),
+        (
+            "max_queue_depth".into(),
+            Value::UInt(stats.max_queue_depth as u64),
+        ),
+        ("total_queue_wait_ms".into(), millis(stats.total_queue_wait)),
+        ("max_queue_wait_ms".into(), millis(stats.max_queue_wait)),
+        ("total_service_ms".into(), millis(stats.total_service)),
+        (
+            "index_reuse_hits".into(),
+            Value::UInt(stats.index_reuse_hits),
+        ),
+        ("shards".into(), shards),
+    ])
+}
+
+/// Encodes one resident-stream event as one JSONL line. Error-bearing
+/// lines carry an `"error"` message plus a machine-readable
+/// `"error_kind"` discriminator: `"invalid"` (validation/routing
+/// rejection), `"shed"` (admission control refused to execute),
+/// `"parse"` (unparseable input line), `"reload"` (a reload that
+/// failed).
+pub fn encode_stream_event(event: &StreamEvent) -> String {
+    match event {
+        StreamEvent::Response(response) => encode_response(response),
+        StreamEvent::Shed {
+            id,
+            graph,
+            kind,
+            reason,
+        } => {
+            let mut fields = vec![("id".to_string(), Value::UInt(*id))];
+            if let Some(graph) = graph {
+                fields.push(("graph".into(), Value::String(graph.clone())));
+            }
+            fields.push(("kind".into(), Value::String((*kind).to_string())));
+            fields.push(("error".into(), Value::String(reason.clone())));
+            fields.push(("error_kind".into(), Value::String("shed".into())));
+            Value::Object(fields).to_string()
+        }
+        StreamEvent::ParseError { line, message } => Value::Object(vec![
+            ("line".into(), Value::UInt(*line as u64)),
+            ("error".into(), Value::String(message.clone())),
+            ("error_kind".into(), Value::String("parse".into())),
+        ])
+        .to_string(),
+        StreamEvent::ReloadAck { graph, result } => {
+            let mut fields = vec![
+                ("control".to_string(), Value::String("reload".into())),
+                ("graph".to_string(), Value::String(graph.clone())),
+            ];
+            match result {
+                Ok(outcome) => {
+                    fields.push(("ok".into(), Value::Bool(true)));
+                    fields.push(("forked".into(), Value::Bool(outcome.forked)));
+                    fields.push(("detail".into(), Value::String(outcome.detail.clone())));
+                }
+                Err(message) => {
+                    fields.push(("ok".into(), Value::Bool(false)));
+                    fields.push(("error".into(), Value::String(message.clone())));
+                    fields.push(("error_kind".into(), Value::String("reload".into())));
+                }
+            }
+            Value::Object(fields).to_string()
+        }
+        StreamEvent::Drained { completed } => Value::Object(vec![
+            ("control".into(), Value::String("drain".into())),
+            ("completed".into(), Value::UInt(*completed)),
+        ])
+        .to_string(),
+        StreamEvent::Stats(stats) => {
+            Value::Object(vec![("stats".into(), serve_stats_value(stats))]).to_string()
+        }
+    }
 }
 
 /// Encodes a whole [`BatchReport`](crate::BatchReport): one line per
@@ -545,6 +724,121 @@ mod tests {
         let line = encode_response(&response);
         let value: Value = serde_json::from_str(&line).unwrap();
         assert!(value["error"].as_str().unwrap().contains("zz"));
+        assert_eq!(value["error_kind"].as_str(), Some("invalid"));
         assert!(value.get("termination").is_none());
+    }
+
+    #[test]
+    fn stream_lines_split_requests_from_controls() {
+        assert!(matches!(
+            parse_stream_line(r#"{"id": 1, "kind": "solve"}"#, 1).unwrap(),
+            StreamLine::Request(r) if r.id == 1
+        ));
+        assert!(matches!(
+            parse_stream_line(r#"{"control": "stats"}"#, 1).unwrap(),
+            StreamLine::Control(ControlRequest::Stats)
+        ));
+        assert!(matches!(
+            parse_stream_line(r#"{"control": "drain"}"#, 1).unwrap(),
+            StreamLine::Control(ControlRequest::Drain)
+        ));
+        let reload = parse_stream_line(
+            r#"{"control": "reload", "graph": "a", "source": "next.txt"}"#,
+            1,
+        )
+        .unwrap();
+        assert!(matches!(
+            reload,
+            StreamLine::Control(ControlRequest::Reload { graph, source })
+                if graph == "a" && source == "next.txt"
+        ));
+        // Malformed controls are typed errors with the line number.
+        assert!(parse_stream_line(r#"{"control": "restart"}"#, 7).is_err());
+        assert!(parse_stream_line(r#"{"control": "reload", "graph": "a"}"#, 7).is_err());
+        assert!(parse_stream_line(r#"{"control": 3}"#, 7).is_err());
+    }
+
+    #[test]
+    fn stream_events_encode_with_error_kinds() {
+        use crate::stream::ReloadOutcome;
+        let shed = encode_stream_event(&StreamEvent::Shed {
+            id: 4,
+            graph: Some("g".into()),
+            kind: "solve",
+            reason: "deadline budget exhausted on arrival".into(),
+        });
+        let value: Value = serde_json::from_str(&shed).unwrap();
+        assert_eq!(value["error_kind"].as_str(), Some("shed"));
+        assert_eq!(value["id"].as_u64(), Some(4));
+
+        let parse = encode_stream_event(&StreamEvent::ParseError {
+            line: 9,
+            message: "invalid JSON".into(),
+        });
+        let value: Value = serde_json::from_str(&parse).unwrap();
+        assert_eq!(value["error_kind"].as_str(), Some("parse"));
+        assert_eq!(value["line"].as_u64(), Some(9));
+
+        let ack = encode_stream_event(&StreamEvent::ReloadAck {
+            graph: "g".into(),
+            result: Ok(ReloadOutcome {
+                detail: "parsed in 1ms".into(),
+                forked: true,
+            }),
+        });
+        let value: Value = serde_json::from_str(&ack).unwrap();
+        assert_eq!(value["control"].as_str(), Some("reload"));
+        assert_eq!(value["ok"].as_bool(), Some(true));
+        assert_eq!(value["forked"].as_bool(), Some(true));
+
+        let failed = encode_stream_event(&StreamEvent::ReloadAck {
+            graph: "g".into(),
+            result: Err("no such file".into()),
+        });
+        let value: Value = serde_json::from_str(&failed).unwrap();
+        assert_eq!(value["ok"].as_bool(), Some(false));
+        assert_eq!(value["error_kind"].as_str(), Some("reload"));
+
+        let drained = encode_stream_event(&StreamEvent::Drained { completed: 12 });
+        let value: Value = serde_json::from_str(&drained).unwrap();
+        assert_eq!(value["control"].as_str(), Some("drain"));
+        assert_eq!(value["completed"].as_u64(), Some(12));
+    }
+
+    #[test]
+    fn stats_events_carry_the_counters() {
+        use crate::stream::{ServeStats, ShardServeStats};
+        let stats = ServeStats {
+            admitted: 10,
+            completed: 8,
+            shed: 1,
+            rejected: 1,
+            parse_errors: 2,
+            reloads: 1,
+            queue_depth: 0,
+            max_queue_depth: 5,
+            total_queue_wait: Duration::from_millis(30),
+            max_queue_wait: Duration::from_millis(9),
+            total_service: Duration::from_millis(80),
+            index_reuse_hits: 6,
+            per_shard: vec![ShardServeStats {
+                shard: "g".into(),
+                served: 8,
+                shed: 1,
+                search_nodes: 1234,
+                index_reuse_hits: 6,
+                reloads: 1,
+            }],
+        };
+        let line = encode_stream_event(&StreamEvent::Stats(stats));
+        let value: Value = serde_json::from_str(&line).unwrap();
+        let stats = &value["stats"];
+        assert_eq!(stats["completed"].as_u64(), Some(8));
+        assert_eq!(stats["shed"].as_u64(), Some(1));
+        assert_eq!(stats["reloads"].as_u64(), Some(1));
+        assert_eq!(stats["max_queue_depth"].as_u64(), Some(5));
+        let shard = &stats["shards"].as_array().unwrap()[0];
+        assert_eq!(shard["graph"].as_str(), Some("g"));
+        assert_eq!(shard["search_nodes"].as_u64(), Some(1234));
     }
 }

@@ -18,8 +18,17 @@
 //!   object per line — shared by the `mbb serve-batch` CLI subcommand
 //!   and any embedding service.
 //!
+//! On top of the batch path sits **resident mode** ([`stream`]): a
+//! [`StreamServer`] runs a long-lived loop over a
+//! JSONL request *stream* with a global cross-batch EDF admission queue
+//! — bounded depth with backpressure, load-shedding of blown-budget
+//! requests, per-tenant fairness, and graceful drain/reload via control
+//! lines (`mbb serve` on the CLI). A socket front-end is stubbed behind
+//! the `socket` cargo feature.
+//!
 //! The semantics (fairness, deadlines that include queue wait, the
-//! amortisation argument) are documented in `docs/SERVING.md`.
+//! amortisation argument, the resident wire schema) are documented in
+//! `docs/SERVING.md`.
 //!
 //! # Quickstart
 //!
@@ -61,7 +70,11 @@ pub mod batch;
 pub mod fleet;
 pub mod jsonl;
 pub mod request;
+#[cfg(feature = "socket")]
+pub mod socket;
+pub mod stream;
 
 pub use batch::{BatchExecutor, BatchReport, BatchStats, ShardBatchStats};
 pub use fleet::{ServeError, Shard, ShardedFleet};
 pub use request::{QueryKind, QueryOutcome, QueryRequest, QueryResponse};
+pub use stream::{ServeStats, ShardServeStats, StreamConfig, StreamEvent, StreamServer};

@@ -1,0 +1,79 @@
+//! Socket front-end stub (`--features socket`).
+//!
+//! Resident mode reads its stream from stdin today; the natural next
+//! front-end is a TCP listener feeding the same
+//! [`StreamServer`](crate::stream::StreamServer) — one connection = one
+//! JSONL stream, responses multiplexed back by request id. This module
+//! pins down that surface without implementing it, so the feature flag
+//! can be compiled (and CI builds it) while the transport work is a
+//! later PR. See ROADMAP open items.
+
+use std::io;
+
+use crate::stream::StreamServer;
+
+/// The (unimplemented) TCP front-end: holds the server it would expose
+/// and the address it would bind.
+#[derive(Debug)]
+pub struct SocketFrontEnd {
+    server: StreamServer,
+    addr: String,
+}
+
+impl SocketFrontEnd {
+    /// Stages a front-end for `server` on `addr` (e.g. `"127.0.0.1:7070"`).
+    /// Construction is cheap and infallible; only [`bind`](Self::bind)
+    /// touches the network.
+    pub fn new(server: StreamServer, addr: impl Into<String>) -> SocketFrontEnd {
+        SocketFrontEnd {
+            server,
+            addr: addr.into(),
+        }
+    }
+
+    /// The address the front-end would bind.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The server behind the front-end.
+    pub fn server(&self) -> &StreamServer {
+        &self.server
+    }
+
+    /// Would bind and serve; the transport is not implemented yet, so
+    /// this always returns [`io::ErrorKind::Unsupported`].
+    pub fn bind(&self) -> io::Result<()> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            format!(
+                "socket front-end is a stub: cannot bind {} (use `mbb serve` over stdin)",
+                self.addr
+            ),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamConfig;
+    use crate::ShardedFleet;
+    use mbb_bigraph::generators;
+
+    #[test]
+    fn stub_refuses_to_bind() {
+        let mut fleet = ShardedFleet::new();
+        fleet
+            .add_shard("g", generators::uniform_edges(4, 4, 8, 1))
+            .unwrap();
+        let front = SocketFrontEnd::new(
+            StreamServer::new(fleet, StreamConfig::default()),
+            "127.0.0.1:7070",
+        );
+        assert_eq!(front.addr(), "127.0.0.1:7070");
+        assert_eq!(front.server().fleet().len(), 1);
+        let err = front.bind().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::Unsupported);
+    }
+}

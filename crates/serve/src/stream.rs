@@ -1,0 +1,930 @@
+//! The resident serve loop: a long-running request stream with
+//! cross-batch EDF admission control, per-tenant fairness, bounded-depth
+//! backpressure, load-shedding, and graceful drain/reload.
+//!
+//! # How it differs from [`BatchExecutor`](crate::BatchExecutor)
+//!
+//! `run_batch` drains one `Vec` of requests and returns; deadline order
+//! only exists *within* that call. A [`StreamServer`] stays up: requests
+//! arrive one JSONL line at a time (stdin first; a socket front-end is
+//! stubbed behind the `socket` feature), enter one **global admission
+//! queue** shared by every request ever admitted, and responses are
+//! emitted as they complete. The admission queue is where the service
+//! semantics live:
+//!
+//! * **Cross-batch EDF.** The queue is ordered by absolute deadline
+//!   (admission instant + `deadline_ms`), earliest first; deadline-free
+//!   requests run after every deadlined one, FIFO among themselves. A
+//!   tight-deadline request admitted *later* overtakes slack requests
+//!   already queued — the property `run_batch` could only give within
+//!   one batch.
+//! * **Per-tenant fairness.** EDF alone lets one hot shard starve the
+//!   rest (its requests can always carry the soonest deadlines). The
+//!   queue therefore keys sub-queues by shard and caps how many
+//!   *consecutive* pops one shard may win while another shard has work
+//!   waiting ([`StreamConfig::fairness_burst`]); when the cap trips, the
+//!   best other shard's head runs next.
+//! * **Bounded depth + backpressure.** The queue holds at most
+//!   [`StreamConfig::queue_depth`] requests; when full, admission blocks,
+//!   which propagates backpressure to the input (a pipe writer stalls).
+//!   Memory is bounded no matter how fast requests arrive.
+//! * **Load-shedding.** A request whose deadline budget is already
+//!   exhausted — zero on arrival, or expired while queued — is **shed**:
+//!   rejected with a typed wire error (`"error_kind": "shed"`), never
+//!   executed, and never allowed to perturb other requests.
+//! * **Drain/reload.** Control lines swap a shard's graph without
+//!   dropping anything: requests bind to their shard's engine session
+//!   *at admission*, so everything admitted before the reload finishes
+//!   on the old session while later admissions see the new graph (see
+//!   [`ShardedFleet::reload_shard_from_store`]).
+//!
+//! The wire schema (request, control, error, ack and stats lines) is
+//! implemented in [`crate::jsonl`] and documented in `docs/SERVING.md`.
+
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::io::{BufRead, Write};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use mbb_core::engine::MbbEngine;
+use mbb_core::resolve_threads;
+use mbb_core::IndexStats;
+use mbb_store::GraphStore;
+use std::sync::Arc;
+
+use crate::batch::{execute_guarded, rejected, validate};
+use crate::fleet::ShardedFleet;
+use crate::jsonl::{encode_stream_event, parse_stream_line, ControlRequest, StreamLine};
+use crate::request::{QueryRequest, QueryResponse};
+
+// ---------------------------------------------------------------------
+// Configuration.
+
+/// Tuning knobs of a [`StreamServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// Worker threads executing queries (`0` = one per core, the
+    /// workspace-wide thread-knob convention).
+    pub workers: usize,
+    /// Maximum queued (admitted but not yet executing) requests.
+    /// Admission blocks when the queue is full — backpressure, not
+    /// unbounded memory. Clamped to at least 1.
+    pub queue_depth: usize,
+    /// Maximum consecutive pops one shard may win while another shard
+    /// has queued work; `0` disables the fairness cap (pure EDF).
+    pub fairness_burst: usize,
+    /// Emit a final [`StreamEvent::Stats`] when the input ends.
+    pub stats_on_exit: bool,
+}
+
+impl Default for StreamConfig {
+    fn default() -> StreamConfig {
+        StreamConfig {
+            workers: 1,
+            queue_depth: 1024,
+            fairness_burst: 8,
+            stats_on_exit: false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Events.
+
+/// What a reload actually did, for the ack line.
+#[derive(Debug, Clone)]
+pub struct ReloadOutcome {
+    /// Load provenance + timing, as rendered by `LoadedGraph::describe`.
+    pub detail: String,
+    /// True when the loaded graph was identical to the served one and the
+    /// warm session was forked instead of rebuilt.
+    pub forked: bool,
+}
+
+/// One output event of the resident loop — each becomes exactly one
+/// JSONL line on the wire ([`crate::jsonl::encode_stream_event`]).
+#[derive(Debug, Clone)]
+pub enum StreamEvent {
+    /// An executed request's response — or a validation/routing
+    /// rejection ([`QueryOutcome::Rejected`](crate::QueryOutcome::Rejected),
+    /// wire `"error_kind": "invalid"`).
+    Response(Box<QueryResponse>),
+    /// A request shed by admission control: its deadline budget was
+    /// already exhausted, so it was never executed.
+    Shed {
+        /// The request's id, echoed.
+        id: u64,
+        /// The shard it would have run on.
+        graph: Option<String>,
+        /// The request's kind label.
+        kind: &'static str,
+        /// Why it was shed.
+        reason: String,
+    },
+    /// An input line that was not valid JSON / not a valid request.
+    ParseError {
+        /// 1-based input line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// Answer to a `reload` control line.
+    ReloadAck {
+        /// The shard that was (or failed to be) reloaded.
+        graph: String,
+        /// The swap outcome, or the load error.
+        result: Result<ReloadOutcome, String>,
+    },
+    /// Answer to a `drain` control line: everything admitted before it
+    /// has completed.
+    Drained {
+        /// Requests completed (executed or shed) so far.
+        completed: u64,
+    },
+    /// Answer to a `stats` control line (or the final end-of-input
+    /// snapshot when [`StreamConfig::stats_on_exit`] is set).
+    Stats(ServeStats),
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+
+/// Per-shard slice of [`ServeStats`].
+#[derive(Debug, Clone)]
+pub struct ShardServeStats {
+    /// The shard's graph id.
+    pub shard: String,
+    /// Requests executed on this shard.
+    pub served: u64,
+    /// Requests shed that were routed to this shard.
+    pub shed: u64,
+    /// Search nodes explored by this shard's executed requests.
+    pub search_nodes: u64,
+    /// Cached-index reuse hits scored on this shard's current session
+    /// (reset by a reload — a fresh session starts counting from zero).
+    pub index_reuse_hits: u64,
+    /// Engine swaps this shard has seen.
+    pub reloads: u64,
+}
+
+/// Snapshot of the resident loop's counters — the stream-mode analogue
+/// of [`BatchStats`](crate::BatchStats), built from the same sources
+/// (engine index counters, per-request queue-wait/service timings,
+/// search-node totals).
+#[derive(Debug, Clone)]
+pub struct ServeStats {
+    /// Requests admitted to the queue (excludes rejects and sheds at
+    /// admission).
+    pub admitted: u64,
+    /// Requests executed to a response.
+    pub completed: u64,
+    /// Requests shed (admission or dispatch) — never executed.
+    pub shed: u64,
+    /// Requests rejected before queueing (routing/validation).
+    pub rejected: u64,
+    /// Input lines that failed to parse.
+    pub parse_errors: u64,
+    /// Shard engine swaps performed.
+    pub reloads: u64,
+    /// Requests queued at snapshot time.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Sum of per-request queue waits.
+    pub total_queue_wait: Duration,
+    /// The worst single queue wait.
+    pub max_queue_wait: Duration,
+    /// Sum of per-request service times.
+    pub total_service: Duration,
+    /// Cached-index reuse hits across all shards since server start
+    /// (per-shard counters reset on reload).
+    pub index_reuse_hits: u64,
+    /// Per-shard breakdown, in fleet shard order.
+    pub per_shard: Vec<ShardServeStats>,
+}
+
+// ---------------------------------------------------------------------
+// The admission queue.
+
+/// One admitted request, bound to the engine session that was current at
+/// admission time (reload safety: the binding never changes afterwards).
+struct StreamJob {
+    request: QueryRequest,
+    shard: usize,
+    shard_id: String,
+    engine: Arc<MbbEngine>,
+    deadline: Option<Instant>,
+    admitted: Instant,
+    seq: u64,
+}
+
+/// Heap entry: max-heap orders "greater = scheduled sooner", so soonest
+/// deadline wins, `None` deadlines run after every armed one, and ties
+/// fall back to admission order.
+struct Pending(StreamJob);
+
+impl Pending {
+    fn key(&self) -> (Option<Instant>, u64) {
+        (self.0.deadline, self.0.seq)
+    }
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+
+impl Eq for Pending {}
+
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        match (self.0.deadline, other.0.deadline) {
+            (Some(a), Some(b)) => b.cmp(&a),
+            (Some(_), None) => CmpOrdering::Greater,
+            (None, Some(_)) => CmpOrdering::Less,
+            (None, None) => CmpOrdering::Equal,
+        }
+        .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+/// True when head key `a` schedules before head key `b` (EDF with `None`
+/// last, FIFO tie-break).
+fn schedules_before(a: (Option<Instant>, u64), b: (Option<Instant>, u64)) -> bool {
+    match (a.0, b.0) {
+        (Some(x), Some(y)) => (x, a.1) < (y, b.1),
+        (Some(_), None) => true,
+        (None, Some(_)) => false,
+        (None, None) => a.1 < b.1,
+    }
+}
+
+struct QueueState {
+    /// One EDF sub-queue per shard (the fairness key is the tenant =
+    /// graph id = shard).
+    heaps: Vec<BinaryHeap<Pending>>,
+    depth: usize,
+    in_flight: usize,
+    closed: bool,
+    seq: u64,
+    /// Fairness bookkeeping: the shard that won the last pop and how
+    /// many consecutive pops it has won.
+    last_shard: usize,
+    run_length: usize,
+    // Counters (all mutated under this one lock; the loop is I/O- and
+    // solver-bound, so contention here is negligible).
+    admitted: u64,
+    completed: u64,
+    shed: u64,
+    rejected: u64,
+    parse_errors: u64,
+    max_depth: usize,
+    total_queue_wait: Duration,
+    max_queue_wait: Duration,
+    total_service: Duration,
+    served: Vec<(u64, u64, u64)>, // per shard: (served, shed, search nodes)
+}
+
+/// The shared state of one `serve` call: the bounded admission queue
+/// plus its three wait conditions.
+struct Admission {
+    state: Mutex<QueueState>,
+    /// Admission waits here when the queue is full (backpressure).
+    space: Condvar,
+    /// Workers wait here when the queue is empty.
+    work: Condvar,
+    /// Drain waits here for `depth == 0 && in_flight == 0`.
+    idle: Condvar,
+    depth_limit: usize,
+    fairness_burst: usize,
+}
+
+impl Admission {
+    fn new(shards: usize, config: &StreamConfig) -> Admission {
+        Admission {
+            state: Mutex::new(QueueState {
+                heaps: (0..shards).map(|_| BinaryHeap::new()).collect(),
+                depth: 0,
+                in_flight: 0,
+                closed: false,
+                seq: 0,
+                last_shard: usize::MAX,
+                run_length: 0,
+                admitted: 0,
+                completed: 0,
+                shed: 0,
+                rejected: 0,
+                parse_errors: 0,
+                max_depth: 0,
+                total_queue_wait: Duration::ZERO,
+                max_queue_wait: Duration::ZERO,
+                total_service: Duration::ZERO,
+                served: vec![(0, 0, 0); shards],
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            idle: Condvar::new(),
+            depth_limit: config.queue_depth.max(1),
+            fairness_burst: config.fairness_burst,
+        }
+    }
+
+    /// Blocks until the queue has space, then enqueues (backpressure).
+    fn push(&self, mut job: StreamJob) {
+        let mut state = self.state.lock().unwrap();
+        while state.depth >= self.depth_limit {
+            state = self.space.wait(state).unwrap();
+        }
+        job.seq = state.seq;
+        state.seq += 1;
+        state.depth += 1;
+        state.admitted += 1;
+        state.max_depth = state.max_depth.max(state.depth);
+        let shard = job.shard;
+        state.heaps[shard].push(Pending(job));
+        drop(state);
+        self.work.notify_one();
+    }
+
+    /// Picks the next shard to serve: the one whose head schedules
+    /// first, unless that shard has exhausted its fairness burst while
+    /// another shard waits — then the best *other* shard wins the slot.
+    fn pick_shard(&self, state: &mut QueueState) -> Option<usize> {
+        let head = |state: &QueueState, i: usize| state.heaps[i].peek().map(Pending::key);
+        let best_of = |state: &QueueState, skip: Option<usize>| -> Option<usize> {
+            let mut best: Option<(usize, (Option<Instant>, u64))> = None;
+            for i in 0..state.heaps.len() {
+                if Some(i) == skip {
+                    continue;
+                }
+                if let Some(key) = head(state, i) {
+                    if best.is_none_or(|(_, b)| schedules_before(key, b)) {
+                        best = Some((i, key));
+                    }
+                }
+            }
+            best.map(|(i, _)| i)
+        };
+        let mut pick = best_of(state, None)?;
+        if self.fairness_burst > 0
+            && pick == state.last_shard
+            && state.run_length >= self.fairness_burst
+        {
+            if let Some(other) = best_of(state, Some(pick)) {
+                pick = other;
+            }
+        }
+        if pick == state.last_shard {
+            state.run_length += 1;
+        } else {
+            state.last_shard = pick;
+            state.run_length = 1;
+        }
+        Some(pick)
+    }
+
+    /// Blocks for the next job; `None` means closed-and-empty (worker
+    /// exits).
+    fn pop(&self) -> Option<StreamJob> {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if let Some(shard) = self.pick_shard(&mut state) {
+                let job = state.heaps[shard].pop().expect("picked head exists").0;
+                state.depth -= 1;
+                state.in_flight += 1;
+                drop(state);
+                self.space.notify_one();
+                return Some(job);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.work.wait(state).unwrap();
+        }
+    }
+
+    /// Marks one popped job finished and wakes any drain waiter.
+    fn finish(&self, update: impl FnOnce(&mut QueueState)) {
+        let mut state = self.state.lock().unwrap();
+        update(&mut state);
+        state.in_flight -= 1;
+        if state.depth == 0 && state.in_flight == 0 {
+            self.idle.notify_all();
+        }
+    }
+
+    /// Blocks until everything admitted so far has completed.
+    fn drain(&self) -> u64 {
+        let mut state = self.state.lock().unwrap();
+        while state.depth > 0 || state.in_flight > 0 {
+            state = self.idle.wait(state).unwrap();
+        }
+        state.completed + state.shed
+    }
+
+    fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.work.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------
+// The server.
+
+/// A resident query server over a [`ShardedFleet`]: feed it a JSONL
+/// request stream and it emits one JSONL event per request (plus control
+/// acks), applying cross-batch EDF admission, per-tenant fairness,
+/// bounded-depth backpressure, load-shedding and hot shard reloads.
+///
+/// ```
+/// use mbb_serve::stream::{StreamConfig, StreamEvent, StreamServer};
+/// use mbb_serve::ShardedFleet;
+///
+/// let mut fleet = ShardedFleet::new();
+/// fleet.add_shard("g", mbb_bigraph::generators::uniform_edges(12, 12, 55, 1))?;
+/// let server = StreamServer::new(fleet, StreamConfig::default());
+///
+/// let input = "{\"id\": 1, \"graph\": \"g\", \"kind\": \"solve\"}\n";
+/// let mut out = Vec::new();
+/// let stats = server.serve(input.as_bytes(), &mut out)?;
+/// assert_eq!(stats.completed, 1);
+/// assert!(String::from_utf8(out)?.contains("\"half_size\""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct StreamServer {
+    fleet: Arc<ShardedFleet>,
+    store: GraphStore,
+    config: StreamConfig,
+}
+
+impl StreamServer {
+    /// A server over `fleet`. Reload control lines resolve graph sources
+    /// through a [`GraphStore::from_env`] store;
+    /// [`with_store`](Self::with_store) overrides it.
+    pub fn new(fleet: ShardedFleet, config: StreamConfig) -> StreamServer {
+        StreamServer {
+            fleet: Arc::new(fleet),
+            store: GraphStore::from_env(),
+            config,
+        }
+    }
+
+    /// Replaces the store used by `reload` control lines.
+    pub fn with_store(mut self, store: GraphStore) -> StreamServer {
+        self.store = store;
+        self
+    }
+
+    /// The fleet this server schedules over.
+    pub fn fleet(&self) -> &ShardedFleet {
+        &self.fleet
+    }
+
+    /// The server's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Runs the resident loop over `input`, writing one JSONL line per
+    /// [`StreamEvent`] to `output` as events complete (completion order,
+    /// not admission order — each line carries its request `id`). Returns
+    /// the final stats snapshot; the first write error (if any) is
+    /// reported after the stream has been drained.
+    pub fn serve<R: BufRead, W: Write + Send>(
+        &self,
+        input: R,
+        output: W,
+    ) -> std::io::Result<ServeStats> {
+        let sink = Mutex::new((output, None::<std::io::Error>));
+        let stats = self.serve_with(input, |event| {
+            let line = encode_stream_event(&event);
+            let mut guard = sink.lock().unwrap();
+            if guard.1.is_none() {
+                let result = guard
+                    .0
+                    .write_all(line.as_bytes())
+                    .and_then(|()| guard.0.write_all(b"\n"))
+                    .and_then(|()| guard.0.flush());
+                if let Err(e) = result {
+                    guard.1 = Some(e);
+                }
+            }
+        });
+        match sink.into_inner().unwrap().1 {
+            Some(e) => Err(e),
+            None => Ok(stats),
+        }
+    }
+
+    /// Runs the resident loop over `input`, delivering typed
+    /// [`StreamEvent`]s to `sink` (called concurrently from worker
+    /// threads — completion order). This is [`serve`](Self::serve)
+    /// without the wire encoding; tests and embedding services use it to
+    /// observe responses directly.
+    pub fn serve_with<R: BufRead>(
+        &self,
+        input: R,
+        sink: impl Fn(StreamEvent) + Sync,
+    ) -> ServeStats {
+        let admission = Admission::new(self.fleet.len(), &self.config);
+        // Reuse baseline per shard; refreshed on reload because a swapped
+        // session restarts its counters at zero.
+        let baselines = Mutex::new(self.fleet.index_stats());
+        let workers = resolve_threads(self.config.workers);
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| worker_loop(&admission, &sink));
+            }
+            self.reader_loop(input, &admission, &baselines, &sink);
+            admission.close();
+            // Scope exit joins the workers: they drain the queue first.
+        });
+
+        let stats = self.snapshot(&admission, &baselines);
+        if self.config.stats_on_exit {
+            sink(StreamEvent::Stats(stats.clone()));
+        }
+        stats
+    }
+
+    /// The admission thread: parses lines, routes/validates/sheds, and
+    /// handles control requests inline (control lines take effect in
+    /// input order relative to the admissions around them).
+    fn reader_loop<R: BufRead>(
+        &self,
+        input: R,
+        admission: &Admission,
+        baselines: &Mutex<Vec<IndexStats>>,
+        sink: &(impl Fn(StreamEvent) + Sync),
+    ) {
+        for (index, line) in input.lines().enumerate() {
+            let line_no = index + 1;
+            let line = match line {
+                Ok(line) => line,
+                // An unreadable input stream ends the loop (EOF
+                // semantics); everything admitted still completes.
+                Err(_) => break,
+            };
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            match parse_stream_line(trimmed, line_no) {
+                Err(e) => {
+                    admission.state.lock().unwrap().parse_errors += 1;
+                    sink(StreamEvent::ParseError {
+                        line: line_no,
+                        message: e.to_string(),
+                    });
+                }
+                Ok(StreamLine::Control(control)) => {
+                    self.handle_control(control, admission, baselines, sink)
+                }
+                Ok(StreamLine::Request(request)) => self.admit(request, admission, sink),
+            }
+        }
+    }
+
+    fn admit(
+        &self,
+        request: QueryRequest,
+        admission: &Admission,
+        sink: &(impl Fn(StreamEvent) + Sync),
+    ) {
+        let arrived = Instant::now();
+        let shard = match self.fleet.route(&request) {
+            Ok(shard) => shard,
+            Err(e) => {
+                admission.state.lock().unwrap().rejected += 1;
+                sink(StreamEvent::Response(Box::new(rejected(
+                    &request,
+                    None,
+                    e.to_string(),
+                ))));
+                return;
+            }
+        };
+        // Binding happens here: the engine current at admission serves
+        // this request, whatever reloads happen while it is queued.
+        let engine = self.fleet.engine(shard);
+        let shard_id = self.fleet.shards()[shard].id().to_string();
+        if let Err(reason) = validate(engine.graph(), &request) {
+            admission.state.lock().unwrap().rejected += 1;
+            sink(StreamEvent::Response(Box::new(rejected(
+                &request,
+                Some(shard_id),
+                reason,
+            ))));
+            return;
+        }
+        // Admission-time shedding: a zero budget can never be met — the
+        // request is dead on arrival and must not consume a queue slot.
+        if request.deadline.is_some_and(|d| d.is_zero()) {
+            let mut state = admission.state.lock().unwrap();
+            state.shed += 1;
+            state.served[shard].1 += 1;
+            drop(state);
+            sink(StreamEvent::Shed {
+                id: request.id,
+                graph: Some(shard_id),
+                kind: request.kind.label(),
+                reason: "deadline budget exhausted on arrival".to_string(),
+            });
+            return;
+        }
+        let deadline = request.deadline.map(|d| arrived + d);
+        admission.push(StreamJob {
+            request,
+            shard,
+            shard_id,
+            engine,
+            deadline,
+            admitted: arrived,
+            seq: 0, // assigned under the queue lock
+        });
+    }
+
+    fn handle_control(
+        &self,
+        control: ControlRequest,
+        admission: &Admission,
+        baselines: &Mutex<Vec<IndexStats>>,
+        sink: &(impl Fn(StreamEvent) + Sync),
+    ) {
+        match control {
+            ControlRequest::Stats => {
+                sink(StreamEvent::Stats(self.snapshot(admission, baselines)));
+            }
+            ControlRequest::Drain => {
+                let completed = admission.drain();
+                sink(StreamEvent::Drained { completed });
+            }
+            ControlRequest::Reload { graph, source } => {
+                let result = self
+                    .fleet
+                    .reload_shard_from_store(&graph, &self.store, &source)
+                    .map(|(loaded, forked)| {
+                        if let Ok(index) = self.fleet.route_id(&graph) {
+                            // The new session counts from zero; reset its
+                            // reuse baseline so diffs stay meaningful.
+                            baselines.lock().unwrap()[index] = IndexStats::default();
+                        }
+                        ReloadOutcome {
+                            detail: loaded.describe(),
+                            forked,
+                        }
+                    })
+                    .map_err(|e| e.to_string());
+                sink(StreamEvent::ReloadAck { graph, result });
+            }
+        }
+    }
+
+    fn snapshot(&self, admission: &Admission, baselines: &Mutex<Vec<IndexStats>>) -> ServeStats {
+        let state = admission.state.lock().unwrap();
+        let baselines = baselines.lock().unwrap();
+        let after = self.fleet.index_stats();
+        let reuse = |b: u64, a: u64| a.saturating_sub(b);
+        let per_shard: Vec<ShardServeStats> = self
+            .fleet
+            .shards()
+            .iter()
+            .zip(baselines.iter().zip(&after))
+            .zip(&state.served)
+            .map(
+                |((shard, (b, a)), &(served, shed, search_nodes))| ShardServeStats {
+                    shard: shard.id().to_string(),
+                    served,
+                    shed,
+                    search_nodes,
+                    index_reuse_hits: reuse(b.orders_reused, a.orders_reused)
+                        + reuse(b.bicores_reused, a.bicores_reused)
+                        + reuse(b.two_hops_reused, a.two_hops_reused),
+                    reloads: shard.reloads(),
+                },
+            )
+            .collect();
+        ServeStats {
+            admitted: state.admitted,
+            completed: state.completed,
+            shed: state.shed,
+            rejected: state.rejected,
+            parse_errors: state.parse_errors,
+            reloads: self.fleet.total_reloads(),
+            queue_depth: state.depth,
+            max_queue_depth: state.max_depth,
+            total_queue_wait: state.total_queue_wait,
+            max_queue_wait: state.max_queue_wait,
+            total_service: state.total_service,
+            index_reuse_hits: per_shard.iter().map(|s| s.index_reuse_hits).sum(),
+            per_shard,
+        }
+    }
+}
+
+fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) {
+    while let Some(job) = admission.pop() {
+        let started = Instant::now();
+        // Dispatch-time shedding: the budget expired while queued. The
+        // engine would only return an empty DeadlineExceeded shell, so
+        // the service refuses the work outright — cheaper, and a typed
+        // signal the client can react to (back off, re-submit).
+        if job.deadline.is_some_and(|d| d <= started) {
+            let shard = job.shard;
+            sink(StreamEvent::Shed {
+                id: job.request.id,
+                graph: Some(job.shard_id),
+                kind: job.request.kind.label(),
+                reason: "deadline budget exhausted while queued".to_string(),
+            });
+            admission.finish(|state| {
+                state.shed += 1;
+                state.served[shard].1 += 1;
+            });
+            continue;
+        }
+        let queue_wait = started.duration_since(job.admitted);
+        let (outcome, termination, stats) =
+            execute_guarded(&job.engine, &job.request, job.deadline);
+        let response = QueryResponse {
+            id: job.request.id,
+            shard: Some(job.shard_id),
+            kind: job.request.kind.label(),
+            outcome,
+            termination,
+            queue_wait,
+            service: started.elapsed(),
+            stats,
+        };
+        let shard = job.shard;
+        let search_nodes = response.search_nodes();
+        let service = response.service;
+        sink(StreamEvent::Response(Box::new(response)));
+        admission.finish(|state| {
+            state.completed += 1;
+            state.served[shard].0 += 1;
+            state.served[shard].2 += search_nodes;
+            state.total_queue_wait += queue_wait;
+            state.max_queue_wait = state.max_queue_wait.max(queue_wait);
+            state.total_service += service;
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryKind;
+    use mbb_bigraph::generators;
+
+    fn job(shard: usize, id: u64, deadline: Option<Duration>, now: Instant) -> StreamJob {
+        StreamJob {
+            request: QueryRequest::new(id, QueryKind::Solve),
+            shard,
+            shard_id: format!("s{shard}"),
+            engine: Arc::new(MbbEngine::new(generators::uniform_edges(
+                4,
+                4,
+                8,
+                shard as u64,
+            ))),
+            deadline: deadline.map(|d| now + d),
+            admitted: now,
+            seq: 0,
+        }
+    }
+
+    fn pop_ids(admission: &Admission, n: usize) -> Vec<u64> {
+        (0..n)
+            .map(|_| {
+                let job = admission.pop().unwrap();
+                admission.finish(|_| {});
+                job.request.id
+            })
+            .collect()
+    }
+
+    #[test]
+    fn queue_is_edf_with_fifo_ties_across_admissions() {
+        let config = StreamConfig::default();
+        let admission = Admission::new(1, &config);
+        let now = Instant::now();
+        admission.push(job(0, 1, None, now));
+        admission.push(job(0, 2, Some(Duration::from_secs(30)), now));
+        // Later arrival, tighter deadline: must overtake both.
+        admission.push(job(0, 3, Some(Duration::from_secs(1)), now));
+        admission.push(job(0, 4, None, now));
+        assert_eq!(pop_ids(&admission, 4), vec![3, 2, 1, 4]);
+    }
+
+    #[test]
+    fn fairness_burst_caps_consecutive_pops_per_shard() {
+        let config = StreamConfig {
+            fairness_burst: 2,
+            ..StreamConfig::default()
+        };
+        let admission = Admission::new(2, &config);
+        let now = Instant::now();
+        // Shard 0 floods with the tightest deadlines; shard 1 queues two
+        // slack requests that pure EDF would starve until the end.
+        for i in 0..6u64 {
+            admission.push(job(0, i, Some(Duration::from_millis(10 + i)), now));
+        }
+        admission.push(job(1, 100, Some(Duration::from_secs(5)), now));
+        admission.push(job(1, 101, Some(Duration::from_secs(6)), now));
+        let order = pop_ids(&admission, 8);
+        let first_tenant_1 = order.iter().position(|&id| id >= 100).unwrap();
+        assert!(
+            first_tenant_1 <= 2,
+            "shard 1 must be served after at most fairness_burst=2 consecutive shard-0 pops: {order:?}"
+        );
+        // All eight still run, and shard 0's internal order stays EDF.
+        let shard0: Vec<u64> = order.iter().copied().filter(|&id| id < 100).collect();
+        assert_eq!(shard0, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn fairness_zero_disables_the_cap() {
+        let config = StreamConfig {
+            fairness_burst: 0,
+            ..StreamConfig::default()
+        };
+        let admission = Admission::new(2, &config);
+        let now = Instant::now();
+        for i in 0..4u64 {
+            admission.push(job(0, i, Some(Duration::from_millis(10 + i)), now));
+        }
+        admission.push(job(1, 100, Some(Duration::from_secs(5)), now));
+        assert_eq!(pop_ids(&admission, 5), vec![0, 1, 2, 3, 100]);
+    }
+
+    #[test]
+    fn server_serves_a_small_stream_end_to_end() {
+        let mut fleet = ShardedFleet::new();
+        fleet
+            .add_shard("g", generators::uniform_edges(10, 10, 45, 3))
+            .unwrap();
+        let server = StreamServer::new(fleet, StreamConfig::default());
+        let input = "\
+{\"id\": 1, \"graph\": \"g\", \"kind\": \"solve\"}\n\
+# a comment line\n\
+{\"id\": 2, \"graph\": \"g\", \"kind\": \"topk\", \"k\": 2}\n\
+not json\n\
+{\"id\": 3, \"graph\": \"nowhere\", \"kind\": \"solve\"}\n\
+{\"control\": \"drain\"}\n\
+{\"control\": \"stats\"}\n";
+        let events = Mutex::new(Vec::new());
+        let stats = server.serve_with(input.as_bytes(), |e| events.lock().unwrap().push(e));
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.parse_errors, 1);
+        assert_eq!(stats.shed, 0);
+        assert_eq!(stats.queue_depth, 0);
+        let events = events.into_inner().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, StreamEvent::Drained { completed: 2 })));
+        assert!(events.iter().any(|e| matches!(e, StreamEvent::Stats(_))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, StreamEvent::ParseError { line: 4, .. })));
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure_without_losing_requests() {
+        let mut fleet = ShardedFleet::new();
+        fleet
+            .add_shard("g", generators::uniform_edges(10, 10, 45, 4))
+            .unwrap();
+        let server = StreamServer::new(
+            fleet,
+            StreamConfig {
+                queue_depth: 1,
+                ..StreamConfig::default()
+            },
+        );
+        let input: String = (1..=6)
+            .map(|i| format!("{{\"id\": {i}, \"graph\": \"g\", \"kind\": \"solve\"}}\n"))
+            .collect();
+        let responses = Mutex::new(0u64);
+        let stats = server.serve_with(input.as_bytes(), |e| {
+            if matches!(e, StreamEvent::Response(_)) {
+                *responses.lock().unwrap() += 1;
+            }
+        });
+        assert_eq!(stats.completed, 6);
+        assert_eq!(*responses.lock().unwrap(), 6);
+        assert!(stats.max_queue_depth <= 1, "{}", stats.max_queue_depth);
+    }
+}

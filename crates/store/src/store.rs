@@ -95,6 +95,18 @@ impl LoadedGraph {
         }
         out
     }
+
+    /// True when the loaded graph is byte-identical (same CSR arrays) to
+    /// `other`. This is the hot-reload probe: a serving fleet that is
+    /// asked to swap a shard compares the freshly loaded graph against
+    /// the one it is already serving, and on a match keeps the warm
+    /// session (via `MbbEngine::fork`) instead of recomputing indices.
+    pub fn matches(&self, other: &BipartiteGraph) -> bool {
+        self.graph.left_offsets() == other.left_offsets()
+            && self.graph.left_neighbors() == other.left_neighbors()
+            && self.graph.right_offsets() == other.right_offsets()
+            && self.graph.right_neighbors() == other.right_neighbors()
+    }
 }
 
 /// The graph catalog: resolves names or paths to graphs, transparently

@@ -178,7 +178,8 @@ fn batch_payloads_are_valid_bicliques() {
         .collect();
     let report = executor.run_batch(requests);
     for (i, response) in report.responses.iter().enumerate() {
-        let graph = executor.fleet().engine(i).graph();
+        let engine = executor.fleet().engine(i);
+        let graph = engine.graph();
         match &response.outcome {
             QueryOutcome::Solve(b) => assert!(b.is_valid(graph), "shard {i}"),
             other => panic!("unexpected outcome {other:?}"),
