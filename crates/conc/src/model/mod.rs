@@ -1,0 +1,238 @@
+//! The model checker: schedule exploration over a model closure.
+//!
+//! [`explore`] runs a closure many times, each time under a different
+//! thread interleaving, and fails loudly (deadlock, panic, step limit)
+//! the first time any schedule breaks. For ≤3-thread models the
+//! default strategy enumerates interleavings **exhaustively** by
+//! depth-first search over the recorded choice trace; larger models
+//! fall back to seeded-random schedule sampling, which is reproducible
+//! and counts *distinct* traces so tests can assert real coverage.
+//!
+//! The closure must be **schedule-deterministic**: given the same
+//! sequence of scheduling decisions it must perform the same sequence
+//! of model operations. Don't branch on wall-clock time or OS
+//! randomness inside a model (fixed `Instant`s captured outside the
+//! closure are fine — they are plain data).
+
+mod sched;
+pub mod sync;
+pub mod thread;
+
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use sched::{current, set_current, Choice, Rng64, Sched, Schedule};
+
+pub use sched::FailureKind;
+
+/// How schedules are generated.
+#[derive(Clone, Copy, Debug)]
+pub enum Strategy {
+    /// Depth-first enumeration of every interleaving (complete for
+    /// models small enough to finish within `max_schedules`).
+    Exhaustive,
+    /// Seeded-random sampling; reproducible, coverage counted by
+    /// distinct choice traces.
+    Random { seed: u64 },
+}
+
+/// Exploration bounds and strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreConfig {
+    /// Stop after this many schedules even if the space is larger.
+    pub max_schedules: u64,
+    /// Per-schedule operation budget — the livelock guard.
+    pub max_steps: u64,
+    /// Schedule generation strategy.
+    pub strategy: Strategy,
+    /// Upper bound on live model threads (a runaway-spawn guard).
+    pub max_threads: usize,
+}
+
+impl ExploreConfig {
+    /// Exhaustive DFS with generous defaults: up to 100k schedules of
+    /// up to 20k operations each.
+    pub fn exhaustive() -> ExploreConfig {
+        ExploreConfig {
+            max_schedules: 100_000,
+            max_steps: 20_000,
+            strategy: Strategy::Exhaustive,
+            max_threads: 16,
+        }
+    }
+
+    /// Seeded-random sampling of `schedules` schedules.
+    pub fn random(seed: u64, schedules: u64) -> ExploreConfig {
+        ExploreConfig {
+            max_schedules: schedules,
+            max_steps: 20_000,
+            strategy: Strategy::Random { seed },
+            max_threads: 16,
+        }
+    }
+
+    /// The ISSUE-mandated policy: bounded-exhaustive for models of at
+    /// most 3 spawned threads, seeded-random sampling beyond.
+    pub fn auto(spawned_threads: usize) -> ExploreConfig {
+        if spawned_threads <= 3 {
+            ExploreConfig::exhaustive()
+        } else {
+            ExploreConfig::random(0x6d62_6263, 4_096)
+        }
+    }
+}
+
+/// What `try_explore` reports when every explored schedule passed.
+#[derive(Clone, Copy, Debug)]
+pub struct ExploreReport {
+    /// Schedules executed.
+    pub schedules: u64,
+    /// Distinct choice traces observed (== `schedules` for exhaustive).
+    pub distinct_schedules: u64,
+    /// True when the whole interleaving space was enumerated (always
+    /// false for random sampling).
+    pub exhausted: bool,
+}
+
+/// A schedule that broke the model.
+#[derive(Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Human-readable diagnosis, including per-thread state for
+    /// deadlocks.
+    pub message: String,
+    /// How many schedules ran before (and including) the failing one.
+    pub schedules: u64,
+    /// The failing schedule's choice trace `(chosen, options)` — replay
+    /// material for debugging.
+    pub trace: Vec<(u32, u32)>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:?} on schedule #{} (trace of {} choices): {}",
+            self.kind,
+            self.schedules,
+            self.trace.len(),
+            self.message
+        )
+    }
+}
+
+fn run_once(
+    config: &ExploreConfig,
+    schedule: Schedule,
+    f: &mut dyn FnMut(),
+) -> Result<Vec<Choice>, (FailureKind, String, Vec<Choice>)> {
+    let sched = Arc::new(Sched::new(schedule, config.max_steps, config.max_threads));
+    set_current(Some((Arc::clone(&sched), 0)));
+    let outcome = catch_unwind(AssertUnwindSafe(&mut *f));
+    let payload = match &outcome {
+        Ok(()) => None,
+        Err(p) => Some(&**p as &(dyn std::any::Any + Send)),
+    };
+    sched.task_finished(0, payload);
+    set_current(None);
+    sched.drive_to_completion()
+}
+
+/// DFS successor: the longest prefix whose last choice can be bumped to
+/// its next sibling. `None` when the space is exhausted.
+fn next_prefix(trace: &[Choice]) -> Option<Vec<Choice>> {
+    let mut prefix: Vec<Choice> = trace.to_vec();
+    while let Some(&(chosen, options)) = prefix.last() {
+        if chosen + 1 < options {
+            let last = prefix.len() - 1;
+            prefix[last] = (chosen + 1, options);
+            return Some(prefix);
+        }
+        prefix.pop();
+    }
+    None
+}
+
+/// Runs `model` under many interleavings; returns the coverage report,
+/// or the first [`Failure`] encountered.
+pub fn try_explore(
+    config: ExploreConfig,
+    mut model: impl FnMut(),
+) -> Result<ExploreReport, Failure> {
+    assert!(
+        current().is_none(),
+        "nested explore: cannot start a model run inside another model run"
+    );
+    let mut schedules = 0u64;
+    match config.strategy {
+        Strategy::Exhaustive => {
+            let mut prefix: Vec<Choice> = Vec::new();
+            loop {
+                if schedules >= config.max_schedules {
+                    return Ok(ExploreReport {
+                        schedules,
+                        distinct_schedules: schedules,
+                        exhausted: false,
+                    });
+                }
+                schedules += 1;
+                match run_once(&config, Schedule::new(prefix.clone(), None), &mut model) {
+                    Ok(trace) => match next_prefix(&trace) {
+                        Some(next) => prefix = next,
+                        None => {
+                            return Ok(ExploreReport {
+                                schedules,
+                                distinct_schedules: schedules,
+                                exhausted: true,
+                            })
+                        }
+                    },
+                    Err((kind, message, trace)) => {
+                        return Err(Failure {
+                            kind,
+                            message,
+                            schedules,
+                            trace,
+                        })
+                    }
+                }
+            }
+        }
+        Strategy::Random { seed } => {
+            let mut distinct: HashSet<Vec<Choice>> = HashSet::new();
+            for i in 0..config.max_schedules {
+                schedules += 1;
+                let rng =
+                    Rng64::new(seed ^ (i.wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(1));
+                match run_once(&config, Schedule::new(Vec::new(), Some(rng)), &mut model) {
+                    Ok(trace) => {
+                        distinct.insert(trace);
+                    }
+                    Err((kind, message, trace)) => {
+                        return Err(Failure {
+                            kind,
+                            message,
+                            schedules,
+                            trace,
+                        })
+                    }
+                }
+            }
+            Ok(ExploreReport {
+                schedules,
+                distinct_schedules: distinct.len() as u64,
+                exhausted: false,
+            })
+        }
+    }
+}
+
+/// [`try_explore`], panicking with the failure report — the form model
+/// tests normally use.
+pub fn explore(config: ExploreConfig, model: impl FnMut()) -> ExploreReport {
+    match try_explore(config, model) {
+        Ok(report) => report,
+        Err(failure) => panic!("model check failed: {failure}"),
+    }
+}

@@ -1,0 +1,666 @@
+//! The controlled scheduler behind [`explore`](crate::model::explore).
+//!
+//! Model threads are real OS threads, but only **one is ever runnable at
+//! a time**: every synchronisation operation (lock, unlock, condvar
+//! wait/notify, atomic access, spawn, join) enters the scheduler, which
+//! decides — by consulting the current [`Schedule`] — which thread runs
+//! next. Each decision among `n > 1` candidates is recorded as a choice
+//! point, so a whole execution is summarised by its choice trace and can
+//! be replayed or systematically enumerated (see `explore.rs`).
+//!
+//! Failures the scheduler itself detects:
+//!
+//! * **deadlock / lost wakeup** — no thread is runnable but at least one
+//!   is blocked (a thread parked on a condvar that will never be
+//!   notified again shows up exactly here);
+//! * **panic** — any model thread panicking (a failed `assert!` in an
+//!   invariant check) aborts the run and surfaces the message;
+//! * **step-limit** — a schedule exceeding `max_steps` operations, the
+//!   livelock guard.
+//!
+//! On failure the scheduler flips an `abort` flag and wakes every
+//! blocked thread; model operations observe it and unwind with the
+//! private [`AbortPayload`] panic so all OS threads terminate before the
+//! failure is reported.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::panic::panic_any;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar as OsCondvar, Mutex as OsMutex, MutexGuard as OsGuard};
+
+/// Panic payload used to unwind model threads once a run is aborted.
+/// Never user-visible: `explore` swallows it and reports the recorded
+/// failure instead.
+pub(crate) struct AbortPayload;
+
+/// Why a blocked task cannot run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Block {
+    /// Waiting to acquire a mutex or the write end of an rwlock.
+    Lock(usize),
+    /// Waiting to acquire the read end of an rwlock.
+    Read(usize),
+    /// Parked in `Condvar::wait` — not yet notified.
+    CvWait { cv: usize, lock: usize },
+    /// Waiting for another task to finish.
+    Join(usize),
+}
+
+#[derive(Debug)]
+enum TaskState {
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+struct Task {
+    state: TaskState,
+    name: String,
+}
+
+/// Model-side state of one synchronisation object, re-registered fresh
+/// for every schedule.
+pub(crate) enum Object {
+    Lock { held: bool },
+    RwLock { readers: usize, writer: bool },
+    Condvar,
+    Atomic { value: u64 },
+}
+
+/// What kind of failure ended a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No runnable thread while at least one is blocked — a deadlock or
+    /// a lost wakeup.
+    Deadlock,
+    /// A model thread panicked (usually a failed invariant `assert!`).
+    Panic,
+    /// One schedule exceeded the configured step limit (livelock guard).
+    StepLimit,
+}
+
+/// One recorded scheduling decision: which of `options` candidates was
+/// chosen. Forced decisions (`options == 1`) are recorded too so replay
+/// stays positional.
+pub(crate) type Choice = (u32, u32); // (chosen, options)
+
+/// The choice source of one run: a replayed prefix, then either
+/// first-candidate (exhaustive DFS) or seeded-random selection.
+pub(crate) struct Schedule {
+    prefix: Vec<Choice>,
+    pos: usize,
+    trace: Vec<Choice>,
+    /// `None` = exhaustive (pick 0 past the prefix); `Some` = random.
+    rng: Option<Rng64>,
+}
+
+impl Schedule {
+    pub(crate) fn new(prefix: Vec<Choice>, rng: Option<Rng64>) -> Schedule {
+        Schedule {
+            prefix,
+            pos: 0,
+            trace: Vec::new(),
+            rng,
+        }
+    }
+
+    fn choose(&mut self, options: usize) -> usize {
+        debug_assert!(options >= 1);
+        let chosen = if options == 1 {
+            0
+        } else if self.pos < self.prefix.len() {
+            // Replay. The `min` only matters if the model is not
+            // schedule-deterministic; see the explore docs.
+            (self.prefix[self.pos].0 as usize).min(options - 1)
+        } else {
+            match &mut self.rng {
+                None => 0,
+                Some(rng) => (rng.next() % options as u64) as usize,
+            }
+        };
+        self.trace.push((chosen as u32, options as u32));
+        self.pos += 1;
+        chosen
+    }
+}
+
+/// xorshift64* — a tiny self-contained PRNG so the model checker stays
+/// dependency-free (the vendored `rand` is for the solvers).
+pub(crate) struct Rng64(u64);
+
+impl Rng64 {
+    pub(crate) fn new(seed: u64) -> Rng64 {
+        Rng64(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+struct State {
+    tasks: Vec<Task>,
+    objects: Vec<Object>,
+    /// Index of the task allowed to run; `usize::MAX` = nobody (all
+    /// finished, or the machine is aborting).
+    active: usize,
+    live: usize,
+    steps: u64,
+    schedule: Schedule,
+    failure: Option<(FailureKind, String)>,
+    abort: bool,
+}
+
+/// One run's scheduler. Shared (`Arc`) between the driver and every
+/// model thread; all state lives behind one OS mutex, which is exactly
+/// what serialises the model threads.
+pub(crate) struct Sched {
+    mx: OsMutex<State>,
+    cv: OsCondvar,
+    max_steps: u64,
+    max_tasks: usize,
+    run_id: u64,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Sched>, usize)>> = const { RefCell::new(None) };
+}
+
+/// The scheduler + task id of the calling thread, if it is a model
+/// thread of a live run.
+pub(crate) fn current() -> Option<(Arc<Sched>, usize)> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn set_current(value: Option<(Arc<Sched>, usize)>) {
+    CURRENT.with(|c| *c.borrow_mut() = value);
+}
+
+static RUN_IDS: AtomicU64 = AtomicU64::new(1);
+
+impl Sched {
+    pub(crate) fn new(schedule: Schedule, max_steps: u64, max_tasks: usize) -> Sched {
+        Sched {
+            mx: OsMutex::new(State {
+                tasks: vec![Task {
+                    state: TaskState::Runnable,
+                    name: "main".to_string(),
+                }],
+                objects: Vec::new(),
+                active: 0,
+                live: 1,
+                steps: 0,
+                schedule,
+                failure: None,
+                abort: false,
+            }),
+            cv: OsCondvar::new(),
+            max_steps,
+            max_tasks,
+            // relaxed: a globally unique id is all that is needed; no
+            // other memory is published under this counter.
+            run_id: RUN_IDS.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// Identifies this run for lazy per-run object registration.
+    pub(crate) fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    fn state(&self) -> OsGuard<'_, State> {
+        // The scheduler's own invariants never depend on poisoning (a
+        // panicking model thread is handled via `abort`), so recover.
+        match self.mx.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn wait_cv<'a>(&self, guard: OsGuard<'a, State>) -> OsGuard<'a, State> {
+        match self.cv.wait(guard) {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn fail(&self, st: &mut State, kind: FailureKind, message: String) {
+        if st.failure.is_none() {
+            st.failure = Some((kind, message));
+        }
+        st.abort = true;
+        st.active = usize::MAX;
+        self.cv.notify_all();
+    }
+
+    fn abort_bail(st: OsGuard<'_, State>) -> ! {
+        drop(st);
+        panic_any(AbortPayload);
+    }
+
+    fn runnable(st: &State) -> Vec<usize> {
+        st.tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.state, TaskState::Runnable))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn render_tasks(st: &State) -> String {
+        st.tasks
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let state = match &t.state {
+                    TaskState::Runnable => "runnable".to_string(),
+                    TaskState::Finished => "finished".to_string(),
+                    TaskState::Blocked(Block::Lock(o)) => format!("blocked acquiring lock #{o}"),
+                    TaskState::Blocked(Block::Read(o)) => {
+                        format!("blocked acquiring read lock #{o}")
+                    }
+                    TaskState::Blocked(Block::CvWait { cv, lock }) => {
+                        format!("waiting on condvar #{cv} (re-locks #{lock}) — never notified")
+                    }
+                    TaskState::Blocked(Block::Join(t)) => format!("joining thread #{t}"),
+                };
+                format!("  thread #{i} '{}': {state}", t.name)
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Picks the next task to run when the caller is *not* a candidate
+    /// (it just blocked or finished). Detects deadlock: nobody runnable
+    /// while somebody is still blocked.
+    fn schedule_other(&self, st: &mut State) {
+        let runnable = Self::runnable(st);
+        if runnable.is_empty() {
+            let blocked = st
+                .tasks
+                .iter()
+                .any(|t| matches!(t.state, TaskState::Blocked(_)));
+            if blocked {
+                let detail = Self::render_tasks(st);
+                self.fail(
+                    st,
+                    FailureKind::Deadlock,
+                    format!("deadlock: no runnable thread\n{detail}"),
+                );
+            } else {
+                // Everyone finished; wake the driver.
+                st.active = usize::MAX;
+                self.cv.notify_all();
+            }
+            return;
+        }
+        let pick = st.schedule.choose(runnable.len());
+        st.active = runnable[pick];
+        self.cv.notify_all();
+    }
+
+    /// One scheduling decision with the caller as a candidate: the
+    /// preemption point placed before/after every model operation.
+    fn step_choice<'a>(&self, mut st: OsGuard<'a, State>, me: usize) -> OsGuard<'a, State> {
+        st.steps += 1;
+        if st.steps > self.max_steps {
+            self.fail(
+                &mut st,
+                FailureKind::StepLimit,
+                format!(
+                    "schedule exceeded {} operations — livelock or a model too large to explore",
+                    self.max_steps
+                ),
+            );
+            Self::abort_bail(st);
+        }
+        let runnable = Self::runnable(&st);
+        let pick = st.schedule.choose(runnable.len());
+        let next = runnable[pick];
+        if next != me {
+            st.active = next;
+            self.cv.notify_all();
+            st = self.wait_turn(st, me);
+        }
+        st
+    }
+
+    fn wait_turn<'a>(&self, mut st: OsGuard<'a, State>, me: usize) -> OsGuard<'a, State> {
+        while st.active != me && !st.abort {
+            st = self.wait_cv(st);
+        }
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        st
+    }
+
+    /// Entry preemption point of every model operation.
+    pub(crate) fn op_step(&self, me: usize) {
+        let st = self.state();
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        let st = self.step_choice(st, me);
+        drop(st);
+    }
+
+    /// Blocks the caller with reason `b`, hands the machine to another
+    /// task, and returns once the caller is runnable *and* scheduled.
+    fn block_on<'a>(&self, mut st: OsGuard<'a, State>, me: usize, b: Block) -> OsGuard<'a, State> {
+        st.tasks[me].state = TaskState::Blocked(b);
+        self.schedule_other(&mut st);
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        while !(st.abort || st.active == me && matches!(st.tasks[me].state, TaskState::Runnable)) {
+            st = self.wait_cv(st);
+        }
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        st
+    }
+
+    fn wake_blocked(st: &mut State, pred: impl Fn(Block) -> bool) {
+        for task in &mut st.tasks {
+            if let TaskState::Blocked(b) = task.state {
+                if pred(b) {
+                    task.state = TaskState::Runnable;
+                }
+            }
+        }
+    }
+
+    // -- objects ------------------------------------------------------
+
+    pub(crate) fn register_object(&self, object: Object) -> usize {
+        let mut st = self.state();
+        st.objects.push(object);
+        st.objects.len() - 1
+    }
+
+    // -- mutex --------------------------------------------------------
+
+    pub(crate) fn mutex_lock(&self, me: usize, oid: usize) {
+        self.op_step(me);
+        let mut st = self.state();
+        loop {
+            if let Object::Lock { held } = &mut st.objects[oid] {
+                if !*held {
+                    *held = true;
+                    return;
+                }
+            }
+            st = self.block_on(st, me, Block::Lock(oid));
+        }
+    }
+
+    pub(crate) fn mutex_unlock(&self, me: usize, oid: usize) {
+        let unwinding = std::thread::panicking();
+        let mut st = self.state();
+        if let Object::Lock { held } = &mut st.objects[oid] {
+            *held = false;
+        }
+        Self::wake_blocked(&mut st, |b| b == Block::Lock(oid));
+        if unwinding || st.abort {
+            // Best-effort release while this thread unwinds (or the run
+            // aborts): no choice points, no further panics.
+            self.cv.notify_all();
+            return;
+        }
+        let st = self.step_choice(st, me);
+        drop(st);
+    }
+
+    // -- rwlock -------------------------------------------------------
+
+    pub(crate) fn rw_read_lock(&self, me: usize, oid: usize) {
+        self.op_step(me);
+        let mut st = self.state();
+        loop {
+            if let Object::RwLock { readers, writer } = &mut st.objects[oid] {
+                if !*writer {
+                    *readers += 1;
+                    return;
+                }
+            }
+            st = self.block_on(st, me, Block::Read(oid));
+        }
+    }
+
+    pub(crate) fn rw_read_unlock(&self, me: usize, oid: usize) {
+        let unwinding = std::thread::panicking();
+        let mut st = self.state();
+        if let Object::RwLock { readers, .. } = &mut st.objects[oid] {
+            *readers = readers.saturating_sub(1);
+        }
+        Self::wake_blocked(&mut st, |b| b == Block::Lock(oid) || b == Block::Read(oid));
+        if unwinding || st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let st = self.step_choice(st, me);
+        drop(st);
+    }
+
+    pub(crate) fn rw_write_lock(&self, me: usize, oid: usize) {
+        self.op_step(me);
+        let mut st = self.state();
+        loop {
+            if let Object::RwLock { readers, writer } = &mut st.objects[oid] {
+                if !*writer && *readers == 0 {
+                    *writer = true;
+                    return;
+                }
+            }
+            st = self.block_on(st, me, Block::Lock(oid));
+        }
+    }
+
+    pub(crate) fn rw_write_unlock(&self, me: usize, oid: usize) {
+        let unwinding = std::thread::panicking();
+        let mut st = self.state();
+        if let Object::RwLock { writer, .. } = &mut st.objects[oid] {
+            *writer = false;
+        }
+        Self::wake_blocked(&mut st, |b| b == Block::Lock(oid) || b == Block::Read(oid));
+        if unwinding || st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let st = self.step_choice(st, me);
+        drop(st);
+    }
+
+    // -- condvar ------------------------------------------------------
+
+    /// Atomically releases `lockid` and parks on `cvid`; on wakeup
+    /// (after a notify) re-acquires the lock before returning. No
+    /// spurious wakeups: a parked task runs again only if notified —
+    /// which is precisely what makes lost wakeups *detectable*.
+    pub(crate) fn condvar_wait(&self, me: usize, cvid: usize, lockid: usize) {
+        let mut st = self.state();
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        if let Object::Lock { held } = &mut st.objects[lockid] {
+            *held = false;
+        }
+        Self::wake_blocked(&mut st, |b| b == Block::Lock(lockid));
+        st = self.block_on(
+            st,
+            me,
+            Block::CvWait {
+                cv: cvid,
+                lock: lockid,
+            },
+        );
+        // Notified and scheduled: re-acquire the lock.
+        loop {
+            if let Object::Lock { held } = &mut st.objects[lockid] {
+                if !*held {
+                    *held = true;
+                    return;
+                }
+            }
+            st = self.block_on(st, me, Block::Lock(lockid));
+        }
+    }
+
+    /// `notify_one` picks **which** waiter wakes via a choice point —
+    /// the scheduler explores every delivery order. `notify_all` wakes
+    /// everyone. Notifies with no waiter are lost, as with a real
+    /// condvar.
+    pub(crate) fn condvar_notify(&self, me: usize, cvid: usize, all: bool) {
+        let st = self.state();
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        let mut st = st;
+        let waiters: Vec<usize> = st
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| matches!(t.state, TaskState::Blocked(Block::CvWait { cv, .. }) if cv == cvid))
+            .map(|(i, _)| i)
+            .collect();
+        if !waiters.is_empty() {
+            if all {
+                for w in waiters {
+                    st.tasks[w].state = TaskState::Runnable;
+                }
+            } else {
+                let pick = st.schedule.choose(waiters.len());
+                st.tasks[waiters[pick]].state = TaskState::Runnable;
+            }
+        }
+        let st = self.step_choice(st, me);
+        drop(st);
+    }
+
+    // -- atomics ------------------------------------------------------
+
+    /// Runs `f` on the atomic's cell as one indivisible step, with a
+    /// preemption point before it. All model atomics are sequentially
+    /// consistent: the checker explores interleavings, not weak-memory
+    /// reorderings (see the crate docs for what that does and does not
+    /// prove).
+    pub(crate) fn atomic_op<R>(&self, me: usize, oid: usize, f: impl FnOnce(&mut u64) -> R) -> R {
+        self.op_step(me);
+        let mut st = self.state();
+        match &mut st.objects[oid] {
+            Object::Atomic { value } => f(value),
+            _ => unreachable!("object #{oid} is not an atomic"),
+        }
+    }
+
+    // -- threads ------------------------------------------------------
+
+    pub(crate) fn register_task(&self, _me: usize, name: &str) -> usize {
+        let mut st = self.state();
+        if st.abort {
+            Self::abort_bail(st);
+        }
+        if st.tasks.len() >= self.max_tasks {
+            self.fail(
+                &mut st,
+                FailureKind::StepLimit,
+                format!(
+                    "model spawned more than {} threads — raise ExploreConfig::max_threads \
+                     if intended",
+                    self.max_tasks
+                ),
+            );
+            Self::abort_bail(st);
+        }
+        st.tasks.push(Task {
+            state: TaskState::Runnable,
+            name: name.to_string(),
+        });
+        st.live += 1;
+        // No choice point here: the child's OS thread does not exist
+        // yet, so scheduling it now would hang the machine. The spawn
+        // wrapper issues an `op_step` right after the OS spawn, which
+        // is where "child runs before parent's next operation" gets
+        // explored.
+        st.tasks.len() - 1
+    }
+
+    /// Parks a fresh OS thread until the scheduler first picks its task.
+    /// Returns false when the run aborted before that happened.
+    pub(crate) fn wait_first_schedule(&self, me: usize) -> bool {
+        let mut st = self.state();
+        while st.active != me && !st.abort {
+            st = self.wait_cv(st);
+        }
+        !st.abort
+    }
+
+    /// Marks `me` finished, records a failure if `payload` is a real
+    /// panic, wakes joiners, and hands the machine on.
+    pub(crate) fn task_finished(&self, me: usize, payload: Option<&(dyn Any + Send)>) {
+        let mut st = self.state();
+        if let Some(p) = payload {
+            if !p.is::<AbortPayload>() {
+                let message = panic_message(p);
+                let name = st.tasks[me].name.clone();
+                self.fail(
+                    &mut st,
+                    FailureKind::Panic,
+                    format!("thread '{name}' panicked: {message}"),
+                );
+            }
+        }
+        st.tasks[me].state = TaskState::Finished;
+        st.live -= 1;
+        Self::wake_blocked(&mut st, |b| b == Block::Join(me));
+        if st.abort {
+            self.cv.notify_all();
+            return;
+        }
+        self.schedule_other(&mut st);
+    }
+
+    pub(crate) fn join_task(&self, me: usize, target: usize) {
+        self.op_step(me);
+        let mut st = self.state();
+        while !matches!(st.tasks[target].state, TaskState::Finished) {
+            st = self.block_on(st, me, Block::Join(target));
+        }
+    }
+
+    // -- driver -------------------------------------------------------
+
+    /// Driver side: waits until every task (including any the model
+    /// never joined) has finished, then reports the run's outcome.
+    pub(crate) fn drive_to_completion(
+        &self,
+    ) -> Result<Vec<Choice>, (FailureKind, String, Vec<Choice>)> {
+        let mut st = self.state();
+        while st.live > 0 {
+            st = self.wait_cv(st);
+        }
+        let trace = st.schedule.trace.clone();
+        match st.failure.take() {
+            Some((kind, message)) => Err((kind, message, trace)),
+            None => Ok(trace),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}

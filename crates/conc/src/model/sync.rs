@@ -1,0 +1,488 @@
+//! Model-mode synchronisation primitives.
+//!
+//! Same API surface as the real-mode primitives (`real.rs`), but every
+//! operation routes through the controlled scheduler. Data lives in an
+//! `UnsafeCell`; the scheduler's mutual-exclusion bookkeeping is what
+//! makes the accesses sound (only the task holding the model lock is
+//! ever scheduled while a guard exists).
+//!
+//! Primitives are created *outside* any particular schedule (a model
+//! closure usually captures them from the enclosing test), so each one
+//! lazily registers itself with the scheduler of the **current run**:
+//! the registration slot stores the run id it was registered under and
+//! re-registers — with fresh object state — whenever a new schedule
+//! starts. State that the closure itself creates per run registers the
+//! same way on first touch.
+
+use std::cell::UnsafeCell;
+use std::sync::Arc;
+use std::sync::Mutex as OsMutex;
+
+use super::sched::{current, Object, Sched};
+
+/// Re-export: orderings are accepted (so call sites document intent)
+/// but the model executes every atomic access sequentially consistent.
+pub use std::sync::atomic::Ordering;
+
+/// Lazy per-run object id.
+struct Registration {
+    slot: OsMutex<(u64, usize)>,
+}
+
+impl Registration {
+    const fn new() -> Registration {
+        Registration {
+            slot: OsMutex::new((0, 0)),
+        }
+    }
+
+    /// The object id under the current run, registering (fresh state
+    /// from `make`) if this primitive has not been touched this run.
+    fn oid(&self, sched: &Sched, make: impl FnOnce() -> Object) -> usize {
+        let mut slot = match self.slot.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        if slot.0 != sched.run_id() {
+            *slot = (sched.run_id(), sched.register_object(make()));
+        }
+        slot.1
+    }
+}
+
+fn ctx(what: &str) -> (Arc<Sched>, usize) {
+    current().unwrap_or_else(|| {
+        panic!(
+            "mbb_conc model {what} used outside `explore`: with --cfg mbb_conc, \
+             facade primitives only work inside a model closure"
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// Model mutex. Non-poisoning, like the release-mode facade.
+pub struct Mutex<T> {
+    reg: Registration,
+    data: UnsafeCell<T>,
+}
+
+// Safety: the scheduler runs at most one task at a time and grants the
+// model lock to at most one task, so `&mut T` access through a guard is
+// exclusive.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Mutex<T> {
+        Mutex {
+            reg: Registration::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn oid(&self, sched: &Sched) -> usize {
+        self.reg.oid(sched, || Object::Lock { held: false })
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let (sched, me) = ctx("Mutex");
+        let oid = self.oid(&sched);
+        sched.mutex_lock(me, oid);
+        MutexGuard {
+            lock: self,
+            sched,
+            me,
+            oid,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Mutex<T> {
+        Mutex::new(T::default())
+    }
+}
+
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    sched: Arc<Sched>,
+    me: usize,
+    oid: usize,
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: this task holds the model lock (see `Mutex` safety note).
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above; the guard is unique.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        self.sched.mutex_unlock(self.me, self.oid);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// Model condvar. No spurious wakeups — a parked task resumes only when
+/// notified, which is exactly what makes a lost wakeup observable as a
+/// deadlock instead of being papered over by a spurious return.
+pub struct Condvar {
+    reg: Registration,
+}
+
+impl Default for Condvar {
+    fn default() -> Condvar {
+        Condvar::new()
+    }
+}
+
+impl Condvar {
+    pub const fn new() -> Condvar {
+        Condvar {
+            reg: Registration::new(),
+        }
+    }
+
+    fn oid(&self, sched: &Sched) -> usize {
+        self.reg.oid(sched, || Object::Condvar)
+    }
+
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let cvid = self.oid(&guard.sched);
+        let (lock, sched, me, oid) = (guard.lock, guard.sched.clone(), guard.me, guard.oid);
+        // The scheduler releases and re-acquires the lock atomically;
+        // the guard must not run its unlocking destructor.
+        std::mem::forget(guard);
+        sched.condvar_wait(me, cvid, oid);
+        MutexGuard {
+            lock,
+            sched,
+            me,
+            oid,
+        }
+    }
+
+    pub fn wait_while<'a, T>(
+        &self,
+        mut guard: MutexGuard<'a, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) -> MutexGuard<'a, T> {
+        while condition(&mut guard) {
+            guard = self.wait(guard);
+        }
+        guard
+    }
+
+    pub fn notify_one(&self) {
+        let (sched, me) = ctx("Condvar");
+        let cvid = self.oid(&sched);
+        sched.condvar_notify(me, cvid, false);
+    }
+
+    pub fn notify_all(&self) {
+        let (sched, me) = ctx("Condvar");
+        let cvid = self.oid(&sched);
+        sched.condvar_notify(me, cvid, true);
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// Model rwlock: any number of readers or one writer.
+pub struct RwLock<T> {
+    reg: Registration,
+    data: UnsafeCell<T>,
+}
+
+// Safety: reader guards hand out `&T` (requires `T: Sync` for the lock
+// to be `Sync`); the writer guard is exclusive under the scheduler.
+unsafe impl<T: Send> Send for RwLock<T> {}
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub const fn new(value: T) -> RwLock<T> {
+        RwLock {
+            reg: Registration::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    fn oid(&self, sched: &Sched) -> usize {
+        self.reg.oid(sched, || Object::RwLock {
+            readers: 0,
+            writer: false,
+        })
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let (sched, me) = ctx("RwLock");
+        let oid = self.oid(&sched);
+        sched.rw_read_lock(me, oid);
+        RwLockReadGuard {
+            lock: self,
+            sched,
+            me,
+            oid,
+        }
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let (sched, me) = ctx("RwLock");
+        let oid = self.oid(&sched);
+        sched.rw_write_lock(me, oid);
+        RwLockWriteGuard {
+            lock: self,
+            sched,
+            me,
+            oid,
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> RwLock<T> {
+        RwLock::new(T::default())
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    sched: Arc<Sched>,
+    me: usize,
+    oid: usize,
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: readers exclude the writer under the scheduler.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        self.sched.rw_read_unlock(self.me, self.oid);
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+    sched: Arc<Sched>,
+    me: usize,
+    oid: usize,
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the writer is exclusive under the scheduler.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: as above.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        self.sched.rw_write_unlock(self.me, self.oid);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+macro_rules! model_atomic {
+    ($name:ident, $ty:ty) => {
+        /// Model atomic. Every access is a scheduling choice point and
+        /// executes sequentially consistent regardless of the ordering
+        /// argument (interleavings are explored; weak-memory
+        /// reorderings are not modelled).
+        pub struct $name {
+            reg: Registration,
+            init: $ty,
+        }
+
+        impl $name {
+            pub const fn new(value: $ty) -> $name {
+                $name {
+                    reg: Registration::new(),
+                    init: value,
+                }
+            }
+
+            fn op<R>(&self, what: &str, f: impl FnOnce(&mut $ty) -> R) -> R {
+                let (sched, me) = ctx(what);
+                let init = self.init;
+                let oid = self
+                    .reg
+                    .oid(&sched, || Object::Atomic { value: init as u64 });
+                sched.atomic_op(me, oid, |cell| {
+                    let mut typed = *cell as $ty;
+                    let out = f(&mut typed);
+                    *cell = typed as u64;
+                    out
+                })
+            }
+
+            pub fn load(&self, _order: Ordering) -> $ty {
+                self.op(stringify!($name), |v| *v)
+            }
+
+            pub fn store(&self, value: $ty, _order: Ordering) {
+                self.op(stringify!($name), |v| *v = value)
+            }
+
+            pub fn swap(&self, value: $ty, _order: Ordering) -> $ty {
+                self.op(stringify!($name), |v| std::mem::replace(v, value))
+            }
+
+            pub fn fetch_add(&self, delta: $ty, _order: Ordering) -> $ty {
+                self.op(stringify!($name), |v| {
+                    let old = *v;
+                    *v = v.wrapping_add(delta);
+                    old
+                })
+            }
+
+            pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
+                self.op(stringify!($name), |v| {
+                    let old = *v;
+                    *v = old.max(value);
+                    old
+                })
+            }
+
+            pub fn compare_exchange(
+                &self,
+                expected: $ty,
+                new: $ty,
+                _success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.op(stringify!($name), |v| {
+                    if *v == expected {
+                        *v = new;
+                        Ok(expected)
+                    } else {
+                        Err(*v)
+                    }
+                })
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_struct(stringify!($name)).finish_non_exhaustive()
+            }
+        }
+    };
+}
+
+model_atomic!(AtomicUsize, usize);
+model_atomic!(AtomicU64, u64);
+model_atomic!(AtomicU8, u8);
+
+/// Model `AtomicBool`, backed by the same serialized u64 cell.
+pub struct AtomicBool {
+    reg: Registration,
+    init: bool,
+}
+
+impl AtomicBool {
+    pub const fn new(value: bool) -> AtomicBool {
+        AtomicBool {
+            reg: Registration::new(),
+            init: value,
+        }
+    }
+
+    fn op<R>(&self, f: impl FnOnce(&mut bool) -> R) -> R {
+        let (sched, me) = ctx("AtomicBool");
+        let init = self.init;
+        let oid = self
+            .reg
+            .oid(&sched, || Object::Atomic { value: init as u64 });
+        sched.atomic_op(me, oid, |cell| {
+            let mut typed = *cell != 0;
+            let out = f(&mut typed);
+            *cell = typed as u64;
+            out
+        })
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        self.op(|v| *v)
+    }
+
+    pub fn store(&self, value: bool, _order: Ordering) {
+        self.op(|v| *v = value)
+    }
+
+    pub fn swap(&self, value: bool, _order: Ordering) -> bool {
+        self.op(|v| std::mem::replace(v, value))
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AtomicBool").finish_non_exhaustive()
+    }
+}

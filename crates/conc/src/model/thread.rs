@@ -1,0 +1,81 @@
+//! Model-mode thread spawning.
+//!
+//! Spawned closures run on real OS threads, but the scheduler parks
+//! each one until it is picked, so from the model's point of view they
+//! are cooperatively scheduled tasks. `join` is itself a model
+//! operation (it blocks the joiner until the target finishes and is a
+//! choice point like any other).
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use super::sched::{current, set_current, AbortPayload, Sched};
+
+pub struct JoinHandle<T> {
+    sched: Arc<Sched>,
+    task: usize,
+    os: std::thread::JoinHandle<Option<T>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. If the
+    /// run is aborting (failure already recorded), unwinds like every
+    /// other model operation.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (_, me) = current().expect("join outside a model run");
+        self.sched.join_task(me, self.task);
+        match self.os.join() {
+            Ok(Some(value)) => Ok(value),
+            // The child unwound (abort teardown) or never ran; the run
+            // is aborting, so unwind this thread too.
+            _ => std::panic::panic_any(AbortPayload),
+        }
+    }
+}
+
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    spawn_named("worker".to_string(), f)
+}
+
+pub fn spawn_named<F, T>(name: String, f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, me) = current().expect("spawn outside a model run");
+    let task = sched.register_task(me, &name);
+    let child_sched = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name(name)
+        .spawn(move || {
+            set_current(Some((Arc::clone(&child_sched), task)));
+            let value = if child_sched.wait_first_schedule(task) {
+                match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(value) => {
+                        child_sched.task_finished(task, None);
+                        Some(value)
+                    }
+                    Err(payload) => {
+                        child_sched.task_finished(task, Some(payload.as_ref()));
+                        None
+                    }
+                }
+            } else {
+                // Run aborted before this task ever ran.
+                child_sched.task_finished(task, None);
+                None
+            };
+            set_current(None);
+            value
+        })
+        .expect("failed to spawn model OS thread");
+    // Only now — with the OS thread alive — may the scheduler pick the
+    // child: the preemption point for "child runs before the parent's
+    // next operation".
+    sched.op_step(me);
+    JoinHandle { sched, task, os }
+}

@@ -1,0 +1,183 @@
+//! The checker-proves-itself regression mandated by ISSUE 7: plant a
+//! real lost-wakeup bug in a test-local copy of the admission queue's
+//! pop path and assert the model checker finds it within the schedule
+//! budget — then check the corrected version (the shape the real
+//! `Admission` in `crates/serve/src/stream.rs` uses) passes full
+//! enumeration.
+//!
+//! The planted bug is the classic check-then-wait gap: `pop` observes
+//! the queue empty, **releases the lock**, then re-locks and parks on
+//! the condvar. A push that lands in the gap issues its `notify_one`
+//! while no one is waiting — the notify is lost, the consumer parks
+//! forever, and the run deadlocks with the consumer named in the
+//! diagnostic. The real queue waits on the same guard it checked under,
+//! which closes the gap (the condvar releases the lock and parks
+//! atomically).
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use mbb_conc::model::{explore, try_explore, ExploreConfig, FailureKind};
+use mbb_conc::model_sync::{Condvar, Mutex};
+use mbb_conc::model_thread as thread;
+
+struct QueueState {
+    items: VecDeque<u64>,
+    closed: bool,
+}
+
+/// Test-local copy of the admission queue's blocking core, with a
+/// switch selecting the planted-bug pop path or the correct one.
+struct MiniAdmission {
+    state: Mutex<QueueState>,
+    work: Condvar,
+    buggy: bool,
+}
+
+impl MiniAdmission {
+    fn new(buggy: bool) -> MiniAdmission {
+        MiniAdmission {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            work: Condvar::new(),
+            buggy,
+        }
+    }
+
+    fn push(&self, value: u64) {
+        self.state.lock().items.push_back(value);
+        self.work.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.work.notify_all();
+    }
+
+    fn pop(&self) -> Option<u64> {
+        if self.buggy {
+            loop {
+                {
+                    let mut st = self.state.lock();
+                    if let Some(v) = st.items.pop_front() {
+                        return Some(v);
+                    }
+                    if st.closed {
+                        return None;
+                    }
+                    // PLANTED BUG: the guard drops here, opening a gap
+                    // between the emptiness check and the wait below.
+                }
+                let st = self.state.lock();
+                let _reacquired = self.work.wait(st);
+            }
+        } else {
+            // The real Admission::pop shape: re-check under the same
+            // guard the condvar releases, so no notify can be lost.
+            let mut st = self.state.lock();
+            loop {
+                if let Some(v) = st.items.pop_front() {
+                    return Some(v);
+                }
+                if st.closed {
+                    return None;
+                }
+                st = self.work.wait(st);
+            }
+        }
+    }
+}
+
+/// One producer pushing one item, one consumer popping it: with the
+/// check-then-wait gap, some interleaving loses the producer's notify
+/// and the consumer parks forever. The checker must find that schedule
+/// well inside the 1000-schedule budget and name the parked condvar
+/// waiter in the diagnostic.
+#[test]
+fn checker_finds_planted_lost_wakeup() {
+    let mut config = ExploreConfig::exhaustive();
+    config.max_schedules = 1000;
+    let failure = try_explore(config, || {
+        let q = Arc::new(MiniAdmission::new(true));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(7))
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    })
+    .expect_err("the planted check-then-wait gap must deadlock in some schedule");
+    assert_eq!(failure.kind, FailureKind::Deadlock);
+    assert!(
+        failure.message.contains("waiting on condvar"),
+        "diagnostic should name the parked waiter:\n{}",
+        failure.message
+    );
+    assert!(
+        failure.schedules <= 1000,
+        "must be found within the schedule budget, took {}",
+        failure.schedules
+    );
+}
+
+/// The corrected pop path — the shape the real queue uses — survives
+/// full enumeration of the same producer/consumer model.
+#[test]
+fn fixed_queue_passes_exhaustive_enumeration() {
+    let report = explore(ExploreConfig::auto(2), || {
+        let q = Arc::new(MiniAdmission::new(false));
+        let producer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.push(7))
+        };
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.pop())
+        };
+        producer.join().unwrap();
+        assert_eq!(consumer.join().unwrap(), Some(7));
+    });
+    assert!(report.exhausted, "2-thread handoff must enumerate fully");
+}
+
+/// Close wakes all parked consumers (notify_all) — no explored schedule
+/// leaves a consumer parked after close. The 3-thread space is larger
+/// than is worth enumerating in tier-1, so this bounds the DFS and
+/// asserts breadth instead of exhaustion.
+#[test]
+fn close_drains_parked_consumers() {
+    let mut config = ExploreConfig::auto(3);
+    config.max_schedules = 10_000;
+    let report = explore(config, || {
+        let q = Arc::new(MiniAdmission::new(false));
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || q.pop())
+            })
+            .collect();
+        let closer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || q.close())
+        };
+        closer.join().unwrap();
+        for consumer in consumers {
+            assert_eq!(
+                consumer.join().unwrap(),
+                None,
+                "parked consumer missed close"
+            );
+        }
+    });
+    assert!(
+        report.distinct_schedules >= 1000,
+        "close model should cover >=1000 schedules, got {}",
+        report.distinct_schedules
+    );
+}

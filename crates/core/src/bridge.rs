@@ -237,6 +237,9 @@ fn bridge_parallel(
                     let mut stats = BridgeStats::default();
                     let mut survivors: Vec<(usize, CenteredSubgraph)> = Vec::new();
                     'pool: loop {
+                        // relaxed: the fetch_add's atomicity alone hands
+                        // each chunk to exactly one worker; the centres it
+                        // indexes are immutable shared slices.
                         let start = cursor.fetch_add(CENTER_CHUNK, Ordering::Relaxed);
                         if start >= order.len() {
                             break;
@@ -248,6 +251,9 @@ fn bridge_parallel(
                             if budget.probe() {
                                 break 'pool;
                             }
+                            // relaxed: advisory read of the monotonic
+                            // incumbent bound; a stale value only prunes
+                            // less. Results flow through `best`'s mutex.
                             let bound = best_half.load(Ordering::Relaxed);
                             let (survivor, improvement) = process_center(
                                 graph,
@@ -261,7 +267,14 @@ fn bridge_parallel(
                             if let Some(better) = improvement {
                                 let mut guard = best.lock();
                                 if better.half_size() > guard.half_size() {
-                                    best_half.store(better.half_size(), Ordering::Relaxed);
+                                    // relaxed: monotonic advisory bound.
+                                    // fetch_max (not store) keeps the cell
+                                    // non-decreasing on its own, rather
+                                    // than by grace of the mutex around
+                                    // this block — a plain store would
+                                    // silently regress the bound if the
+                                    // locking discipline ever changed.
+                                    best_half.fetch_max(better.half_size(), Ordering::Relaxed);
                                     *guard = better;
                                 }
                             }

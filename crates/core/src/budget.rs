@@ -80,11 +80,16 @@ impl CancelToken {
 
     /// Requests cancellation. Idempotent; visible to every clone.
     pub fn cancel(&self) {
+        // relaxed: monotonic advisory flag (false→true once). It carries
+        // no data: searches that observe it stop and return results via
+        // their own join/channel happens-before edges. A delayed
+        // observation only extends the search by the sampling latency.
         self.flag.store(true, Ordering::Relaxed);
     }
 
     /// True once any clone called [`cancel`](Self::cancel).
     pub fn is_cancelled(&self) -> bool {
+        // relaxed: advisory read of the monotonic flag (see cancel()).
         self.flag.load(Ordering::Relaxed)
     }
 }
@@ -197,6 +202,9 @@ impl SearchBudget {
         let Some(state) = &self.state else {
             return false;
         };
+        // relaxed: sticky RUNNING→{DEADLINE,CANCELLED} state machine; the
+        // transition is monotonic and guards no data, so a stale RUNNING
+        // read only delays the stop by one probe interval.
         if state.load(Ordering::Relaxed) != RUNNING {
             return true;
         }
@@ -214,16 +222,21 @@ impl SearchBudget {
         let Some(state) = &self.state else {
             return false;
         };
+        // relaxed: sticky-state fast path, same contract as is_exhausted.
         if state.load(Ordering::Relaxed) != RUNNING {
             return true;
         }
         if self.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            // relaxed: CANCELLED is terminal, so racing stores agree on
+            // the value; readers treat the state as advisory only.
             state.store(CANCELLED, Ordering::Relaxed);
             return true;
         }
         if self.deadline.is_some_and(|d| Instant::now() >= d) {
             // Never overwrite a concurrent CANCELLED: cancellation is the
             // stronger (caller-initiated) signal.
+            // relaxed: the CAS's atomicity alone decides the transition;
+            // no data is published through this cell.
             let _ = state.compare_exchange(RUNNING, DEADLINE, Ordering::Relaxed, Ordering::Relaxed);
             return true;
         }
@@ -240,6 +253,9 @@ impl SearchBudget {
         let Some(state) = &self.state else {
             return Termination::Complete;
         };
+        // relaxed: read after the search's own checks observed (or never
+        // observed) the sticky state; callers joining worker threads get
+        // their happens-before edge from the join, not from this load.
         match state.load(Ordering::Relaxed) {
             DEADLINE => Termination::DeadlineExceeded,
             CANCELLED => Termination::Cancelled,

@@ -28,7 +28,11 @@
 //! at the repository root for the full threading model.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+// Cross-worker state goes through the mbb-conc facade: std atomics in
+// normal builds, model-checked under `--cfg mbb_conc` (see
+// tests/conc_models.rs and docs/CONCURRENCY.md).
+use mbb_conc::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::local::LocalGraph;
@@ -164,6 +168,44 @@ enum StepOutcome {
     Branch { on_left: bool, vertex: u32 },
 }
 
+/// The pool-wide incumbent half-size of a parallel search — the one
+/// piece of mutable state [`dense_mbb_parallel`] workers share.
+///
+/// The protocol is deliberately minimal so its correctness argument is
+/// short: the cell only ever **grows** (every write is a `fetch_max`
+/// with the half-size of a biclique the writer has actually realised),
+/// and readers use it purely as a *pruning* bound. A stale read is
+/// always safe — it can only under-prune, never discard the optimum —
+/// which is why `Relaxed` suffices end to end. The final result does not
+/// come from this cell: each worker returns its own best biclique and
+/// the coordinator max-merges them after joining, so publication here is
+/// an optimisation, not a correctness dependency.
+pub struct SharedIncumbent(AtomicUsize);
+
+impl SharedIncumbent {
+    /// A pool incumbent seeded at `initial_half` (results must beat it).
+    pub fn new(initial_half: usize) -> SharedIncumbent {
+        SharedIncumbent(AtomicUsize::new(initial_half))
+    }
+
+    /// Publishes a realised half-size. Monotonic: concurrent publishes
+    /// cannot regress the bound (`fetch_max`, not `store`).
+    pub fn publish(&self, half: usize) {
+        // relaxed: monotonic fetch_max of an advisory pruning bound; a
+        // reader seeing a stale value only prunes less. Result delivery
+        // happens via the join, not through this cell.
+        self.0.fetch_max(half, Ordering::Relaxed);
+    }
+
+    /// The current pool-wide bound (may be momentarily stale — safe, see
+    /// the type docs).
+    pub fn bound(&self) -> usize {
+        // relaxed: advisory read of the monotonic bound; staleness only
+        // costs pruning opportunity.
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
 struct DenseSearcher<'g> {
     graph: &'g LocalGraph,
     best: LocalBiclique,
@@ -174,7 +216,7 @@ struct DenseSearcher<'g> {
     /// Incumbent half-size shared with sibling workers of a parallel
     /// search (`None` when running serial). Read at every node, written
     /// on every improvement, so one worker's find prunes all the others.
-    shared_best: Option<&'g AtomicUsize>,
+    shared_best: Option<&'g SharedIncumbent>,
 }
 
 impl DenseSearcher<'_> {
@@ -183,7 +225,7 @@ impl DenseSearcher<'_> {
         if half > self.best_half {
             self.best_half = half;
             if let Some(shared) = self.shared_best {
-                shared.fetch_max(half, Ordering::Relaxed);
+                shared.publish(half);
             }
             self.best = LocalBiclique { left, right };
         }
@@ -194,7 +236,7 @@ impl DenseSearcher<'_> {
     /// bicliques it found itself.
     fn sync_shared_bound(&mut self) {
         if let Some(shared) = self.shared_best {
-            let global = shared.load(Ordering::Relaxed);
+            let global = shared.bound();
             if global > self.best_half {
                 self.best_half = global;
             }
@@ -492,7 +534,7 @@ pub fn dense_mbb_parallel(
     if budget.probe() {
         return (LocalBiclique::default(), SearchStats::default());
     }
-    let shared_best = AtomicUsize::new(initial_half);
+    let shared_best = SharedIncumbent::new(initial_half);
 
     // Serial prefix: expand the frontier. Resolutions met on the way
     // (poly solves at shallow depth) land in the coordinator's `best`.
@@ -523,7 +565,7 @@ pub fn dense_mbb_parallel(
                     let mut searcher = DenseSearcher {
                         graph,
                         best: LocalBiclique::default(),
-                        best_half: shared.load(Ordering::Relaxed),
+                        best_half: shared.bound(),
                         stats: SearchStats::default(),
                         config,
                         budget: budget.clone(),
@@ -536,6 +578,10 @@ pub fn dense_mbb_parallel(
                     // Own slice first, then one stealing sweep over the
                     // rest — `claimed` makes every task run exactly once.
                     for index in own.clone().chain(0..tasks.len()) {
+                        // relaxed: the atomic RMW alone decides the claim
+                        // (exactly one swap returns false per task); the
+                        // task data is immutable and published by the
+                        // spawning scope's happens-before edge.
                         if claimed[index].swap(true, Ordering::Relaxed) {
                             continue;
                         }

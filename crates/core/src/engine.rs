@@ -212,6 +212,8 @@ impl MbbEngine {
 
     /// Snapshot of the cumulative session index-reuse counters.
     pub fn index_stats(&self) -> IndexStats {
+        // relaxed: monotonic statistics counters, loaded for reporting
+        // only; the snapshot carries no cross-field consistency promise.
         IndexStats {
             orders_computed: self.counters.orders_computed.load(Ordering::Relaxed),
             orders_reused: self.counters.orders_reused.load(Ordering::Relaxed),
@@ -292,6 +294,8 @@ impl MbbEngine {
 
     fn bicore(&self) -> &BicoreDecomposition {
         if let Some(cached) = self.bicore.get() {
+            // relaxed: monotonic statistics counter; nothing reads it for
+            // synchronisation (the index itself synchronises via OnceLock).
             self.counters.bicores_reused.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
@@ -299,6 +303,7 @@ impl MbbEngine {
             let start = Instant::now();
             let decomposition = bicore_decomposition(&self.graph);
             self.note_preprocess(start);
+            // relaxed: monotonic statistics counter (see above).
             self.counters
                 .bicores_computed
                 .fetch_add(1, Ordering::Relaxed);
@@ -308,6 +313,8 @@ impl MbbEngine {
 
     fn order_index(&self) -> &OrderIndex {
         if let Some(cached) = self.order.get() {
+            // relaxed: monotonic statistics counter; the cached index is
+            // published by OnceLock, not by this increment.
             self.counters.orders_reused.fetch_add(1, Ordering::Relaxed);
             return cached;
         }
@@ -333,6 +340,7 @@ impl MbbEngine {
                 rank[g as usize] = i as u32;
             }
             self.note_preprocess(start);
+            // relaxed: monotonic statistics counter (see above).
             self.counters
                 .orders_computed
                 .fetch_add(1, Ordering::Relaxed);
@@ -346,11 +354,15 @@ impl MbbEngine {
     /// clearly serves an anchored workload and the full index pays for
     /// itself.
     fn two_hop_for_anchored(&self) -> Option<&TwoHopIndex> {
+        // relaxed: the anchored-query tally only gates an *advisory*
+        // build-now-or-later heuristic; a racing duplicate build is
+        // resolved (and published) by OnceLock either way.
         let prior = self
             .counters
             .anchored_queries
             .fetch_add(1, Ordering::Relaxed);
         if let Some(cached) = self.two_hop.get() {
+            // relaxed: monotonic statistics counter.
             self.counters
                 .two_hops_reused
                 .fetch_add(1, Ordering::Relaxed);
@@ -363,6 +375,7 @@ impl MbbEngine {
             let start = Instant::now();
             let index = TwoHopIndex::build(&self.graph);
             self.note_preprocess(start);
+            // relaxed: monotonic statistics counter.
             self.counters
                 .two_hops_computed
                 .fetch_add(1, Ordering::Relaxed);
@@ -371,6 +384,8 @@ impl MbbEngine {
     }
 
     fn note_preprocess(&self, start: Instant) {
+        // relaxed: monotonic nanosecond tally, read only by index_stats
+        // reporting; no ordering contract with the work it timed.
         self.counters
             .preprocess_nanos
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);

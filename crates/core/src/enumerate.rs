@@ -122,10 +122,11 @@ struct Enumerator<'g, F> {
     reported: u64,
     visited: u64,
     stopped: bool,
-    deadline: Option<std::time::Instant>,
-    ticks: u64,
-    /// Session budget (deadline/cancellation shared with the caller); the
-    /// `deadline` field above is the per-call `EnumConfig::budget` cap.
+    /// The per-call [`EnumConfig::budget`] cap, carried as a sampled
+    /// [`SearchBudget`] so the hot loop never reads the raw wall clock.
+    call_budget: SearchBudget,
+    /// Session budget (deadline/cancellation shared with the caller), as
+    /// opposed to the per-call `call_budget` above.
     budget: SearchBudget,
     /// Dynamic balanced-size lower bound: branches whose best possible
     /// `min(|A|, |B|)` is strictly below the floor are skipped entirely.
@@ -135,15 +136,7 @@ struct Enumerator<'g, F> {
 
 impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
     fn out_of_time(&mut self) -> bool {
-        self.ticks += 1;
-        if self.ticks.is_multiple_of(256) {
-            if let Some(deadline) = self.deadline {
-                if std::time::Instant::now() >= deadline {
-                    self.stopped = true;
-                }
-            }
-        }
-        if self.budget.is_exhausted() {
+        if self.call_budget.is_exhausted() || self.budget.is_exhausted() {
             self.stopped = true;
         }
         self.stopped
@@ -313,7 +306,9 @@ pub(crate) fn enumerate_with_floor<F>(
 where
     F: FnMut(&MaximalBiclique) -> ControlFlow<()>,
 {
-    let deadline = config.budget.map(|b| std::time::Instant::now() + b);
+    let call_budget = config
+        .budget
+        .map_or_else(SearchBudget::unlimited, SearchBudget::with_deadline);
     let mut enumerator = Enumerator {
         graph,
         config: *config,
@@ -321,8 +316,7 @@ where
         reported: 0,
         visited: 0,
         stopped: false,
-        deadline,
-        ticks: 0,
+        call_budget,
         budget: budget.clone(),
         floor,
     };

@@ -21,6 +21,7 @@ use std::ops::ControlFlow;
 use mbb_bigraph::graph::{sorted_intersection, sorted_intersection_len, BipartiteGraph, Vertex};
 use mbb_bigraph::two_hop::n2_neighbors;
 
+use crate::budget::SearchBudget;
 use crate::enumerate::{EnumConfig, EnumOutcome, MaximalBiclique};
 
 /// Enumerates every maximal biclique (both sides non-empty) exactly once,
@@ -36,7 +37,9 @@ pub fn enumerate_maximal_bicliques_scoped<F>(
 where
     F: FnMut(&MaximalBiclique) -> ControlFlow<()>,
 {
-    let deadline = config.budget.map(|b| std::time::Instant::now() + b);
+    let budget = config
+        .budget
+        .map_or_else(SearchBudget::unlimited, SearchBudget::with_deadline);
     let nl = graph.num_left();
 
     // Fixed total order: non-decreasing degree (small scopes first), ties
@@ -55,8 +58,7 @@ where
         reported: 0,
         visited: 0,
         stopped: false,
-        deadline,
-        ticks: 0,
+        budget,
     };
     for &root in &roots {
         if state.stopped {
@@ -87,7 +89,9 @@ pub fn enumerate_through_vertex<F>(
 where
     F: FnMut(&MaximalBiclique) -> ControlFlow<()>,
 {
-    let deadline = config.budget.map(|b| std::time::Instant::now() + b);
+    let budget = config
+        .budget
+        .map_or_else(SearchBudget::unlimited, SearchBudget::with_deadline);
     // Rank everything above the root so no candidate is filtered: the
     // "minimal member" restriction disappears and every biclique through
     // the root is enumerated once (consensus expansion stays duplicate-free
@@ -101,8 +105,7 @@ where
         reported: 0,
         visited: 0,
         stopped: false,
-        deadline,
-        ticks: 0,
+        budget,
     };
     if graph.degree_left(root) > 0 {
         state.enumerate_root(root, &mut visit);
@@ -121,19 +124,15 @@ struct ScopedState<'g> {
     reported: u64,
     visited: u64,
     stopped: bool,
-    deadline: Option<std::time::Instant>,
-    ticks: u64,
+    /// The per-call [`EnumConfig::budget`] cap, carried as a sampled
+    /// [`SearchBudget`] so the hot loop never reads the raw wall clock.
+    budget: SearchBudget,
 }
 
 impl ScopedState<'_> {
     fn out_of_time(&mut self) -> bool {
-        self.ticks += 1;
-        if self.ticks.is_multiple_of(256) {
-            if let Some(deadline) = self.deadline {
-                if std::time::Instant::now() >= deadline {
-                    self.stopped = true;
-                }
-            }
+        if self.budget.is_exhausted() {
+            self.stopped = true;
         }
         self.stopped
     }

@@ -206,6 +206,7 @@ impl MbbSolver {
         let mut stats = SolveStats::default();
 
         // ---- Step 1: heuristic + reduction (Algorithm 5). ----
+        // mbb-lint: allow(hot-clock) per-stage timing, taken once per solve outside the search loops
         let stage1_start = Instant::now();
         let (mut best, reduced) = if config.use_heuristic_stage {
             let outcome = hmbb(graph, config.heuristic_seeds, config.use_core_optimizations);
@@ -249,6 +250,7 @@ impl MbbSolver {
         }
 
         // ---- Step 2: bridge to maximality (Algorithms 6 and 7). ----
+        // mbb-lint: allow(hot-clock) per-stage timing, taken once per solve outside the search loops
         let stage2_start = Instant::now();
         let order = match session {
             // Session path: restrict the cached full-graph order to the
@@ -302,6 +304,7 @@ impl MbbSolver {
         }
 
         // ---- Step 3: maximality verification (Algorithm 8). ----
+        // mbb-lint: allow(hot-clock) per-stage timing, taken once per solve outside the search loops
         let stage3_start = Instant::now();
         let dense_config = DenseConfig {
             use_polynomial_case: config.use_dense_branching,
@@ -394,6 +397,7 @@ impl MbbSolver {
 /// Runs `denseMBB` (Algorithm 3) directly on a whole graph — the §6.1 dense
 /// workload entry point. A degree-greedy warm start seeds the bound.
 pub fn dense_mbb_graph(graph: &BipartiteGraph) -> SolveResult {
+    // mbb-lint: allow(hot-clock) whole-call timing, taken once per solve outside the search loops
     let start = Instant::now();
     let mut stats = SolveStats::default();
     let score: Vec<u64> = graph.vertices().map(|v| graph.degree(v) as u64).collect();

@@ -261,6 +261,9 @@ pub fn verify_mbb_budgeted(
                     if budget.probe() {
                         break;
                     }
+                    // relaxed: the fetch_add's atomicity alone hands each
+                    // survivor index to exactly one worker; the survivors
+                    // slice is immutable and published by scope creation.
                     let index = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if index >= survivors.len() {
                         break;

@@ -1,0 +1,132 @@
+//! Model-check suite for the incumbent publication path used by
+//! `dense_mbb_parallel` — the real `SharedIncumbent` type and the
+//! claim-flag protocol its task pool relies on.
+//!
+//! Compiled (and run) only under the model facade:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg mbb_conc" cargo test -p mbb-core --test conc_models
+//! ```
+//!
+//! In a normal build this file compiles to an empty test binary, so
+//! tier-1 `cargo test` is unaffected.
+#![cfg(mbb_conc)]
+
+use std::sync::Arc;
+
+use mbb_conc::model::{explore, ExploreConfig};
+use mbb_conc::sync::atomic::{AtomicBool, Ordering};
+use mbb_conc::thread;
+use mbb_core::dense::SharedIncumbent;
+
+/// Two workers race `publish`; every interleaving must leave the cell at
+/// the maximum, and each worker's own reads of `bound()` must be
+/// monotonically non-decreasing (the property pruning correctness rests
+/// on: a stale bound may under-prune but never over-prune).
+#[test]
+fn incumbent_converges_to_max_and_bounds_are_monotone() {
+    let report = explore(ExploreConfig::auto(2), || {
+        let incumbent = Arc::new(SharedIncumbent::new(1));
+        let workers: Vec<_> = [[3usize, 5], [4, 2]]
+            .into_iter()
+            .map(|finds| {
+                let incumbent = Arc::clone(&incumbent);
+                thread::spawn(move || {
+                    // Each model op is an interleaving choice point, so
+                    // the loop body is kept to the minimal publish+read
+                    // pair — enough to observe a regression if fetch_max
+                    // were broken, small enough to enumerate fully.
+                    let mut last = 0;
+                    for half in finds {
+                        incumbent.publish(half);
+                        let now = incumbent.bound();
+                        assert!(now >= last, "bound regressed: {last} -> {now}");
+                        assert!(now >= half, "own publish not visible");
+                        last = now;
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(incumbent.bound(), 5, "final bound is the global max");
+    });
+    assert!(
+        report.exhausted,
+        "2-thread incumbent model must enumerate fully ({} schedules)",
+        report.schedules
+    );
+}
+
+/// `publish` never lowers the bound, even against a concurrent larger
+/// publication — the `fetch_max` protocol the `// relaxed:` audit
+/// justifications in `dense.rs` appeal to.
+#[test]
+fn late_small_publish_cannot_regress_the_bound() {
+    let report = explore(ExploreConfig::auto(2), || {
+        let incumbent = Arc::new(SharedIncumbent::new(0));
+        let big = {
+            let incumbent = Arc::clone(&incumbent);
+            thread::spawn(move || incumbent.publish(9))
+        };
+        let small = {
+            let incumbent = Arc::clone(&incumbent);
+            thread::spawn(move || {
+                incumbent.publish(2);
+                incumbent.publish(3);
+            })
+        };
+        big.join().unwrap();
+        small.join().unwrap();
+        assert_eq!(incumbent.bound(), 9);
+    });
+    assert!(report.exhausted, "({} schedules)", report.schedules);
+}
+
+/// The work-stealing claim protocol of `dense_mbb_parallel`: one
+/// `AtomicBool` per task, `swap(true)` decides ownership. In every
+/// interleaving each task is executed by exactly one worker and no task
+/// is dropped.
+#[test]
+fn claim_flags_hand_each_task_to_exactly_one_worker() {
+    const TASKS: usize = 3;
+    let report = explore(ExploreConfig::auto(2), || {
+        let claimed: Arc<Vec<AtomicBool>> =
+            Arc::new((0..TASKS).map(|_| AtomicBool::new(false)).collect());
+        // Execution tallies live in *std* atomics: invisible to the model
+        // scheduler (no choice points), which keeps the enumeration to
+        // the three swaps per worker that actually decide ownership.
+        let executions: Arc<Vec<std::sync::atomic::AtomicUsize>> = Arc::new(
+            (0..TASKS)
+                .map(|_| std::sync::atomic::AtomicUsize::new(0))
+                .collect(),
+        );
+        let workers: Vec<_> = (0..2)
+            .map(|_| {
+                let claimed = Arc::clone(&claimed);
+                let executions = Arc::clone(&executions);
+                thread::spawn(move || {
+                    for task in 0..TASKS {
+                        // relaxed: mirrors dense.rs — the RMW alone
+                        // decides the claim; task data is immutable.
+                        if !claimed[task].swap(true, Ordering::Relaxed) {
+                            executions[task].fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().unwrap();
+        }
+        for (task, count) in executions.iter().enumerate() {
+            assert_eq!(
+                count.load(std::sync::atomic::Ordering::Relaxed),
+                1,
+                "task {task} must run exactly once"
+            );
+        }
+    });
+    assert!(report.exhausted, "({} schedules)", report.schedules);
+}

@@ -1,0 +1,331 @@
+//! A minimal line-level Rust lexer: no syntax tree, no external parser —
+//! just enough classification for the textual rules in [`crate::rules`].
+//!
+//! For every source line it separates **code** from **comments**, blanks
+//! string/char-literal contents (so `"panic!"` in a log message never
+//! trips a rule), and tracks whether the line sits inside a
+//! `#[cfg(test)]` item. The classifier is deliberately conservative:
+//! when a construct is ambiguous (exotic raw strings, macros generating
+//! items) it errs toward classifying text as code, which can only make
+//! the rules *stricter* — and every rule accepts an inline suppression
+//! for the rare false positive.
+
+/// One classified source line.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// 1-based line number.
+    pub number: usize,
+    /// The line's code with comments removed and string/char contents
+    /// blanked to spaces (delimiters preserved).
+    pub code: String,
+    /// Concatenated text of any comments on the line (`//`, `///`,
+    /// `//!`, and block-comment content), without the markers.
+    pub comment: String,
+    /// True when the line is inside a `#[cfg(test)]` item (or the whole
+    /// file was declared test-only, e.g. it lives under `tests/`).
+    pub in_test: bool,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    Str,
+    RawStr { hashes: usize },
+    BlockComment { depth: usize },
+}
+
+/// Splits `source` into classified lines. `whole_file_is_test` marks
+/// every line as test code (integration-test files).
+pub fn analyze(source: &str, whole_file_is_test: bool) -> Vec<SourceLine> {
+    let mut out = Vec::new();
+    let mut mode = Mode::Code;
+    for (idx, raw) in source.lines().enumerate() {
+        let (code, comment, next) = split_line(raw, mode);
+        mode = next;
+        out.push(SourceLine {
+            number: idx + 1,
+            code,
+            comment,
+            in_test: whole_file_is_test,
+        });
+    }
+    if !whole_file_is_test {
+        mark_test_regions(&mut out);
+    }
+    out
+}
+
+/// Processes one line under the carried-over `mode`, returning the code
+/// text, comment text, and the mode the next line starts in.
+fn split_line(raw: &str, mut mode: Mode) -> (String, String, Mode) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match mode {
+            Mode::BlockComment { depth } => {
+                if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment { depth: depth - 1 }
+                    };
+                    i += 2;
+                } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment { depth: depth + 1 };
+                    i += 2;
+                } else {
+                    comment.push(chars[i]);
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if chars[i] == '\\' {
+                    code.push(' ');
+                    if i + 1 < chars.len() {
+                        code.push(' ');
+                    }
+                    i += 2;
+                } else if chars[i] == '"' {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr { hashes } => {
+                if chars[i] == '"' && closes_raw(&chars, i + 1, hashes) {
+                    code.push('"');
+                    mode = Mode::Code;
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Code => {
+                let c = chars[i];
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    // Line comment (incl. doc comments): strip markers,
+                    // keep the text.
+                    let mut j = i + 2;
+                    while chars.get(j) == Some(&'/') || chars.get(j) == Some(&'!') {
+                        j += 1;
+                    }
+                    comment.push_str(&chars[j..].iter().collect::<String>());
+                    i = chars.len();
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment { depth: 1 };
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    mode = Mode::Str;
+                    i += 1;
+                } else if is_raw_string_start(&chars, i) {
+                    // r"..." / r#"..."# / br"..." — skip prefix to the
+                    // opening quote.
+                    let mut j = i;
+                    while chars[j] != '#' && chars[j] != '"' {
+                        code.push(chars[j]);
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while chars[j] == '#' {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    code.push('"');
+                    mode = Mode::RawStr { hashes };
+                    i = j + 1;
+                } else if c == '\'' {
+                    if let Some(end) = char_literal_end(&chars, i) {
+                        code.push('\'');
+                        for _ in i + 1..end {
+                            code.push(' ');
+                        }
+                        code.push('\'');
+                        i = end + 1;
+                    } else {
+                        // A lifetime — plain code.
+                        code.push(c);
+                        i += 1;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+    // Strings (multi-line literals stay open across the newline) and
+    // block comments carry their mode to the next line; everything else
+    // resets to code.
+    (code, comment, mode)
+}
+
+fn closes_raw(chars: &[char], from: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| chars.get(from + k) == Some(&'#'))
+}
+
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    // r" r#" br" b" (b"..." is a plain byte string; handled by '"' arm)
+    let at = |k: usize| chars.get(i + k).copied();
+    let boundary = i == 0 || !chars[i - 1].is_alphanumeric() && chars[i - 1] != '_';
+    if !boundary {
+        return false;
+    }
+    match at(0) {
+        Some('r') => matches!(at(1), Some('"') | Some('#')),
+        Some('b') => at(1) == Some('r') && matches!(at(2), Some('"') | Some('#')),
+        _ => false,
+    }
+}
+
+/// If position `i` (a `'`) starts a char literal, returns the index of
+/// its closing quote; `None` means it is a lifetime.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: find the next unescaped quote.
+            let mut j = i + 2;
+            while j < chars.len() {
+                if chars[j] == '\'' {
+                    return Some(j);
+                }
+                j += 1;
+            }
+            None
+        }
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+/// Second pass: walk brace depth through the code text and mark the
+/// body of every `#[cfg(test)]` item. The attribute line itself, the
+/// item header, and the whole brace-balanced block are all marked.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut depth: i64 = 0;
+    let mut pending_attr = false;
+    // Depth at which each active test region closes.
+    let mut regions: Vec<i64> = Vec::new();
+    for line in lines.iter_mut() {
+        if line.code.contains("#[cfg(test)]") {
+            pending_attr = true;
+        }
+        let mut in_test_here = pending_attr || !regions.is_empty();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending_attr {
+                        regions.push(depth);
+                        pending_attr = false;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if regions.last().is_some_and(|&d| depth <= d) {
+                        regions.pop();
+                        in_test_here = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test_here || pending_attr || !regions.is_empty();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        analyze(src, false).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_but_kept_as_comment_text() {
+        let lines = analyze("let x = 1; // relaxed: fine\n", false);
+        assert!(lines[0].code.contains("let x = 1;"));
+        assert!(!lines[0].code.contains("relaxed"));
+        assert!(lines[0].comment.contains("relaxed: fine"));
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let c = codes("let s = \"panic!(boom) .unwrap()\";\n");
+        assert!(!c[0].contains("panic!"));
+        assert!(!c[0].contains(".unwrap()"));
+        assert!(c[0].contains("let s = \""));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes_are_blanked() {
+        let c = codes("let s = r#\"Instant::now() \" inner\"#; x.unwrap();\n");
+        assert!(!c[0].contains("Instant::now"));
+        assert!(
+            c[0].contains(".unwrap()"),
+            "code after the literal kept: {}",
+            c[0]
+        );
+    }
+
+    #[test]
+    fn multiline_strings_stay_open() {
+        let c = codes("let s = \"line one\nline panic!(two)\";\nx.unwrap();\n");
+        assert!(!c[1].contains("panic!"));
+        assert!(c[2].contains(".unwrap()"));
+    }
+
+    #[test]
+    fn block_comments_span_lines() {
+        let lines = analyze("a(); /* hidden\npanic!() still hidden */ b();\n", false);
+        assert!(!lines[1].code.contains("panic!"));
+        assert!(lines[1].code.contains("b();"));
+        assert!(lines[1].comment.contains("still hidden"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let c = codes("fn f<'a>(x: &'a str) -> &'a str { x }\n");
+        assert!(c[0].contains("fn f<'a>"));
+    }
+
+    #[test]
+    fn char_literals_are_blanked() {
+        let c = codes("let c = '\"'; x.unwrap();\n");
+        assert!(
+            c[0].contains(".unwrap()"),
+            "quote in char literal must not open a string: {}",
+            c[0]
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn prod2() {}\n";
+        let lines = analyze(src, false);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line");
+        assert!(lines[2].in_test);
+        assert!(lines[3].in_test);
+        assert!(lines[4].in_test, "closing brace");
+        assert!(!lines[5].in_test, "code after the region");
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let lines = analyze("#[cfg(not(test))]\nfn prod() { x.unwrap(); }\n", false);
+        assert!(lines.iter().all(|l| !l.in_test));
+    }
+
+    #[test]
+    fn whole_file_test_marks_everything() {
+        let lines = analyze("fn anything() { x.unwrap(); }\n", true);
+        assert!(lines.iter().all(|l| l.in_test));
+    }
+}

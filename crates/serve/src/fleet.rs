@@ -9,8 +9,13 @@
 //! engine they started on; only queries admitted after the swap see the
 //! new graph.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
+
+// Engine-slot synchronisation goes through the mbb-conc facade so the
+// reload path can be model-checked under `--cfg mbb_conc` (see
+// docs/CONCURRENCY.md).
+use mbb_conc::sync::atomic::{AtomicU64, Ordering};
+use mbb_conc::sync::RwLock;
 
 use mbb_bigraph::graph::BipartiteGraph;
 use mbb_core::engine::MbbEngine;
@@ -86,12 +91,14 @@ impl Shard {
     /// The shard's current engine session (an `Arc` clone — keep it for
     /// the duration of one query and it survives a concurrent reload).
     pub fn engine(&self) -> Arc<MbbEngine> {
-        Arc::clone(&self.engine.read().unwrap())
+        Arc::clone(&self.engine.read())
     }
 
     /// How many times this shard's engine has been swapped since
     /// registration.
     pub fn reloads(&self) -> u64 {
+        // relaxed: monotonic event counter read for reporting only; no
+        // other memory is ordered against it.
         self.reloads.load(Ordering::Relaxed)
     }
 }
@@ -214,7 +221,9 @@ impl ShardedFleet {
     /// [`reload_shard_from_store`](Self::reload_shard_from_store).
     pub fn reload_engine(&self, id: &str, engine: MbbEngine) -> Result<usize, ServeError> {
         let index = self.route_id(id)?;
-        *self.shards[index].engine.write().unwrap() = Arc::new(engine);
+        *self.shards[index].engine.write() = Arc::new(engine);
+        // relaxed: monotonic event counter; the swap itself synchronises
+        // through the RwLock above.
         self.shards[index].reloads.fetch_add(1, Ordering::Relaxed);
         Ok(index)
     }
@@ -247,7 +256,9 @@ impl ShardedFleet {
         } else {
             MbbEngine::from_arc(loaded.graph.clone(), *current.config())
         };
-        *self.shards[index].engine.write().unwrap() = Arc::new(engine);
+        *self.shards[index].engine.write() = Arc::new(engine);
+        // relaxed: monotonic event counter; the swap itself synchronises
+        // through the RwLock above.
         self.shards[index].reloads.fetch_add(1, Ordering::Relaxed);
         Ok((loaded, forked))
     }

@@ -44,8 +44,12 @@
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::io::{BufRead, Write};
-use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+// Synchronisation goes through the mbb-conc facade: std-backed in
+// normal builds, model-checked under `RUSTFLAGS="--cfg mbb_conc"`
+// (see tests/conc_models.rs and docs/CONCURRENCY.md).
+use mbb_conc::sync::{Condvar, Mutex};
 
 use mbb_core::engine::MbbEngine;
 use mbb_core::resolve_threads;
@@ -209,7 +213,12 @@ pub struct ServeStats {
 
 /// One admitted request, bound to the engine session that was current at
 /// admission time (reload safety: the binding never changes afterwards).
-struct StreamJob {
+///
+/// Public but `#[doc(hidden)]`: the `conc_models` interleaving tests
+/// construct jobs directly to drive the real queue under the model
+/// scheduler.
+#[doc(hidden)]
+pub struct StreamJob {
     request: QueryRequest,
     shard: usize,
     shard_id: String,
@@ -217,6 +226,49 @@ struct StreamJob {
     deadline: Option<Instant>,
     admitted: Instant,
     seq: u64,
+}
+
+impl StreamJob {
+    /// Builds a job directly, bypassing routing/validation — model-check
+    /// and unit-test harness only. Timing fields are caller-fixed so
+    /// model closures stay schedule-deterministic.
+    #[doc(hidden)]
+    pub fn synthetic(
+        request: QueryRequest,
+        shard: usize,
+        shard_id: String,
+        engine: Arc<MbbEngine>,
+        deadline: Option<Instant>,
+        admitted: Instant,
+    ) -> StreamJob {
+        StreamJob {
+            request,
+            shard,
+            shard_id,
+            engine,
+            deadline,
+            admitted,
+            seq: 0, // assigned under the queue lock
+        }
+    }
+
+    /// The request id this job carries.
+    #[doc(hidden)]
+    pub fn id(&self) -> u64 {
+        self.request.id
+    }
+
+    /// The shard index the job is routed to.
+    #[doc(hidden)]
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The absolute deadline, if the request carried a budget.
+    #[doc(hidden)]
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
 }
 
 /// Heap entry: max-heap orders "greater = scheduled sooner", so soonest
@@ -293,9 +345,53 @@ struct QueueState {
     served: Vec<(u64, u64, u64)>, // per shard: (served, shed, search nodes)
 }
 
+/// How a popped job retired — applied to the queue counters by
+/// [`Admission::finish`]. A typed enum (not a closure over the private
+/// `QueueState`) so the model-check tests can finish jobs the same way
+/// the real workers do.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy)]
+pub enum Completion {
+    /// Retired without touching counters (synthetic pops in tests).
+    Untracked,
+    /// Shed at dispatch: the deadline expired while queued.
+    Shed {
+        /// The shard the job was routed to.
+        shard: usize,
+    },
+    /// Executed to a response.
+    Executed {
+        /// The shard the job ran on.
+        shard: usize,
+        /// Search nodes the solver explored.
+        search_nodes: u64,
+        /// Admission-to-dispatch wait.
+        queue_wait: Duration,
+        /// Dispatch-to-response time.
+        service: Duration,
+    },
+}
+
+/// Observable queue counters for tests and model checks (the public
+/// [`ServeStats`] is the wire-facing superset).
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueSnapshot {
+    pub admitted: u64,
+    pub completed: u64,
+    pub shed: u64,
+    pub depth: usize,
+    pub in_flight: usize,
+    pub max_depth: usize,
+}
+
 /// The shared state of one `serve` call: the bounded admission queue
 /// plus its three wait conditions.
-struct Admission {
+///
+/// `#[doc(hidden)]` public: the `conc_models` tests model-check this
+/// exact type (not a copy) under `--cfg mbb_conc`.
+#[doc(hidden)]
+pub struct Admission {
     state: Mutex<QueueState>,
     /// Admission waits here when the queue is full (backpressure).
     space: Condvar,
@@ -308,7 +404,8 @@ struct Admission {
 }
 
 impl Admission {
-    fn new(shards: usize, config: &StreamConfig) -> Admission {
+    #[doc(hidden)]
+    pub fn new(shards: usize, config: &StreamConfig) -> Admission {
         Admission {
             state: Mutex::new(QueueState {
                 heaps: (0..shards).map(|_| BinaryHeap::new()).collect(),
@@ -338,10 +435,11 @@ impl Admission {
     }
 
     /// Blocks until the queue has space, then enqueues (backpressure).
-    fn push(&self, mut job: StreamJob) {
-        let mut state = self.state.lock().unwrap();
+    #[doc(hidden)]
+    pub fn push(&self, mut job: StreamJob) {
+        let mut state = self.state.lock();
         while state.depth >= self.depth_limit {
-            state = self.space.wait(state).unwrap();
+            state = self.space.wait(state);
         }
         job.seq = state.seq;
         state.seq += 1;
@@ -393,28 +491,55 @@ impl Admission {
 
     /// Blocks for the next job; `None` means closed-and-empty (worker
     /// exits).
-    fn pop(&self) -> Option<StreamJob> {
-        let mut state = self.state.lock().unwrap();
+    #[doc(hidden)]
+    pub fn pop(&self) -> Option<StreamJob> {
+        let mut state = self.state.lock();
         loop {
             if let Some(shard) = self.pick_shard(&mut state) {
-                let job = state.heaps[shard].pop().expect("picked head exists").0;
+                // `pick_shard` only returns shards with a non-empty
+                // heap, but a wire-facing worker must not panic on the
+                // impossible case — re-evaluate instead.
+                let Some(pending) = state.heaps[shard].pop() else {
+                    continue;
+                };
                 state.depth -= 1;
                 state.in_flight += 1;
                 drop(state);
                 self.space.notify_one();
-                return Some(job);
+                return Some(pending.0);
             }
             if state.closed {
                 return None;
             }
-            state = self.work.wait(state).unwrap();
+            state = self.work.wait(state);
         }
     }
 
-    /// Marks one popped job finished and wakes any drain waiter.
-    fn finish(&self, update: impl FnOnce(&mut QueueState)) {
-        let mut state = self.state.lock().unwrap();
-        update(&mut state);
+    /// Marks one popped job finished, applies its counter updates, and
+    /// wakes any drain waiter.
+    #[doc(hidden)]
+    pub fn finish(&self, completion: Completion) {
+        let mut state = self.state.lock();
+        match completion {
+            Completion::Untracked => {}
+            Completion::Shed { shard } => {
+                state.shed += 1;
+                state.served[shard].1 += 1;
+            }
+            Completion::Executed {
+                shard,
+                search_nodes,
+                queue_wait,
+                service,
+            } => {
+                state.completed += 1;
+                state.served[shard].0 += 1;
+                state.served[shard].2 += search_nodes;
+                state.total_queue_wait += queue_wait;
+                state.max_queue_wait = state.max_queue_wait.max(queue_wait);
+                state.total_service += service;
+            }
+        }
         state.in_flight -= 1;
         if state.depth == 0 && state.in_flight == 0 {
             self.idle.notify_all();
@@ -422,17 +547,33 @@ impl Admission {
     }
 
     /// Blocks until everything admitted so far has completed.
-    fn drain(&self) -> u64 {
-        let mut state = self.state.lock().unwrap();
+    #[doc(hidden)]
+    pub fn drain(&self) -> u64 {
+        let mut state = self.state.lock();
         while state.depth > 0 || state.in_flight > 0 {
-            state = self.idle.wait(state).unwrap();
+            state = self.idle.wait(state);
         }
         state.completed + state.shed
     }
 
-    fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+    #[doc(hidden)]
+    pub fn close(&self) {
+        self.state.lock().closed = true;
         self.work.notify_all();
+    }
+
+    /// Counter snapshot for tests and model checks.
+    #[doc(hidden)]
+    pub fn queue_snapshot(&self) -> QueueSnapshot {
+        let state = self.state.lock();
+        QueueSnapshot {
+            admitted: state.admitted,
+            completed: state.completed,
+            shed: state.shed,
+            depth: state.depth,
+            in_flight: state.in_flight,
+            max_depth: state.max_depth,
+        }
     }
 }
 
@@ -507,7 +648,7 @@ impl StreamServer {
         let sink = Mutex::new((output, None::<std::io::Error>));
         let stats = self.serve_with(input, |event| {
             let line = encode_stream_event(&event);
-            let mut guard = sink.lock().unwrap();
+            let mut guard = sink.lock();
             if guard.1.is_none() {
                 let result = guard
                     .0
@@ -519,7 +660,7 @@ impl StreamServer {
                 }
             }
         });
-        match sink.into_inner().unwrap().1 {
+        match sink.into_inner().1 {
             Some(e) => Err(e),
             None => Ok(stats),
         }
@@ -581,7 +722,7 @@ impl StreamServer {
             }
             match parse_stream_line(trimmed, line_no) {
                 Err(e) => {
-                    admission.state.lock().unwrap().parse_errors += 1;
+                    admission.state.lock().parse_errors += 1;
                     sink(StreamEvent::ParseError {
                         line: line_no,
                         message: e.to_string(),
@@ -605,7 +746,7 @@ impl StreamServer {
         let shard = match self.fleet.route(&request) {
             Ok(shard) => shard,
             Err(e) => {
-                admission.state.lock().unwrap().rejected += 1;
+                admission.state.lock().rejected += 1;
                 sink(StreamEvent::Response(Box::new(rejected(
                     &request,
                     None,
@@ -619,7 +760,7 @@ impl StreamServer {
         let engine = self.fleet.engine(shard);
         let shard_id = self.fleet.shards()[shard].id().to_string();
         if let Err(reason) = validate(engine.graph(), &request) {
-            admission.state.lock().unwrap().rejected += 1;
+            admission.state.lock().rejected += 1;
             sink(StreamEvent::Response(Box::new(rejected(
                 &request,
                 Some(shard_id),
@@ -630,7 +771,7 @@ impl StreamServer {
         // Admission-time shedding: a zero budget can never be met — the
         // request is dead on arrival and must not consume a queue slot.
         if request.deadline.is_some_and(|d| d.is_zero()) {
-            let mut state = admission.state.lock().unwrap();
+            let mut state = admission.state.lock();
             state.shed += 1;
             state.served[shard].1 += 1;
             drop(state);
@@ -677,7 +818,7 @@ impl StreamServer {
                         if let Ok(index) = self.fleet.route_id(&graph) {
                             // The new session counts from zero; reset its
                             // reuse baseline so diffs stay meaningful.
-                            baselines.lock().unwrap()[index] = IndexStats::default();
+                            baselines.lock()[index] = IndexStats::default();
                         }
                         ReloadOutcome {
                             detail: loaded.describe(),
@@ -691,26 +832,35 @@ impl StreamServer {
     }
 
     fn snapshot(&self, admission: &Admission, baselines: &Mutex<Vec<IndexStats>>) -> ServeStats {
-        let state = admission.state.lock().unwrap();
-        let baselines = baselines.lock().unwrap();
+        // Lock-order contract (docs/lock_order.txt): shard engine
+        // RwLocks strictly before the admission-queue mutex. All
+        // fleet reads — `index_stats` takes each shard's engine read
+        // lock — happen up front, before `admission.state` is held.
         let after = self.fleet.index_stats();
-        let reuse = |b: u64, a: u64| a.saturating_sub(b);
-        let per_shard: Vec<ShardServeStats> = self
+        let total_reloads = self.fleet.total_reloads();
+        let shard_meta: Vec<(String, u64)> = self
             .fleet
             .shards()
             .iter()
+            .map(|shard| (shard.id().to_string(), shard.reloads()))
+            .collect();
+        let state = admission.state.lock();
+        let baselines = baselines.lock();
+        let reuse = |b: u64, a: u64| a.saturating_sub(b);
+        let per_shard: Vec<ShardServeStats> = shard_meta
+            .into_iter()
             .zip(baselines.iter().zip(&after))
             .zip(&state.served)
             .map(
-                |((shard, (b, a)), &(served, shed, search_nodes))| ShardServeStats {
-                    shard: shard.id().to_string(),
+                |(((shard_id, reloads), (b, a)), &(served, shed, search_nodes))| ShardServeStats {
+                    shard: shard_id,
                     served,
                     shed,
                     search_nodes,
                     index_reuse_hits: reuse(b.orders_reused, a.orders_reused)
                         + reuse(b.bicores_reused, a.bicores_reused)
                         + reuse(b.two_hops_reused, a.two_hops_reused),
-                    reloads: shard.reloads(),
+                    reloads,
                 },
             )
             .collect();
@@ -720,7 +870,7 @@ impl StreamServer {
             shed: state.shed,
             rejected: state.rejected,
             parse_errors: state.parse_errors,
-            reloads: self.fleet.total_reloads(),
+            reloads: total_reloads,
             queue_depth: state.depth,
             max_queue_depth: state.max_depth,
             total_queue_wait: state.total_queue_wait,
@@ -732,7 +882,12 @@ impl StreamServer {
     }
 }
 
-fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) {
+/// One worker: pop, shed-or-execute, finish — until closed-and-empty.
+///
+/// `#[doc(hidden)]` public so the `conc_models` tests can run the real
+/// worker body on model threads.
+#[doc(hidden)]
+pub fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) {
     while let Some(job) = admission.pop() {
         let started = Instant::now();
         // Dispatch-time shedding: the budget expired while queued. The
@@ -747,10 +902,7 @@ fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) {
                 kind: job.request.kind.label(),
                 reason: "deadline budget exhausted while queued".to_string(),
             });
-            admission.finish(|state| {
-                state.shed += 1;
-                state.served[shard].1 += 1;
-            });
+            admission.finish(Completion::Shed { shard });
             continue;
         }
         let queue_wait = started.duration_since(job.admitted);
@@ -770,13 +922,11 @@ fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) {
         let search_nodes = response.search_nodes();
         let service = response.service;
         sink(StreamEvent::Response(Box::new(response)));
-        admission.finish(|state| {
-            state.completed += 1;
-            state.served[shard].0 += 1;
-            state.served[shard].2 += search_nodes;
-            state.total_queue_wait += queue_wait;
-            state.max_queue_wait = state.max_queue_wait.max(queue_wait);
-            state.total_service += service;
+        admission.finish(Completion::Executed {
+            shard,
+            search_nodes,
+            queue_wait,
+            service,
         });
     }
 }
@@ -808,7 +958,7 @@ mod tests {
         (0..n)
             .map(|_| {
                 let job = admission.pop().unwrap();
-                admission.finish(|_| {});
+                admission.finish(Completion::Untracked);
                 job.request.id
             })
             .collect()
@@ -884,14 +1034,14 @@ not json\n\
 {\"control\": \"drain\"}\n\
 {\"control\": \"stats\"}\n";
         let events = Mutex::new(Vec::new());
-        let stats = server.serve_with(input.as_bytes(), |e| events.lock().unwrap().push(e));
+        let stats = server.serve_with(input.as_bytes(), |e| events.lock().push(e));
         assert_eq!(stats.admitted, 2);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.rejected, 1);
         assert_eq!(stats.parse_errors, 1);
         assert_eq!(stats.shed, 0);
         assert_eq!(stats.queue_depth, 0);
-        let events = events.into_inner().unwrap();
+        let events = events.into_inner();
         assert!(events
             .iter()
             .any(|e| matches!(e, StreamEvent::Drained { completed: 2 })));
@@ -920,11 +1070,11 @@ not json\n\
         let responses = Mutex::new(0u64);
         let stats = server.serve_with(input.as_bytes(), |e| {
             if matches!(e, StreamEvent::Response(_)) {
-                *responses.lock().unwrap() += 1;
+                *responses.lock() += 1;
             }
         });
         assert_eq!(stats.completed, 6);
-        assert_eq!(*responses.lock().unwrap(), 6);
+        assert_eq!(*responses.lock(), 6);
         assert!(stats.max_queue_depth <= 1, "{}", stats.max_queue_depth);
     }
 }
