@@ -19,7 +19,7 @@ use std::time::Duration;
 
 use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::core_decomp::core_decomposition;
-use mbb_bigraph::graph::{sorted_intersection, BipartiteGraph, Vertex};
+use mbb_bigraph::graph::{sorted_intersection_exact, BipartiteGraph, Vertex};
 use mbb_bigraph::two_hop::n2_neighbors;
 use mbb_core::biclique::Biclique;
 
@@ -73,7 +73,9 @@ impl MbeSearcher<'_> {
             if overlap <= self.best_half || self.core[u as usize] as usize <= self.best_half {
                 continue;
             }
-            let new_b = sorted_intersection(b, self.graph.neighbors_left(u));
+            // The scoring pass already computed |b ∩ N(u)|, so the merge can
+            // preallocate exactly and stop as soon as the last hit lands.
+            let new_b = sorted_intersection_exact(b, self.graph.neighbors_left(u), overlap);
             let rest: Vec<u32> = scored[i + 1..]
                 .iter()
                 .map(|&(_, w)| w)
@@ -193,6 +195,7 @@ fn bitset_of(ids: &[u32], capacity: usize) -> BitSet {
 mod tests {
     use super::*;
     use mbb_bigraph::generators;
+    use mbb_bigraph::graph::sorted_intersection;
 
     fn brute_half(graph: &BipartiteGraph) -> usize {
         let nl = graph.num_left();

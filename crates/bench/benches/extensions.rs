@@ -142,7 +142,7 @@ fn bench_representation(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("bitset_intersection", &label),
             &(&row_bits, &cand_bits),
-            |b, (row, cand)| b.iter(|| row.intersection_len(cand)),
+            |b, (row, cand)| b.iter(|| row.intersection_len(*cand)),
         );
         group.bench_with_input(
             BenchmarkId::new("sorted_vec_intersection", &label),

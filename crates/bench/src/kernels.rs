@@ -1,0 +1,367 @@
+//! The `bench-kernels` runner: per-kernel ns/op across every available
+//! backend, plus end-to-end fig4/table5-style wall clock under a pinned
+//! backend, emitted as a validated [`KernelBenchReport`].
+//!
+//! The `reference` backend is the pre-kernel-layer scalar code preserved
+//! verbatim in `mbb_bigraph::kernels::reference`, so a report compares the
+//! fused kernels against the true pre-PR baseline on the same machine and
+//! the same inputs. Checksums fold every kernel output into the report;
+//! [`KernelBenchReport::validate`] rejects a file whose backends disagree.
+//!
+//! Workloads are seeded: two runs with the same options produce identical
+//! non-timing fields (kernels, widths, checksums, optima) — only the
+//! measured nanoseconds move.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use mbb_bigraph::kernels::{self, available_backends, force_backend, Backend};
+use mbb_core::MbbEngine;
+use mbb_datasets::{catalog, tough_datasets, ScaleCaps};
+
+use crate::report::{
+    EndToEndTiming, KernelBenchReport, KernelImprovement, KernelTiming, KERNEL_BENCH_SCHEMA_VERSION,
+};
+use crate::standin_cache::StandInCache;
+
+/// Vector widths (in 64-bit words) the microbenches sweep: a hot L1-resident
+/// candidate row (4 = 256 vertices), a mid row, a full cache line ×8, and a
+/// large multi-KiB row where streaming throughput dominates.
+pub const BENCH_WIDTHS: [usize; 4] = [4, 16, 64, 512];
+
+/// How many distinct operand pairs each measurement rotates through, so the
+/// branch predictor cannot memorise a single input.
+const POOL: usize = 8;
+
+/// Rows per `multi_and_popcount` batch.
+const MULTI_ROWS: usize = 8;
+
+/// Options for [`run_kernel_bench`].
+#[derive(Debug, Clone)]
+pub struct KernelBenchOptions {
+    /// Base RNG seed for workload generation.
+    pub seed: u64,
+    /// Scale caps for the end-to-end stand-ins.
+    pub caps: ScaleCaps,
+    /// Human label for `caps` (`small`/`default`/`large`), recorded in the
+    /// report.
+    pub caps_label: String,
+    /// Cut iteration counts ~32× and skip the larger stand-ins; for CI
+    /// smoke runs where only schema/shape is asserted, not timing quality.
+    pub quick: bool,
+}
+
+impl KernelBenchOptions {
+    /// Full-fidelity run at default caps.
+    pub fn full(seed: u64) -> KernelBenchOptions {
+        KernelBenchOptions {
+            seed,
+            caps: ScaleCaps::default(),
+            caps_label: "default".into(),
+            quick: false,
+        }
+    }
+
+    /// Smoke-test run: small caps, few iterations.
+    pub fn quick(seed: u64) -> KernelBenchOptions {
+        KernelBenchOptions {
+            seed,
+            caps: ScaleCaps::small(),
+            caps_label: "small".into(),
+            quick: true,
+        }
+    }
+}
+
+/// Splitmix-style seeded word generator; good enough dispersion for bench
+/// operands and fully deterministic.
+fn fill_words(seed: u64, out: &mut [u64]) {
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    for w in out.iter_mut() {
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        *w = z ^ (z >> 31);
+    }
+}
+
+/// One measurement: runs `op` over `iters` rotations of the operand pool,
+/// folding outputs into a checksum, and returns (ns_per_op, checksum).
+fn measure(iters: usize, mut op: impl FnMut(usize) -> u64) -> (f64, u64) {
+    // Warm-up pass: page in operands, settle the frequency governor.
+    let mut checksum = 0u64;
+    for i in 0..iters.div_ceil(16) {
+        checksum = checksum.wrapping_add(black_box(op(i)));
+    }
+    // Best-of-3 timing; the checksum folds every rep identically.
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..3 {
+        checksum = 0;
+        let start = Instant::now();
+        for i in 0..iters {
+            checksum = checksum.wrapping_add(black_box(op(i)));
+        }
+        let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+        best_ns = best_ns.min(ns);
+    }
+    (best_ns.max(0.001), checksum)
+}
+
+/// Microbench operand set for one width: `POOL` pairs of rows plus a batch
+/// of rows for `multi_and_popcount`, all seeded.
+struct Operands {
+    a: Vec<Vec<u64>>,
+    b: Vec<Vec<u64>>,
+    rows: Vec<Vec<u64>>,
+}
+
+impl Operands {
+    fn generate(seed: u64, words: usize) -> Operands {
+        let make = |salt: u64, n: usize| -> Vec<Vec<u64>> {
+            (0..n)
+                .map(|i| {
+                    let mut v = vec![0u64; words];
+                    fill_words(
+                        seed ^ salt.wrapping_mul(0x517cc1b727220a95) ^ (i as u64) << 17,
+                        &mut v,
+                    );
+                    v
+                })
+                .collect()
+        };
+        Operands {
+            a: make(1, POOL),
+            b: make(2, POOL),
+            rows: make(3, MULTI_ROWS),
+        }
+    }
+}
+
+/// Runs every microbench for the currently-forced backend and appends the
+/// timings to `out`.
+fn bench_backend(backend: Backend, seed: u64, iters_base: usize, out: &mut Vec<KernelTiming>) {
+    for &words in &BENCH_WIDTHS {
+        let ops = Operands::generate(seed, words);
+        let iters = (iters_base / words).max(256);
+        let mut scratch = vec![0u64; words];
+
+        let mut push = |kernel: &str, ns: f64, checksum: u64| {
+            out.push(KernelTiming {
+                kernel: kernel.into(),
+                backend: backend.name().into(),
+                words,
+                ns_per_op: ns,
+                checksum,
+            });
+        };
+
+        let (ns, sum) = measure(iters, |i| kernels::popcount(&ops.a[i % POOL]) as u64);
+        push("popcount", ns, sum);
+
+        let (ns, sum) = measure(iters, |i| {
+            kernels::and_popcount(&ops.a[i % POOL], &ops.b[i % POOL]) as u64
+        });
+        push("and_popcount", ns, sum);
+
+        let (ns, sum) = measure(iters, |i| {
+            kernels::andnot_popcount(&ops.a[i % POOL], &ops.b[i % POOL]) as u64
+        });
+        push("andnot_popcount", ns, sum);
+
+        let (ns, sum) = measure(iters, |i| {
+            scratch.copy_from_slice(&ops.a[i % POOL]);
+            kernels::and_assign_count(&mut scratch, &ops.b[i % POOL]) as u64
+        });
+        push("and_assign_count", ns, sum);
+
+        let (ns, sum) = measure(iters, |i| {
+            kernels::first_and(&ops.a[i % POOL], &ops.b[i % POOL]).map_or(u64::MAX, |v| v as u64)
+        });
+        push("first_and", ns, sum);
+
+        let (ns, sum) = measure(iters, |i| {
+            kernels::last_and(&ops.a[i % POOL], &ops.b[i % POOL]).map_or(u64::MAX, |v| v as u64)
+        });
+        push("last_and", ns, sum);
+
+        let row_refs: Vec<&[u64]> = ops.rows.iter().map(|r| r.as_slice()).collect();
+        let (ns, sum) = measure(iters.div_ceil(MULTI_ROWS), |i| {
+            scratch.copy_from_slice(&ops.a[i % POOL]);
+            kernels::multi_and_popcount(&mut scratch, &row_refs) as u64
+        });
+        push("multi_and_popcount", ns, sum);
+    }
+}
+
+/// Derives fused-vs-baseline summaries from the raw timings.
+fn improvements(timings: &[KernelTiming]) -> Vec<KernelImprovement> {
+    let mut out = Vec::new();
+    for &words in &BENCH_WIDTHS {
+        let mut kernels_seen: Vec<&str> = Vec::new();
+        for t in timings.iter().filter(|t| t.words == words) {
+            if !kernels_seen.contains(&t.kernel.as_str()) {
+                kernels_seen.push(&t.kernel);
+            }
+        }
+        for kernel in kernels_seen {
+            let of = |backend: &str| -> Option<f64> {
+                timings
+                    .iter()
+                    .find(|t| t.kernel == kernel && t.words == words && t.backend == backend)
+                    .map(|t| t.ns_per_op)
+            };
+            let (Some(baseline), Some(fused)) = (of("reference"), of("blocked")) else {
+                continue;
+            };
+            let best = timings
+                .iter()
+                .filter(|t| t.kernel == kernel && t.words == words)
+                .map(|t| t.ns_per_op)
+                .fold(f64::INFINITY, f64::min);
+            out.push(KernelImprovement {
+                kernel: kernel.into(),
+                words,
+                baseline_ns: baseline,
+                fused_ns: fused,
+                best_ns: best,
+                fused_speedup: baseline / fused,
+                best_speedup: baseline / best,
+            });
+        }
+    }
+    out
+}
+
+/// Runs the fig4/table5-style end-to-end solves under a pinned backend.
+fn bench_end_to_end(
+    opts: &KernelBenchOptions,
+    cache: &StandInCache,
+    out: &mut Vec<EndToEndTiming>,
+) {
+    // fig4 flavour: heuristic-vs-optimum solve on tough stand-ins.
+    // table5 flavour: full solve wall clock on sparse stand-ins.
+    let fig4: Vec<_> = tough_datasets().into_iter().take(2).collect();
+    let table5: Vec<_> = catalog()
+        .iter()
+        .take(if opts.quick { 2 } else { 3 })
+        .collect();
+    let runs = [("fig4", fig4), ("table5", table5)];
+
+    for backend in [Some(Backend::Reference), None] {
+        assert!(force_backend(backend), "backend unavailable");
+        let label = backend.map_or("dispatch", |b| b.name());
+        for (experiment, specs) in &runs {
+            for spec in specs {
+                let standin = cache.get(spec, opts.caps, opts.seed);
+                let start = Instant::now();
+                let result = MbbEngine::new(standin.graph).solve();
+                let seconds = start.elapsed().as_secs_f64();
+                out.push(EndToEndTiming {
+                    experiment: (*experiment).into(),
+                    dataset: spec.name.into(),
+                    backend: label.into(),
+                    seconds,
+                    optimum: result.stats.optimum_half as u64,
+                });
+            }
+        }
+    }
+    force_backend(None);
+}
+
+/// Runs the full kernel benchmark suite and returns a validated report.
+///
+/// Forces each backend in turn via [`force_backend`]; callers running in a
+/// threaded test harness must serialise against other backend-forcing code.
+/// Dispatch is restored to runtime detection before returning.
+pub fn run_kernel_bench(opts: &KernelBenchOptions, cache: &StandInCache) -> KernelBenchReport {
+    let backends = available_backends();
+    let iters_base = if opts.quick { 32_768 } else { 8_388_608 };
+
+    let mut timings = Vec::new();
+    for &backend in &backends {
+        assert!(force_backend(Some(backend)), "backend unavailable");
+        bench_backend(backend, opts.seed, iters_base, &mut timings);
+    }
+    force_backend(None);
+
+    let improvements = improvements(&timings);
+    let mut end_to_end = Vec::new();
+    bench_end_to_end(opts, cache, &mut end_to_end);
+
+    let report = KernelBenchReport {
+        schema_version: KERNEL_BENCH_SCHEMA_VERSION,
+        seed: opts.seed,
+        caps: opts.caps_label.clone(),
+        backends: backends.iter().map(|b| b.name().to_string()).collect(),
+        kernels: timings,
+        improvements,
+        end_to_end,
+    };
+    report
+        .validate()
+        .expect("freshly generated report must validate");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Everything except the measured nanoseconds: the deterministic
+    /// projection two runs must agree on.
+    fn shape(report: &KernelBenchReport) -> Vec<String> {
+        let mut out = vec![format!(
+            "v{} seed={} caps={} backends={:?}",
+            report.schema_version, report.seed, report.caps, report.backends
+        )];
+        out.extend(
+            report
+                .kernels
+                .iter()
+                .map(|t| format!("{} {} w{} sum={}", t.kernel, t.backend, t.words, t.checksum)),
+        );
+        out.extend(
+            report
+                .improvements
+                .iter()
+                .map(|i| format!("imp {} w{}", i.kernel, i.words)),
+        );
+        out.extend(report.end_to_end.iter().map(|e| {
+            format!(
+                "{} {} {} opt={}",
+                e.experiment, e.dataset, e.backend, e.optimum
+            )
+        }));
+        out
+    }
+
+    #[test]
+    fn quick_run_is_deterministic_and_valid() {
+        let dir = std::env::temp_dir().join("mbb-bench-kernels-test-cache");
+        let cache = StandInCache::at(Some(dir.clone()));
+        let opts = KernelBenchOptions::quick(7);
+
+        let first = run_kernel_bench(&opts, &cache);
+        first.validate().expect("valid report");
+        assert!(!first.kernels.is_empty());
+        assert!(!first.improvements.is_empty());
+        assert_eq!(
+            first.end_to_end.len() % 2,
+            0,
+            "every end-to-end dataset runs under both backends"
+        );
+
+        // Determinism under the stand-in cache: the second run re-reads the
+        // cached graphs and must reproduce every non-timing field.
+        let second = run_kernel_bench(&opts, &cache);
+        assert_eq!(shape(&first), shape(&second));
+
+        // The JSON round trip preserves the report exactly.
+        let text = serde_json::to_string_pretty(&first).unwrap();
+        let back: KernelBenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, first);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

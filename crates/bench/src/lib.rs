@@ -23,11 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod kernels;
 pub mod report;
 pub mod runner;
 pub mod standin_cache;
 
 pub use args::Args;
-pub use report::{fmt_seconds, Table};
+pub use kernels::{run_kernel_bench, KernelBenchOptions};
+pub use report::{fmt_seconds, KernelBenchReport, Table};
 pub use runner::{run_timed, run_with_timeout, TimedOutcome};
 pub use standin_cache::StandInCache;
+
+pub use mbb_datasets::ScaleCaps;

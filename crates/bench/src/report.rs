@@ -1,4 +1,6 @@
-//! Markdown table rendering for harness output.
+//! Markdown table rendering and the `BENCH_kernels.json` report schema.
+
+use serde::{Deserialize, Serialize};
 
 /// Formats seconds the way the paper's tables do: 3 significant-ish digits,
 /// `-` for timeouts.
@@ -66,6 +68,166 @@ impl Table {
     }
 }
 
+/// Schema version stamped into `BENCH_kernels.json`; bump on layout changes.
+pub const KERNEL_BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// One microbenchmark measurement: a single kernel on a single backend at a
+/// fixed vector width.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelTiming {
+    /// Kernel name (`and_popcount`, `and_assign_count`, ...).
+    pub kernel: String,
+    /// Backend the measurement ran on (`reference`, `blocked`, `sse2`,
+    /// `avx2`). `reference` is the pre-kernel-layer scalar baseline.
+    pub backend: String,
+    /// Vector width in 64-bit words.
+    pub words: usize,
+    /// Nanoseconds per kernel invocation.
+    pub ns_per_op: f64,
+    /// Fold of the kernel outputs over the run. Identical inputs must give
+    /// identical checksums on every backend — [`KernelBenchReport::validate`]
+    /// rejects the file otherwise.
+    pub checksum: u64,
+}
+
+/// Fused-vs-baseline summary for one kernel at one width: the measured
+/// improvement the issue's evidence gate asks for.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelImprovement {
+    /// Kernel name.
+    pub kernel: String,
+    /// Vector width in 64-bit words.
+    pub words: usize,
+    /// `reference` backend ns/op (the pre-PR scalar loops).
+    pub baseline_ns: f64,
+    /// Best scalar fused backend (`blocked`) ns/op.
+    pub fused_ns: f64,
+    /// Best backend overall (including SIMD when compiled in) ns/op.
+    pub best_ns: f64,
+    /// `baseline_ns / fused_ns`.
+    pub fused_speedup: f64,
+    /// `baseline_ns / best_ns`.
+    pub best_speedup: f64,
+}
+
+/// One end-to-end wall-clock measurement (fig4/table5-style solve) under a
+/// pinned kernel backend.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EndToEndTiming {
+    /// Which paper artefact the run mirrors (`fig4`, `table5`).
+    pub experiment: String,
+    /// Stand-in dataset name.
+    pub dataset: String,
+    /// Backend the solve ran under (`reference` = pre-PR scalar loops,
+    /// anything else = the fused dispatch).
+    pub backend: String,
+    /// Wall-clock seconds for the full solve.
+    pub seconds: f64,
+    /// Optimum half-size the solve returned; must agree across backends.
+    pub optimum: u64,
+}
+
+/// The full `BENCH_kernels.json` document.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelBenchReport {
+    /// [`KERNEL_BENCH_SCHEMA_VERSION`] at write time.
+    pub schema_version: u64,
+    /// Base RNG seed the workload was generated from.
+    pub seed: u64,
+    /// Scale-caps label the end-to-end runs used (`small`/`default`/`large`).
+    pub caps: String,
+    /// Backends available on the machine that produced the file.
+    pub backends: Vec<String>,
+    /// Per-kernel microbenchmarks.
+    pub kernels: Vec<KernelTiming>,
+    /// Fused-vs-baseline summaries derived from `kernels`.
+    pub improvements: Vec<KernelImprovement>,
+    /// End-to-end fig4/table5 wall clock under pinned backends.
+    pub end_to_end: Vec<EndToEndTiming>,
+}
+
+impl KernelBenchReport {
+    /// Structural validity: finite positive timings, consistent checksums
+    /// across backends, matching optima across end-to-end backends.
+    ///
+    /// Returns the first problem found, as a human-readable message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema_version != KERNEL_BENCH_SCHEMA_VERSION {
+            return Err(format!(
+                "schema_version {} != supported {KERNEL_BENCH_SCHEMA_VERSION}",
+                self.schema_version
+            ));
+        }
+        if self.backends.is_empty() {
+            return Err("no backends recorded".into());
+        }
+        if self.kernels.is_empty() {
+            return Err("no kernel timings recorded".into());
+        }
+        let finite_positive = |what: &str, v: f64| -> Result<(), String> {
+            if !v.is_finite() {
+                return Err(format!("{what} is not finite ({v})"));
+            }
+            if v <= 0.0 {
+                return Err(format!("{what} is not positive ({v})"));
+            }
+            Ok(())
+        };
+        for t in &self.kernels {
+            if t.kernel.is_empty() || t.backend.is_empty() {
+                return Err("kernel timing with empty kernel/backend name".into());
+            }
+            if t.words == 0 {
+                return Err(format!("{}/{}: words == 0", t.kernel, t.backend));
+            }
+            finite_positive(
+                &format!("{}/{}/w{} ns_per_op", t.kernel, t.backend, t.words),
+                t.ns_per_op,
+            )?;
+            // Same kernel + width must yield the same checksum on every
+            // backend: that is the bit-for-bit contract, restated in data.
+            for other in &self.kernels {
+                if other.kernel == t.kernel
+                    && other.words == t.words
+                    && other.checksum != t.checksum
+                {
+                    return Err(format!(
+                        "checksum mismatch for {} at {} words: {} ({}) vs {} ({})",
+                        t.kernel, t.words, t.checksum, t.backend, other.checksum, other.backend
+                    ));
+                }
+            }
+        }
+        for imp in &self.improvements {
+            finite_positive(&format!("{} baseline_ns", imp.kernel), imp.baseline_ns)?;
+            finite_positive(&format!("{} fused_ns", imp.kernel), imp.fused_ns)?;
+            finite_positive(&format!("{} best_ns", imp.kernel), imp.best_ns)?;
+            finite_positive(&format!("{} fused_speedup", imp.kernel), imp.fused_speedup)?;
+            finite_positive(&format!("{} best_speedup", imp.kernel), imp.best_speedup)?;
+        }
+        for e in &self.end_to_end {
+            if !e.seconds.is_finite() || e.seconds < 0.0 {
+                return Err(format!(
+                    "{}/{}/{}: bad seconds {}",
+                    e.experiment, e.dataset, e.backend, e.seconds
+                ));
+            }
+            for other in &self.end_to_end {
+                if other.experiment == e.experiment
+                    && other.dataset == e.dataset
+                    && other.optimum != e.optimum
+                {
+                    return Err(format!(
+                        "optimum mismatch on {}/{}: {} ({}) vs {} ({})",
+                        e.experiment, e.dataset, e.optimum, e.backend, other.optimum, other.backend
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +256,108 @@ mod tests {
     fn row_width_is_checked() {
         let mut t = Table::new(&["a", "b"]);
         t.row(vec!["x".into()]);
+    }
+
+    fn sample_report() -> KernelBenchReport {
+        KernelBenchReport {
+            schema_version: KERNEL_BENCH_SCHEMA_VERSION,
+            seed: 42,
+            caps: "small".into(),
+            backends: vec!["reference".into(), "blocked".into()],
+            kernels: vec![
+                KernelTiming {
+                    kernel: "and_popcount".into(),
+                    backend: "reference".into(),
+                    words: 64,
+                    ns_per_op: 41.5,
+                    checksum: 0xfeed,
+                },
+                KernelTiming {
+                    kernel: "and_popcount".into(),
+                    backend: "blocked".into(),
+                    words: 64,
+                    ns_per_op: 20.25,
+                    checksum: 0xfeed,
+                },
+            ],
+            improvements: vec![KernelImprovement {
+                kernel: "and_popcount".into(),
+                words: 64,
+                baseline_ns: 41.5,
+                fused_ns: 20.25,
+                best_ns: 20.25,
+                fused_speedup: 41.5 / 20.25,
+                best_speedup: 41.5 / 20.25,
+            }],
+            end_to_end: vec![
+                EndToEndTiming {
+                    experiment: "fig4".into(),
+                    dataset: "dbpedia".into(),
+                    backend: "reference".into(),
+                    seconds: 0.51,
+                    optimum: 7,
+                },
+                EndToEndTiming {
+                    experiment: "fig4".into(),
+                    dataset: "dbpedia".into(),
+                    backend: "dispatch".into(),
+                    seconds: 0.44,
+                    optimum: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn kernel_report_round_trips_through_json() {
+        let report = sample_report();
+        report.validate().expect("sample is valid");
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: KernelBenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, report);
+        back.validate().expect("round-tripped report is valid");
+    }
+
+    #[test]
+    fn kernel_report_rejects_nan_and_nonpositive_timings() {
+        let mut nan = sample_report();
+        nan.kernels[0].ns_per_op = f64::NAN;
+        assert!(nan.validate().unwrap_err().contains("not finite"));
+
+        let mut inf = sample_report();
+        inf.improvements[0].fused_speedup = f64::INFINITY;
+        assert!(inf.validate().unwrap_err().contains("not finite"));
+
+        let mut zero = sample_report();
+        zero.kernels[1].ns_per_op = 0.0;
+        assert!(zero.validate().unwrap_err().contains("not positive"));
+
+        let mut neg = sample_report();
+        neg.end_to_end[0].seconds = -1.0;
+        assert!(neg.validate().unwrap_err().contains("bad seconds"));
+    }
+
+    #[test]
+    fn kernel_report_rejects_cross_backend_disagreement() {
+        let mut bad_checksum = sample_report();
+        bad_checksum.kernels[1].checksum = 0xdead;
+        assert!(bad_checksum
+            .validate()
+            .unwrap_err()
+            .contains("checksum mismatch"));
+
+        let mut bad_optimum = sample_report();
+        bad_optimum.end_to_end[1].optimum = 8;
+        assert!(bad_optimum
+            .validate()
+            .unwrap_err()
+            .contains("optimum mismatch"));
+
+        let mut bad_schema = sample_report();
+        bad_schema.schema_version = 999;
+        assert!(bad_schema
+            .validate()
+            .unwrap_err()
+            .contains("schema_version"));
     }
 }

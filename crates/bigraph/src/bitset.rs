@@ -4,18 +4,50 @@
 //! The paper's exhaustive search (Algorithms 1–3 and 8) only ever runs on
 //! subgraphs whose total size is bounded by the bidegeneracy `δ̈(G)` — a few
 //! hundred vertices on real sparse graphs — or on dense synthetic graphs of
-//! at most a few thousand vertices per side. A flat `Vec<u64>` bitset makes
+//! at most a few thousand vertices per side. A flat word-array bitset makes
 //! the hot operations (candidate intersection, degree counting, reduction
-//! scans) cost `O(n / 64)` words each.
+//! scans) cost `O(n / 64)` words each, and every one of them now runs
+//! through the fused block kernels in [`crate::kernels`]:
+//!
+//! * the cardinality is cached and maintained *inside* each mutating pass
+//!   ([`BitSet::and_assign_count`] and friends), so [`BitSet::len`] — called
+//!   at every branch-and-bound node for the size bound — is `O(1)`;
+//! * counting queries ([`BitSet::intersection_len`],
+//!   [`BitSet::difference_len`]) are single fused AND/ANDNOT + popcount
+//!   passes, never materialising the combined set;
+//! * survivor scans ([`BitSet::first_intersection`],
+//!   [`BitSet::last_intersection`], [`BitSet::first_difference`]) are
+//!   prefix-pruned: they stop at the first non-empty word.
+//!
+//! Binary operations accept anything implementing [`Bits`] — an owned
+//! [`BitSet`] or a borrowed arena row ([`crate::local::RowRef`]) — so the
+//! cache-blocked [`crate::local::LocalGraph`] layout needs no copies.
+
+use crate::kernels;
+
+/// Read-only view of a word-aligned bit vector.
+///
+/// Implemented by [`BitSet`] and by [`crate::local::RowRef`] (a borrowed row
+/// of a [`crate::local::LocalGraph`] adjacency arena). All words beyond
+/// `bit_capacity()` must be zero — the kernels rely on that tail invariant.
+pub trait Bits {
+    /// The backing words, least-significant bit first.
+    fn words(&self) -> &[u64];
+    /// Exclusive upper bound on stored values.
+    fn bit_capacity(&self) -> usize;
+}
 
 /// A fixed-capacity set of `usize` values in `0..capacity`.
 ///
 /// The capacity is fixed at construction; all binary operations require both
-/// operands to have the same capacity (checked with `debug_assert!`).
+/// operands to have the same capacity (checked with `debug_assert!`). The
+/// cardinality is cached: [`BitSet::len`] is `O(1)` and every mutation keeps
+/// it current (fused into the same pass for the bulk operations).
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct BitSet {
     words: Box<[u64]>,
     capacity: usize,
+    len: usize,
 }
 
 const WORD_BITS: usize = 64;
@@ -25,12 +57,25 @@ fn word_count(capacity: usize) -> usize {
     capacity.div_ceil(WORD_BITS)
 }
 
+impl Bits for BitSet {
+    #[inline]
+    fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    #[inline]
+    fn bit_capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
 impl BitSet {
     /// Creates an empty set able to hold values in `0..capacity`.
     pub fn new(capacity: usize) -> Self {
         BitSet {
             words: vec![0u64; word_count(capacity)].into_boxed_slice(),
             capacity,
+            len: 0,
         }
     }
 
@@ -38,6 +83,23 @@ impl BitSet {
     pub fn full(capacity: usize) -> Self {
         let mut s = Self::new(capacity);
         s.insert_all();
+        s
+    }
+
+    /// Builds a set from raw words (tail bits beyond `capacity` are masked).
+    pub(crate) fn from_words(words: &[u64], capacity: usize) -> Self {
+        debug_assert_eq!(words.len(), word_count(capacity));
+        let mut s = BitSet {
+            words: words.into(),
+            capacity,
+            len: 0,
+        };
+        let tail = capacity % WORD_BITS;
+        if tail != 0 {
+            let last = s.words.len() - 1;
+            s.words[last] &= (1u64 << tail) - 1;
+        }
+        s.len = kernels::popcount(&s.words);
         s
     }
 
@@ -51,14 +113,20 @@ impl BitSet {
     #[inline]
     pub fn insert(&mut self, i: usize) {
         debug_assert!(i < self.capacity);
-        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+        let w = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        self.len += (*w & bit == 0) as usize;
+        *w |= bit;
     }
 
     /// Removes `i`.
     #[inline]
     pub fn remove(&mut self, i: usize) {
         debug_assert!(i < self.capacity);
-        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+        let w = &mut self.words[i / WORD_BITS];
+        let bit = 1u64 << (i % WORD_BITS);
+        self.len -= (*w & bit != 0) as usize;
+        *w &= !bit;
     }
 
     /// Tests membership of `i`.
@@ -81,6 +149,7 @@ impl BitSet {
             let last = self.words.len() - 1;
             self.words[last] = (1u64 << tail) - 1;
         }
+        self.len = self.capacity;
     }
 
     /// Removes every value.
@@ -88,86 +157,83 @@ impl BitSet {
         for w in self.words.iter_mut() {
             *w = 0;
         }
+        self.len = 0;
     }
 
-    /// Number of stored values.
+    /// Number of stored values. `O(1)` — the count is maintained by every
+    /// mutating operation (fused into the kernel pass for bulk updates).
     #[inline]
     pub fn len(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        self.len
     }
 
     /// True when no value is stored.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.words.iter().all(|&w| w == 0)
+        self.len == 0
     }
 
-    /// `self ∩= other`.
+    /// `self ∩= other`. Equivalent to [`BitSet::and_assign_count`] with the
+    /// count discarded (the cached length is refreshed either way).
     #[inline]
-    pub fn intersect_with(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.capacity, other.capacity);
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= *b;
-        }
+    pub fn intersect_with<B: Bits + ?Sized>(&mut self, other: &B) {
+        self.and_assign_count(other);
+    }
+
+    /// Fused `self ∩= other` returning the new cardinality from the same
+    /// pass (the paper's hot "include candidate then re-count" step).
+    #[inline]
+    pub fn and_assign_count<B: Bits + ?Sized>(&mut self, other: &B) -> usize {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        self.len = kernels::and_assign_count(&mut self.words, other.words());
+        self.len
     }
 
     /// `self ∪= other`.
     #[inline]
-    pub fn union_with(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.capacity, other.capacity);
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a |= *b;
-        }
+    pub fn union_with<B: Bits + ?Sized>(&mut self, other: &B) {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        self.len = kernels::or_assign_count(&mut self.words, other.words());
     }
 
     /// `self \= other`.
     #[inline]
-    pub fn subtract(&mut self, other: &BitSet) {
-        debug_assert_eq!(self.capacity, other.capacity);
-        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
-            *a &= !*b;
-        }
+    pub fn subtract<B: Bits + ?Sized>(&mut self, other: &B) {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        self.len = kernels::andnot_assign_count(&mut self.words, other.words());
     }
 
     /// `|self ∩ other|` without materialising the intersection.
     #[inline]
-    pub fn intersection_len(&self, other: &BitSet) -> usize {
-        debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+    pub fn intersection_len<B: Bits + ?Sized>(&self, other: &B) -> usize {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        kernels::and_popcount(&self.words, other.words())
     }
 
     /// `|self \ other|`.
     #[inline]
-    pub fn difference_len(&self, other: &BitSet) -> usize {
-        debug_assert_eq!(self.capacity, other.capacity);
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a & !b).count_ones() as usize)
-            .sum()
+    pub fn difference_len<B: Bits + ?Sized>(&self, other: &B) -> usize {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        kernels::andnot_popcount(&self.words, other.words())
     }
 
     /// True when `self ⊆ other`.
     #[inline]
-    pub fn is_subset(&self, other: &BitSet) -> bool {
-        debug_assert_eq!(self.capacity, other.capacity);
+    pub fn is_subset<B: Bits + ?Sized>(&self, other: &B) -> bool {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
         self.words
             .iter()
-            .zip(other.words.iter())
+            .zip(other.words().iter())
             .all(|(a, b)| a & !b == 0)
     }
 
     /// True when `self ∩ other = ∅`.
     #[inline]
-    pub fn is_disjoint(&self, other: &BitSet) -> bool {
-        debug_assert_eq!(self.capacity, other.capacity);
+    pub fn is_disjoint<B: Bits + ?Sized>(&self, other: &B) -> bool {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
         self.words
             .iter()
-            .zip(other.words.iter())
+            .zip(other.words().iter())
             .all(|(a, b)| a & b == 0)
     }
 
@@ -182,13 +248,39 @@ impl BitSet {
         None
     }
 
+    /// Smallest member of `self ∩ other` without materialising it
+    /// (prefix-pruned row scan: stops at the first surviving word).
+    #[inline]
+    pub fn first_intersection<B: Bits + ?Sized>(&self, other: &B) -> Option<usize> {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        kernels::first_and(&self.words, other.words())
+    }
+
+    /// Largest member of `self ∩ other` (suffix-pruned backwards scan).
+    #[inline]
+    pub fn last_intersection<B: Bits + ?Sized>(&self, other: &B) -> Option<usize> {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        kernels::last_and(&self.words, other.words())
+    }
+
+    /// Smallest member of `self \ other` (prefix-pruned).
+    #[inline]
+    pub fn first_difference<B: Bits + ?Sized>(&self, other: &B) -> Option<usize> {
+        debug_assert_eq!(self.capacity, other.bit_capacity());
+        kernels::first_andnot(&self.words, other.words())
+    }
+
+    /// Batched multi-row AND: `self ∩= row` for every row, returning the
+    /// final cardinality from one cache-blocked fused pass.
+    pub fn intersect_rows_count(&mut self, rows: &[&[u64]]) -> usize {
+        debug_assert!(rows.iter().all(|r| r.len() == word_count(self.capacity)));
+        self.len = kernels::multi_and_popcount(&mut self.words, rows);
+        self.len
+    }
+
     /// Iterates the stored values in increasing order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter {
-            words: &self.words,
-            word_index: 0,
-            current: self.words.first().copied().unwrap_or(0),
-        }
+        iter_words(&self.words)
     }
 
     /// Collects into a `Vec<u32>` (convenient for local-vertex index lists).
@@ -213,6 +305,15 @@ impl FromIterator<usize> for BitSet {
             s.insert(i);
         }
         s
+    }
+}
+
+/// Iterator over the set bits of a word slice, ascending.
+pub(crate) fn iter_words(words: &[u64]) -> Iter<'_> {
+    Iter {
+        words,
+        word_index: 0,
+        current: words.first().copied().unwrap_or(0),
     }
 }
 
@@ -271,6 +372,19 @@ mod tests {
     }
 
     #[test]
+    fn cached_len_survives_redundant_updates() {
+        let mut s = BitSet::new(100);
+        s.insert(5);
+        s.insert(5); // already present: len must not double-count
+        assert_eq!(s.len(), 1);
+        s.remove(6); // absent: len must not underflow
+        assert_eq!(s.len(), 1);
+        s.remove(5);
+        s.remove(5);
+        assert_eq!(s.len(), 0);
+    }
+
+    #[test]
     fn full_respects_tail_bits() {
         let s = BitSet::full(70);
         assert_eq!(s.len(), 70);
@@ -279,6 +393,56 @@ mod tests {
         assert_eq!(s.len(), 64);
         let s = BitSet::full(0);
         assert_eq!(s.len(), 0);
+    }
+
+    /// The classic off-by-one surface: `insert_all`, `intersection_len` and
+    /// the survivor scans pinned at every word-boundary capacity.
+    #[test]
+    fn tail_word_edge_capacities() {
+        for cap in [0usize, 1, 63, 64, 65, 127, 128] {
+            let full = BitSet::full(cap);
+            assert_eq!(full.len(), cap, "full({cap}) cardinality");
+            let empty = BitSet::new(cap);
+            assert_eq!(full.intersection_len(&full), cap, "full∩full at {cap}");
+            assert_eq!(full.intersection_len(&empty), 0, "full∩empty at {cap}");
+            assert_eq!(full.difference_len(&empty), cap, "full\\empty at {cap}");
+            assert_eq!(empty.difference_len(&full), 0, "empty\\full at {cap}");
+            assert_eq!(
+                full.first_intersection(&full),
+                if cap == 0 { None } else { Some(0) },
+                "first survivor at {cap}"
+            );
+            assert_eq!(
+                full.last_intersection(&full),
+                if cap == 0 { None } else { Some(cap - 1) },
+                "last survivor at {cap}"
+            );
+            assert_eq!(full.first_difference(&empty), full.first());
+            // Highest admissible element round-trips through every fused op.
+            if cap > 0 {
+                let mut top = BitSet::new(cap);
+                top.insert(cap - 1);
+                assert_eq!(top.intersection_len(&full), 1, "top bit at {cap}");
+                assert_eq!(top.first_intersection(&full), Some(cap - 1));
+                assert_eq!(top.last_intersection(&full), Some(cap - 1));
+                let mut clone = top.clone();
+                assert_eq!(clone.and_assign_count(&full), 1);
+                clone.subtract(&full);
+                assert!(clone.is_empty());
+                // insert_all never sets bits beyond the capacity.
+                let mut all = BitSet::new(cap);
+                all.insert_all();
+                assert_eq!(all.len(), cap);
+                assert_eq!(all.iter().last(), Some(cap - 1));
+                assert!(
+                    all.words()
+                        .iter()
+                        .map(|w| w.count_ones() as usize)
+                        .sum::<usize>()
+                        == cap
+                );
+            }
+        }
     }
 
     #[test]
@@ -310,7 +474,8 @@ mod tests {
         );
         assert_eq!(a.difference_len(&b), a.len() - a.intersection_len(&b));
         let mut c = a.clone();
-        c.intersect_with(&b);
+        let fused = c.and_assign_count(&b);
+        assert_eq!(fused, a.intersection_len(&b));
         assert_eq!(c.len(), a.intersection_len(&b));
         assert!(c.is_subset(&a));
         assert!(c.is_subset(&b));
@@ -327,8 +492,10 @@ mod tests {
         let mut u = a.clone();
         u.union_with(&b);
         assert_eq!(u.to_vec(), vec![1, 2, 3]);
+        assert_eq!(u.len(), 3);
         a.subtract(&b);
         assert_eq!(a.to_vec(), vec![1]);
+        assert_eq!(a.len(), 1);
     }
 
     #[test]
@@ -354,6 +521,46 @@ mod tests {
     }
 
     #[test]
+    fn survivor_scans_match_iterated_intersection() {
+        let mut a = BitSet::new(300);
+        let mut b = BitSet::new(300);
+        for i in (0..300).step_by(7) {
+            a.insert(i);
+        }
+        for i in (0..300).step_by(11) {
+            b.insert(i);
+        }
+        let common: Vec<usize> = a.iter().filter(|&i| b.contains(i)).collect();
+        assert_eq!(a.first_intersection(&b), common.first().copied());
+        assert_eq!(a.last_intersection(&b), common.last().copied());
+        let missing: Vec<usize> = a.iter().filter(|&i| !b.contains(i)).collect();
+        assert_eq!(a.first_difference(&b), missing.first().copied());
+    }
+
+    #[test]
+    fn batched_multi_row_and_matches_sequential() {
+        let rows: Vec<BitSet> = (2..6)
+            .map(|step| (0..400).step_by(step).collect::<Vec<usize>>())
+            .map(|v| {
+                let mut s = BitSet::new(400);
+                for i in v {
+                    s.insert(i);
+                }
+                s
+            })
+            .collect();
+        let mut sequential = BitSet::full(400);
+        for r in &rows {
+            sequential.intersect_with(r);
+        }
+        let mut batched = BitSet::full(400);
+        let row_words: Vec<&[u64]> = rows.iter().map(|r| r.words()).collect();
+        let n = batched.intersect_rows_count(&row_words);
+        assert_eq!(batched, sequential);
+        assert_eq!(n, sequential.len());
+    }
+
+    #[test]
     fn from_iterator_sizes_capacity() {
         let s: BitSet = [4usize, 9, 2].into_iter().collect();
         assert_eq!(s.capacity(), 10);
@@ -365,5 +572,6 @@ mod tests {
         let mut s = BitSet::full(100);
         s.clear();
         assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
     }
 }

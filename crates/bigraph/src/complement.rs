@@ -83,7 +83,7 @@ pub fn decompose_missing(graph: &LocalGraph, ca: &BitSet, cb: &BitSet) -> Option
 
     for &u in &left_vertices {
         let mut row = cb.clone();
-        row.subtract(graph.left_row(u));
+        row.subtract(&graph.left_row(u));
         if row.len() > 2 {
             return None;
         }
@@ -92,7 +92,7 @@ pub fn decompose_missing(graph: &LocalGraph, ca: &BitSet, cb: &BitSet) -> Option
     let mut missing_right: Vec<Vec<u32>> = Vec::with_capacity(right_vertices.len());
     for &v in &right_vertices {
         let mut row = ca.clone();
-        row.subtract(graph.right_row(v));
+        row.subtract(&graph.right_row(v));
         if row.len() > 2 {
             return None;
         }

@@ -502,6 +502,106 @@ pub fn sorted_intersection(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
+/// Intersection of two sorted `u32` slices whose size is already known
+/// (e.g. from a prior [`sorted_intersection_len`] scoring pass). The fused
+/// follow-up: allocates exactly `len` and stops merging once every match is
+/// collected, instead of re-walking both slices to their ends.
+pub fn sorted_intersection_exact(a: &[u32], b: &[u32], len: usize) -> Vec<u32> {
+    let mut out = Vec::with_capacity(len);
+    let mut i = 0;
+    let mut j = 0;
+    while out.len() < len && i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), len, "len hint must match the true overlap");
+    out
+}
+
+/// How a sorted `needles` slice overlaps a sorted `haystack` slice.
+///
+/// Produced by [`sorted_overlap_with`] in a single early-exiting merge —
+/// the fused replacement for comparing `sorted_intersection_len` against
+/// `needles.len()` and `0` in two separate full passes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SortedOverlap {
+    /// No needle occurs in the haystack.
+    Disjoint,
+    /// Some but not all needles occur in the haystack.
+    Partial,
+    /// Every needle occurs in the haystack (vacuously true when empty).
+    All,
+}
+
+/// Classifies `needles ∩ haystack` as [`SortedOverlap::Disjoint`],
+/// [`SortedOverlap::Partial`] or [`SortedOverlap::All`] in one merge pass,
+/// returning `Partial` as soon as both a hit and a miss have been seen.
+pub fn sorted_overlap_with(haystack: &[u32], needles: &[u32]) -> SortedOverlap {
+    let mut hit = false;
+    let mut miss = false;
+    let mut i = 0;
+    for &n in needles {
+        while i < haystack.len() && haystack[i] < n {
+            i += 1;
+        }
+        if i < haystack.len() && haystack[i] == n {
+            hit = true;
+            i += 1;
+        } else {
+            miss = true;
+        }
+        if hit && miss {
+            return SortedOverlap::Partial;
+        }
+    }
+    if miss {
+        SortedOverlap::Disjoint
+    } else {
+        SortedOverlap::All
+    }
+}
+
+/// True when every element of sorted `needles` occurs in sorted `haystack`
+/// (prefix-pruned: exits at the first missing needle).
+pub fn sorted_contains_all(haystack: &[u32], needles: &[u32]) -> bool {
+    if needles.len() > haystack.len() {
+        return false;
+    }
+    let mut i = 0;
+    for &n in needles {
+        while i < haystack.len() && haystack[i] < n {
+            i += 1;
+        }
+        if i >= haystack.len() || haystack[i] != n {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
+/// True when two sorted slices share at least one element (exits at the
+/// first hit — the fused replacement for `sorted_intersection_len(..) > 0`).
+pub fn sorted_intersects(a: &[u32], b: &[u32]) -> bool {
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -652,6 +752,56 @@ mod tests {
         assert_eq!(sorted_intersection(&a, &b), vec![3, 5]);
         assert_eq!(sorted_intersection_len(&a, &[]), 0);
         assert_eq!(sorted_intersection(&[], &b), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn fused_sorted_kernels_match_full_merges() {
+        let a = [1u32, 3, 5, 7];
+        let b = [2u32, 3, 4, 5, 8];
+        assert_eq!(sorted_intersection_exact(&a, &b, 2), vec![3, 5]);
+        assert_eq!(sorted_intersection_exact(&a, &[], 0), Vec::<u32>::new());
+        assert!(sorted_intersects(&a, &b));
+        assert!(!sorted_intersects(&a, &[2, 4, 8]));
+        assert!(!sorted_intersects(&a, &[]));
+        assert!(sorted_contains_all(&b, &[3, 5]));
+        assert!(sorted_contains_all(&b, &[]));
+        assert!(!sorted_contains_all(&b, &[3, 6]));
+        assert!(!sorted_contains_all(&[3], &[3, 6]));
+        assert_eq!(sorted_overlap_with(&b, &[3, 5]), SortedOverlap::All);
+        assert_eq!(sorted_overlap_with(&b, &[3, 6]), SortedOverlap::Partial);
+        assert_eq!(sorted_overlap_with(&b, &[1, 6]), SortedOverlap::Disjoint);
+        assert_eq!(sorted_overlap_with(&b, &[]), SortedOverlap::All);
+        // Exhaustive differential check against the unfused merges on
+        // every small subset pair of a fixed universe.
+        let universe: Vec<u32> = vec![0, 1, 2, 3, 4, 5, 6];
+        let subsets: Vec<Vec<u32>> = (0u32..128)
+            .map(|mask| {
+                universe
+                    .iter()
+                    .copied()
+                    .filter(|&x| mask >> x & 1 == 1)
+                    .collect()
+            })
+            .collect();
+        for x in &subsets {
+            for y in &subsets {
+                let len = sorted_intersection_len(x, y);
+                assert_eq!(
+                    sorted_intersection_exact(x, y, len),
+                    sorted_intersection(x, y)
+                );
+                assert_eq!(sorted_intersects(x, y), len > 0);
+                assert_eq!(sorted_contains_all(x, y), len == y.len());
+                let expect = if len == y.len() {
+                    SortedOverlap::All
+                } else if len == 0 {
+                    SortedOverlap::Disjoint
+                } else {
+                    SortedOverlap::Partial
+                };
+                assert_eq!(sorted_overlap_with(x, y), expect, "{x:?} vs {y:?}");
+            }
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod core_decomp;
 pub mod generators;
 pub mod graph;
 pub mod io;
+pub mod kernels;
 pub mod local;
 pub mod matching;
 pub mod metrics;
@@ -48,6 +49,6 @@ pub mod projection;
 pub mod subgraph;
 pub mod two_hop;
 
-pub use bitset::BitSet;
+pub use bitset::{BitSet, Bits};
 pub use graph::{BipartiteGraph, Side, Vertex};
-pub use local::{LocalGraph, LocalVertex};
+pub use local::{LocalGraph, LocalVertex, RowRef};

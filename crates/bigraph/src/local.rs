@@ -5,9 +5,22 @@
 //! ≲ δ̈(G), so a dense adjacency-bitset representation is the right trade:
 //! candidate intersection (`CB ∩ N(u)`), reduction degree counts and the
 //! Lemma 3 density test all become a handful of word operations per row.
+//!
+//! # Cache-blocked layout
+//!
+//! Adjacency rows are stored in one contiguous arena per side
+//! (`RowArena`-style `rows × words_per_row` words) instead of one heap
+//! allocation per row. A vertex-centred subgraph of size ~ bidegeneracy + 1
+//! is then a single dense block — e.g. 128 vertices × 2 words = 2 KiB per
+//! side — that stays resident in L1/L2 for the whole branch-and-bound run,
+//! and row scans walk sequential memory instead of chasing per-row boxes.
+//! Rows are handed out as borrowed [`RowRef`] views; every
+//! [`crate::bitset::BitSet`] operation accepts them directly through the
+//! [`Bits`] trait, so no row is ever copied just to intersect against it.
 
-use crate::bitset::BitSet;
+use crate::bitset::{iter_words, BitSet, Bits, Iter};
 use crate::graph::BipartiteGraph;
+use crate::kernels;
 
 /// A vertex of a [`LocalGraph`]: side flag plus local index.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -30,21 +43,126 @@ impl LocalVertex {
     }
 }
 
-/// A small bipartite graph with bitset adjacency on both sides.
+/// One side's adjacency rows in a single contiguous arena.
+#[derive(Clone, Debug)]
+struct RowArena {
+    /// `rows * words_per_row` words, row-major.
+    words: Vec<u64>,
+    words_per_row: usize,
+    /// Bit capacity of each row (the size of the *other* side).
+    row_capacity: usize,
+    rows: usize,
+}
+
+impl RowArena {
+    fn new(rows: usize, row_capacity: usize) -> RowArena {
+        let words_per_row = row_capacity.div_ceil(64);
+        RowArena {
+            words: vec![0u64; rows * words_per_row],
+            words_per_row,
+            row_capacity,
+            rows,
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: usize) -> &[u64] {
+        debug_assert!(i < self.rows);
+        &self.words[i * self.words_per_row..(i + 1) * self.words_per_row]
+    }
+
+    #[inline]
+    fn insert(&mut self, i: usize, bit: usize) {
+        debug_assert!(i < self.rows && bit < self.row_capacity);
+        self.words[i * self.words_per_row + bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn contains(&self, i: usize, bit: usize) -> bool {
+        debug_assert!(i < self.rows && bit < self.row_capacity);
+        (self.words[i * self.words_per_row + bit / 64] >> (bit % 64)) & 1 == 1
+    }
+}
+
+/// A borrowed adjacency row of a [`LocalGraph`]: a read-only bitset view
+/// into the side arena. Copy-cheap; interoperates with every [`BitSet`]
+/// operation through the [`Bits`] trait.
+#[derive(Clone, Copy)]
+pub struct RowRef<'a> {
+    words: &'a [u64],
+    capacity: usize,
+}
+
+impl Bits for RowRef<'_> {
+    #[inline]
+    fn words(&self) -> &[u64] {
+        self.words
+    }
+
+    #[inline]
+    fn bit_capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl<'a> RowRef<'a> {
+    /// Exclusive upper bound on stored values.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Tests membership of `i`.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.capacity);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of stored values (one fused popcount pass).
+    #[inline]
+    pub fn len(&self) -> usize {
+        kernels::popcount(self.words)
+    }
+
+    /// True when no value is stored.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Iterates the stored values in increasing order.
+    pub fn iter(&self) -> Iter<'a> {
+        iter_words(self.words)
+    }
+
+    /// Copies the row into an owned [`BitSet`].
+    pub fn to_bitset(&self) -> BitSet {
+        BitSet::from_words(self.words, self.capacity)
+    }
+}
+
+impl std::fmt::Debug for RowRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+/// A small bipartite graph with arena-backed bitset adjacency on both sides.
 #[derive(Clone, Debug)]
 pub struct LocalGraph {
-    /// `left_adj[u]` = bitset over right-local indices adjacent to `u`.
-    left_adj: Vec<BitSet>,
-    /// `right_adj[v]` = bitset over left-local indices adjacent to `v`.
-    right_adj: Vec<BitSet>,
+    /// Row `u` = bitset over right-local indices adjacent to left `u`.
+    left_adj: RowArena,
+    /// Row `v` = bitset over left-local indices adjacent to right `v`.
+    right_adj: RowArena,
 }
 
 impl LocalGraph {
     /// An empty graph with the given side sizes.
     pub fn new(num_left: usize, num_right: usize) -> LocalGraph {
         LocalGraph {
-            left_adj: (0..num_left).map(|_| BitSet::new(num_right)).collect(),
-            right_adj: (0..num_right).map(|_| BitSet::new(num_left)).collect(),
+            left_adj: RowArena::new(num_left, num_right),
+            right_adj: RowArena::new(num_right, num_left),
         }
     }
 
@@ -83,20 +201,20 @@ impl LocalGraph {
 
     /// Adds an edge between left `u` and right `v`.
     pub fn add_edge(&mut self, u: u32, v: u32) {
-        self.left_adj[u as usize].insert(v as usize);
-        self.right_adj[v as usize].insert(u as usize);
+        self.left_adj.insert(u as usize, v as usize);
+        self.right_adj.insert(v as usize, u as usize);
     }
 
     /// Number of left vertices.
     #[inline]
     pub fn num_left(&self) -> usize {
-        self.left_adj.len()
+        self.left_adj.rows
     }
 
     /// Number of right vertices.
     #[inline]
     pub fn num_right(&self) -> usize {
-        self.right_adj.len()
+        self.right_adj.rows
     }
 
     /// Total vertex count.
@@ -105,9 +223,9 @@ impl LocalGraph {
         self.num_left() + self.num_right()
     }
 
-    /// Number of edges (counted from the left rows).
+    /// Number of edges (counted from the left arena in one pass).
     pub fn num_edges(&self) -> usize {
-        self.left_adj.iter().map(|row| row.len()).sum()
+        kernels::popcount(&self.left_adj.words)
     }
 
     /// Edge density relative to the complete bipartite graph.
@@ -120,46 +238,74 @@ impl LocalGraph {
         }
     }
 
-    /// Adjacency row of left vertex `u` (bitset over right indices).
+    /// Adjacency row of left vertex `u` (bitset view over right indices).
     #[inline]
-    pub fn left_row(&self, u: u32) -> &BitSet {
-        &self.left_adj[u as usize]
+    pub fn left_row(&self, u: u32) -> RowRef<'_> {
+        RowRef {
+            words: self.left_adj.row(u as usize),
+            capacity: self.left_adj.row_capacity,
+        }
     }
 
-    /// Adjacency row of right vertex `v` (bitset over left indices).
+    /// Adjacency row of right vertex `v` (bitset view over left indices).
     #[inline]
-    pub fn right_row(&self, v: u32) -> &BitSet {
-        &self.right_adj[v as usize]
+    pub fn right_row(&self, v: u32) -> RowRef<'_> {
+        RowRef {
+            words: self.right_adj.row(v as usize),
+            capacity: self.right_adj.row_capacity,
+        }
     }
 
     /// Edge test.
     #[inline]
     pub fn has_edge(&self, u: u32, v: u32) -> bool {
-        self.left_adj[u as usize].contains(v as usize)
+        self.left_adj.contains(u as usize, v as usize)
     }
 
-    /// Degree of left vertex `u` restricted to a right-side candidate set.
+    /// Degree of left vertex `u` restricted to a right-side candidate set
+    /// (one fused AND + popcount pass over the arena row).
     #[inline]
-    pub fn left_degree_in(&self, u: u32, candidates: &BitSet) -> usize {
-        self.left_adj[u as usize].intersection_len(candidates)
+    pub fn left_degree_in<B: Bits + ?Sized>(&self, u: u32, candidates: &B) -> usize {
+        debug_assert_eq!(candidates.bit_capacity(), self.left_adj.row_capacity);
+        kernels::and_popcount(self.left_adj.row(u as usize), candidates.words())
     }
 
     /// Degree of right vertex `v` restricted to a left-side candidate set.
     #[inline]
-    pub fn right_degree_in(&self, v: u32, candidates: &BitSet) -> usize {
-        self.right_adj[v as usize].intersection_len(candidates)
+    pub fn right_degree_in<B: Bits + ?Sized>(&self, v: u32, candidates: &B) -> usize {
+        debug_assert_eq!(candidates.bit_capacity(), self.right_adj.row_capacity);
+        kernels::and_popcount(self.right_adj.row(v as usize), candidates.words())
     }
 
     /// Number of *missing* neighbours of left `u` within `candidates ⊆ R`.
     #[inline]
-    pub fn left_missing_in(&self, u: u32, candidates: &BitSet) -> usize {
-        candidates.difference_len(&self.left_adj[u as usize])
+    pub fn left_missing_in<B: Bits + ?Sized>(&self, u: u32, candidates: &B) -> usize {
+        debug_assert_eq!(candidates.bit_capacity(), self.left_adj.row_capacity);
+        kernels::andnot_popcount(candidates.words(), self.left_adj.row(u as usize))
     }
 
     /// Number of missing neighbours of right `v` within `candidates ⊆ L`.
     #[inline]
-    pub fn right_missing_in(&self, v: u32, candidates: &BitSet) -> usize {
-        candidates.difference_len(&self.right_adj[v as usize])
+    pub fn right_missing_in<B: Bits + ?Sized>(&self, v: u32, candidates: &B) -> usize {
+        debug_assert_eq!(candidates.bit_capacity(), self.right_adj.row_capacity);
+        kernels::andnot_popcount(candidates.words(), self.right_adj.row(v as usize))
+    }
+
+    /// Right-side vertices adjacent to *every* left vertex in `us`, computed
+    /// with one cache-blocked batched multi-row AND (`us` empty → all of R).
+    pub fn common_neighbors_of_left(&self, us: &[u32]) -> BitSet {
+        let mut acc = BitSet::full(self.num_right());
+        let rows: Vec<&[u64]> = us.iter().map(|&u| self.left_adj.row(u as usize)).collect();
+        acc.intersect_rows_count(&rows);
+        acc
+    }
+
+    /// Left-side vertices adjacent to every right vertex in `vs`.
+    pub fn common_neighbors_of_right(&self, vs: &[u32]) -> BitSet {
+        let mut acc = BitSet::full(self.num_left());
+        let rows: Vec<&[u64]> = vs.iter().map(|&v| self.right_adj.row(v as usize)).collect();
+        acc.intersect_rows_count(&rows);
+        acc
     }
 
     /// Validates that `(a, b)` is a biclique (all local indices).
@@ -174,7 +320,7 @@ impl LocalGraph {
         let mut out = LocalGraph::new(nl, nr);
         for u in 0..nl {
             let mut row = BitSet::full(nr);
-            row.subtract(&self.left_adj[u]);
+            row.subtract(&self.left_row(u as u32));
             for v in row.iter() {
                 out.add_edge(u as u32, v as u32);
             }
@@ -204,6 +350,22 @@ mod tests {
         assert!(g.left_row(1).contains(2));
         assert!(g.right_row(2).contains(1));
         assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn row_refs_are_live_bitset_views() {
+        let g = LocalGraph::from_edges(2, 70, [(0, 0), (0, 64), (0, 69), (1, 3)]);
+        let row = g.left_row(0);
+        assert_eq!(row.len(), 3);
+        assert_eq!(row.iter().collect::<Vec<_>>(), vec![0, 64, 69]);
+        assert_eq!(row.to_bitset().to_vec(), vec![0, 64, 69]);
+        assert!(!row.is_empty());
+        let mut cand = BitSet::new(70);
+        cand.insert(64);
+        cand.insert(5);
+        assert_eq!(cand.intersection_len(&row), 1);
+        let mut copy = BitSet::full(70);
+        assert_eq!(copy.and_assign_count(&row), 3);
     }
 
     #[test]
@@ -239,6 +401,19 @@ mod tests {
         ca.insert(1);
         assert_eq!(g.right_degree_in(0, &ca), 1);
         assert_eq!(g.right_missing_in(0, &ca), 1);
+    }
+
+    #[test]
+    fn common_neighbors_use_batched_multi_row_and() {
+        let g = LocalGraph::from_edges(
+            3,
+            5,
+            [(0, 0), (0, 1), (0, 4), (1, 1), (1, 4), (2, 1), (2, 2)],
+        );
+        assert_eq!(g.common_neighbors_of_left(&[0, 1]).to_vec(), vec![1, 4]);
+        assert_eq!(g.common_neighbors_of_left(&[0, 1, 2]).to_vec(), vec![1]);
+        assert_eq!(g.common_neighbors_of_left(&[]).len(), 5);
+        assert_eq!(g.common_neighbors_of_right(&[1, 4]).to_vec(), vec![0, 1]);
     }
 
     #[test]

@@ -1,0 +1,226 @@
+//! `mbb bench-kernels` — measure the fused bitset kernels against the
+//! scalar reference loops and write `BENCH_kernels.json`.
+
+use mbb_bench::{
+    run_kernel_bench, KernelBenchOptions, KernelBenchReport, ScaleCaps, StandInCache, Table,
+};
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "\
+usage: mbb bench-kernels [--out FILE] [--caps small|default|large]
+                         [--seed N] [--quick] [--check FILE]
+
+Benchmarks every bitset kernel (popcount, fused AND+popcount, in-place
+AND+count, survivor scans, batched multi-row AND) on every backend the
+CPU offers — the scalar `reference` loops are the pre-kernel-layer
+baseline — then times fig4/table5-style end-to-end solves under pinned
+backends. Results are written as JSON (schema in `mbb_bench::report`)
+and summarised as a Markdown table.
+
+options:
+  --out FILE    output JSON path (default BENCH_kernels.json)
+  --caps C      stand-in scale caps for end-to-end runs (default: default)
+  --seed N      workload seed (default 42)
+  --quick       ~32x fewer iterations + smaller stand-ins (CI smoke)
+  --check FILE  validate an existing report instead of benchmarking:
+                parse FILE, re-run the schema/finiteness/consistency
+                checks, and exit non-zero on any violation";
+
+/// Parsed `bench-kernels` options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchKernelsOptions {
+    /// Output JSON path.
+    pub out: String,
+    /// Caps label (`small`/`default`/`large`).
+    pub caps: String,
+    /// Workload seed.
+    pub seed: u64,
+    /// Quick (smoke) mode.
+    pub quick: bool,
+    /// Validate this file instead of running.
+    pub check: Option<String>,
+}
+
+impl BenchKernelsOptions {
+    /// Parses the subcommand's argv (after `bench-kernels`).
+    pub fn parse(args: &[String]) -> Result<BenchKernelsOptions, String> {
+        let mut options = BenchKernelsOptions {
+            out: "BENCH_kernels.json".to_string(),
+            caps: "default".to_string(),
+            seed: 42,
+            quick: false,
+            check: None,
+        };
+        let mut iter = args.iter();
+        while let Some(arg) = iter.next() {
+            let mut value_of = |flag: &str| {
+                iter.next()
+                    .cloned()
+                    .ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--out" => options.out = value_of("--out")?,
+                "--caps" => {
+                    let value = value_of("--caps")?;
+                    if !matches!(value.as_str(), "small" | "default" | "large") {
+                        return Err(format!("--caps must be small|default|large, got {value:?}"));
+                    }
+                    options.caps = value;
+                }
+                "--seed" => {
+                    let value = value_of("--seed")?;
+                    options.seed = value
+                        .parse()
+                        .map_err(|_| format!("--seed: bad number {value:?}"))?;
+                }
+                "--quick" => options.quick = true,
+                "--check" => options.check = Some(value_of("--check")?),
+                other => return Err(format!("unknown option {other:?}")),
+            }
+        }
+        Ok(options)
+    }
+
+    fn scale_caps(&self) -> ScaleCaps {
+        match self.caps.as_str() {
+            "small" => ScaleCaps::small(),
+            "large" => ScaleCaps {
+                max_edges: 200_000,
+                max_vertices: 150_000,
+            },
+            _ => ScaleCaps::default(),
+        }
+    }
+}
+
+/// Renders the improvement + end-to-end summary tables.
+fn summarise(report: &KernelBenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "backends: {} (seed {}, caps {})\n\n",
+        report.backends.join(", "),
+        report.seed,
+        report.caps
+    ));
+
+    let mut table = Table::new(&[
+        "kernel", "words", "ref ns", "fused ns", "best ns", "speedup",
+    ]);
+    for imp in &report.improvements {
+        table.row(vec![
+            imp.kernel.clone(),
+            imp.words.to_string(),
+            format!("{:.2}", imp.baseline_ns),
+            format!("{:.2}", imp.fused_ns),
+            format!("{:.2}", imp.best_ns),
+            format!("{:.2}x", imp.best_speedup),
+        ]);
+    }
+    out.push_str(&table.render());
+
+    out.push_str("\nend-to-end (full solve wall clock, backend pinned):\n\n");
+    let mut e2e = Table::new(&["experiment", "dataset", "backend", "seconds", "optimum"]);
+    for e in &report.end_to_end {
+        e2e.row(vec![
+            e.experiment.clone(),
+            e.dataset.clone(),
+            e.backend.clone(),
+            format!("{:.4}", e.seconds),
+            e.optimum.to_string(),
+        ]);
+    }
+    out.push_str(&e2e.render());
+    out
+}
+
+/// Runs the subcommand.
+pub fn run(options: &BenchKernelsOptions) -> Result<String, String> {
+    if let Some(path) = &options.check {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report: KernelBenchReport =
+            serde_json::from_str(&text).map_err(|e| format!("{path}: bad JSON: {e}"))?;
+        report
+            .validate()
+            .map_err(|e| format!("{path}: invalid report: {e}"))?;
+        return Ok(format!(
+            "{path}: valid kernel bench report ({} timings, {} end-to-end runs, backends: {})\n",
+            report.kernels.len(),
+            report.end_to_end.len(),
+            report.backends.join(", ")
+        ));
+    }
+
+    let bench_options = KernelBenchOptions {
+        seed: options.seed,
+        caps: options.scale_caps(),
+        caps_label: options.caps.clone(),
+        quick: options.quick,
+    };
+    let cache = StandInCache::from_env();
+    let report = run_kernel_bench(&bench_options, &cache);
+    let json =
+        serde_json::to_string_pretty(&report).map_err(|e| format!("serialise report: {e}"))?;
+    std::fs::write(&options.out, json.as_bytes()).map_err(|e| format!("{}: {e}", options.out))?;
+
+    Ok(format!(
+        "{}\nwrote {} ({} timings)\n",
+        summarise(&report),
+        options.out,
+        report.kernels.len()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<BenchKernelsOptions, String> {
+        BenchKernelsOptions::parse(&s.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse("").unwrap();
+        assert_eq!(o.out, "BENCH_kernels.json");
+        assert_eq!(o.caps, "default");
+        assert_eq!(o.seed, 42);
+        assert!(!o.quick);
+        assert_eq!(o.check, None);
+    }
+
+    #[test]
+    fn parses_all_options() {
+        let o = parse("--out /tmp/k.json --caps small --seed 7 --quick").unwrap();
+        assert_eq!(o.out, "/tmp/k.json");
+        assert_eq!(o.caps, "small");
+        assert_eq!(o.seed, 7);
+        assert!(o.quick);
+    }
+
+    #[test]
+    fn rejects_bad_caps_and_unknown_flags() {
+        assert!(parse("--caps huge").is_err());
+        assert!(parse("--frobnicate").is_err());
+        assert!(parse("--seed x").is_err());
+    }
+
+    #[test]
+    fn check_mode_rejects_missing_and_malformed_files() {
+        let missing = BenchKernelsOptions {
+            check: Some("/nonexistent/kernels.json".into()),
+            ..parse("").unwrap()
+        };
+        assert!(run(&missing).is_err());
+
+        let dir = std::env::temp_dir().join("mbb-bench-kernels-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, b"{\"schema_version\": 999}").unwrap();
+        let malformed = BenchKernelsOptions {
+            check: Some(bad.to_string_lossy().into_owned()),
+            ..parse("").unwrap()
+        };
+        assert!(run(&malformed).is_err());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

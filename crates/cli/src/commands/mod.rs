@@ -6,6 +6,7 @@
 //! interface).
 
 pub mod anchored;
+pub mod bench_kernels;
 pub mod enumerate;
 pub mod frontier;
 pub mod generate;
@@ -41,6 +42,7 @@ commands:
   frontier   Pareto frontier of feasible biclique sizes
   serve-batch  run a JSONL query batch over sharded engine sessions
   serve      resident JSONL stream service with admission control
+  bench-kernels  time the bitset kernels per backend, write BENCH_kernels.json
 
 Graph inputs accept an edge list or a .mbbg binary cache; a fresh cache
 next to an edge list is used automatically (MBB_CACHE=off disables).
@@ -105,6 +107,12 @@ pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
             }
             serve::run(&serve::ServeOptions::parse(args)?)
         }
+        "bench-kernels" => {
+            if wants_help {
+                return Ok(format!("{}\n", bench_kernels::USAGE));
+            }
+            bench_kernels::run(&bench_kernels::BenchKernelsOptions::parse(args)?)
+        }
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -123,6 +131,7 @@ pub fn is_command(name: &str) -> bool {
             | "frontier"
             | "serve-batch"
             | "serve"
+            | "bench-kernels"
     )
 }
 
@@ -155,6 +164,7 @@ mod tests {
             "frontier",
             "serve-batch",
             "serve",
+            "bench-kernels",
         ] {
             let text = dispatch(cmd, &["--help".to_string()]).unwrap();
             assert!(text.contains("usage:"), "{cmd}");

@@ -114,7 +114,7 @@ impl Searcher<'_> {
             self.graph.right_row(u)
         };
         let mut new_ca = cb.clone();
-        new_ca.intersect_with(neighbor_row);
+        new_ca.intersect_with(&neighbor_row);
         let mut new_cb = ca.clone();
         new_cb.remove(u as usize);
         a.push(u);

@@ -391,10 +391,10 @@ fn include_candidates(
     let mut cb_inc = cb.clone();
     if on_left {
         ca_inc.remove(u as usize);
-        cb_inc.intersect_with(graph.left_row(u));
+        cb_inc.and_assign_count(&graph.left_row(u));
     } else {
         cb_inc.remove(u as usize);
-        ca_inc.intersect_with(graph.right_row(u));
+        ca_inc.and_assign_count(&graph.right_row(u));
     }
     (ca_inc, cb_inc)
 }

@@ -18,7 +18,10 @@ use std::ops::ControlFlow;
 use std::rc::Rc;
 use std::time::Duration;
 
-use mbb_bigraph::graph::{sorted_intersection, sorted_intersection_len, BipartiteGraph};
+use mbb_bigraph::graph::{
+    sorted_contains_all, sorted_intersection, sorted_intersects, sorted_overlap_with,
+    BipartiteGraph, SortedOverlap,
+};
 
 use crate::budget::SearchBudget;
 
@@ -64,15 +67,11 @@ impl MaximalBiclique {
         // No left vertex outside `left` is adjacent to all of `right` …
         let extendable_left = (0..graph.num_left() as u32)
             .filter(|u| self.left.binary_search(u).is_err())
-            .any(|u| {
-                sorted_intersection_len(graph.neighbors_left(u), &self.right) == self.right.len()
-            });
+            .any(|u| sorted_contains_all(graph.neighbors_left(u), &self.right));
         // … and symmetrically for the right side.
         let extendable_right = (0..graph.num_right() as u32)
             .filter(|v| self.right.binary_search(v).is_err())
-            .any(|v| {
-                sorted_intersection_len(graph.neighbors_right(v), &self.left) == self.left.len()
-            });
+            .any(|v| sorted_contains_all(graph.neighbors_right(v), &self.left));
         !extendable_left && !extendable_right
     }
 }
@@ -180,9 +179,9 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             // right vertex is adjacent to all of new_left, this biclique
             // (and everything below it) has already been reported from the
             // branch that included that vertex.
-            let dominated = excluded.iter().any(|&q| {
-                sorted_intersection_len(self.graph.neighbors_right(q), &new_left) == new_left.len()
-            });
+            let dominated = excluded
+                .iter()
+                .any(|&q| sorted_contains_all(self.graph.neighbors_right(q), &new_left));
             if dominated {
                 excluded.insert(excluded.binary_search(&x).unwrap_err(), x);
                 continue;
@@ -194,11 +193,12 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             new_right.insert(new_right.binary_search(&x).unwrap_err(), x);
             let mut new_cand = Vec::with_capacity(cand.len());
             for &v in &cand {
-                let overlap = sorted_intersection_len(self.graph.neighbors_right(v), &new_left);
-                if overlap == new_left.len() {
-                    new_right.insert(new_right.binary_search(&v).unwrap_err(), v);
-                } else if overlap > 0 {
-                    new_cand.push(v);
+                match sorted_overlap_with(self.graph.neighbors_right(v), &new_left) {
+                    SortedOverlap::All => {
+                        new_right.insert(new_right.binary_search(&v).unwrap_err(), v);
+                    }
+                    SortedOverlap::Partial => new_cand.push(v),
+                    SortedOverlap::Disjoint => {}
                 }
             }
 
@@ -226,7 +226,7 @@ impl<F: FnMut(&MaximalBiclique) -> ControlFlow<()>> Enumerator<'_, F> {
             let new_excluded: Vec<u32> = excluded
                 .iter()
                 .copied()
-                .filter(|&q| sorted_intersection_len(self.graph.neighbors_right(q), &new_left) > 0)
+                .filter(|&q| sorted_intersects(self.graph.neighbors_right(q), &new_left))
                 .collect();
             if !new_cand.is_empty() {
                 self.expand(&new_left, &new_right, &new_cand, &new_excluded);
@@ -387,7 +387,7 @@ mod tests {
             }
             // Close the right side: all right vertices adjacent to all of a.
             let closed_b: Vec<u32> = (0..nr as u32)
-                .filter(|&v| sorted_intersection_len(graph.neighbors_right(v), &a) == a.len())
+                .filter(|&v| sorted_contains_all(graph.neighbors_right(v), &a))
                 .collect();
             out.insert((a, closed_b));
         }

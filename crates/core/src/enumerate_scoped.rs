@@ -18,7 +18,7 @@
 
 use std::ops::ControlFlow;
 
-use mbb_bigraph::graph::{sorted_intersection, sorted_intersection_len, BipartiteGraph, Vertex};
+use mbb_bigraph::graph::{sorted_contains_all, sorted_intersection, BipartiteGraph, Vertex};
 use mbb_bigraph::two_hop::n2_neighbors;
 
 use crate::budget::SearchBudget;
@@ -183,9 +183,7 @@ impl ScopedState<'_> {
         // and ownership (the root must be the scope's representative:
         // no closure member may outrank... i.e. underrank the root).
         let closure: Vec<u32> = (0..self.graph.num_left() as u32)
-            .filter(|&u| {
-                sorted_intersection_len(self.graph.neighbors_left(u), &right) == right.len()
-            })
+            .filter(|&u| sorted_contains_all(self.graph.neighbors_left(u), &right))
             .collect();
         let owned = closure
             .iter()
@@ -198,9 +196,7 @@ impl ScopedState<'_> {
             // survives. Check against the whole right side for safety.
             let right_closed = (0..self.graph.num_right() as u32)
                 .filter(|v| right.binary_search(v).is_err())
-                .all(|v| {
-                    sorted_intersection_len(self.graph.neighbors_right(v), &closure) < closure.len()
-                });
+                .all(|v| !sorted_contains_all(self.graph.neighbors_right(v), &closure));
             if right_closed {
                 self.visited += 1;
                 if closure.len() >= self.config.min_left && right.len() >= self.config.min_right {
@@ -239,9 +235,9 @@ impl ScopedState<'_> {
             // Duplicate suppression: if an excluded vertex keeps its full
             // adjacency under new_right, this sub-biclique was enumerated
             // when that vertex was chosen.
-            let dominated = excluded.iter().any(|&q| {
-                sorted_intersection_len(self.graph.neighbors_left(q), &new_right) == new_right.len()
-            });
+            let dominated = excluded
+                .iter()
+                .any(|&q| sorted_contains_all(self.graph.neighbors_left(q), &new_right));
             if dominated {
                 excluded.push(w);
                 continue;

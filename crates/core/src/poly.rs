@@ -520,7 +520,7 @@ mod tests {
             let mut size_a = 0usize;
             for (idx, &u) in ca_list.iter().enumerate() {
                 if mask >> idx & 1 == 1 {
-                    common.intersect_with(g.left_row(u));
+                    common.intersect_with(&g.left_row(u));
                     size_a += 1;
                 }
             }

@@ -169,8 +169,8 @@ fn search(
     }
     for (i, &u) in candidates.iter().enumerate() {
         let mut next = common.clone();
-        next.intersect_with(local.left_row(u));
-        if next.len() < b {
+        // Fused include step: one AND + popcount pass gives the new size.
+        if next.and_assign_count(&local.left_row(u)) < b {
             continue;
         }
         chosen.push(u);

@@ -1,6 +1,5 @@
 //! Shared brute-force oracles for unit tests.
 
-use mbb_bigraph::bitset::BitSet;
 use mbb_bigraph::graph::BipartiteGraph;
 use mbb_bigraph::local::LocalGraph;
 
@@ -11,15 +10,9 @@ pub(crate) fn brute_force_half_local(g: &LocalGraph) -> usize {
     assert!(nl <= 20, "brute force limited to small graphs");
     let mut best = 0usize;
     for mask in 0u32..(1u32 << nl) {
-        let mut common = BitSet::full(g.num_right());
-        let mut size = 0usize;
-        for u in 0..nl {
-            if mask >> u & 1 == 1 {
-                common.intersect_with(g.left_row(u as u32));
-                size += 1;
-            }
-        }
-        best = best.max(size.min(common.len()));
+        let chosen: Vec<u32> = (0..nl as u32).filter(|u| mask >> u & 1 == 1).collect();
+        let common = g.common_neighbors_of_left(&chosen);
+        best = best.max(chosen.len().min(common.len()));
     }
     best
 }

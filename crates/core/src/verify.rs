@@ -364,11 +364,11 @@ fn verify_one(
         Side::Left => {
             let mut ca = BitSet::full(local.num_left());
             ca.remove(center_local as usize);
-            let cb = local.left_row(center_local).clone();
+            let cb = local.left_row(center_local).to_bitset();
             (vec![center_local], Vec::new(), ca, cb)
         }
         Side::Right => {
-            let ca = local.right_row(center_local).clone();
+            let ca = local.right_row(center_local).to_bitset();
             let mut cb = BitSet::full(local.num_right());
             cb.remove(center_local as usize);
             (Vec::new(), vec![center_local], ca, cb)

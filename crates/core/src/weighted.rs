@@ -231,7 +231,7 @@ impl WeightedSearcher<'_> {
                 let mut ca_inc = ca.clone();
                 ca_inc.remove(u as usize);
                 let mut cb_inc = cb.clone();
-                cb_inc.intersect_with(self.graph.left_row(u));
+                cb_inc.and_assign_count(&self.graph.left_row(u));
                 a.push(u);
                 self.recurse(a, b, ca_inc, cb_inc, depth + 1);
                 a.pop();
@@ -244,7 +244,7 @@ impl WeightedSearcher<'_> {
                 let mut cb_inc = cb.clone();
                 cb_inc.remove(v as usize);
                 let mut ca_inc = ca.clone();
-                ca_inc.intersect_with(self.graph.right_row(v));
+                ca_inc.and_assign_count(&self.graph.right_row(v));
                 b.push(v);
                 self.recurse(a, b, ca_inc, cb_inc, depth + 1);
                 b.pop();
@@ -272,7 +272,7 @@ mod tests {
             let a: Vec<u32> = (0..nl as u32).filter(|u| mask >> u & 1 == 1).collect();
             let mut common = BitSet::full(graph.num_right());
             for &u in &a {
-                common.intersect_with(graph.left_row(u));
+                common.intersect_with(&graph.left_row(u));
             }
             let k = a.len().min(common.len());
             if k == 0 {

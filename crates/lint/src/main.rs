@@ -7,7 +7,7 @@
 //! ```
 //!
 //! No external parser, no network, no extra dependencies: a line-level
-//! lexer ([`lexer`]) feeds four textual rules ([`rules`]) tuned to this
+//! lexer ([`lexer`]) feeds five textual rules ([`rules`]) tuned to this
 //! codebase's concurrency conventions. Diagnostics print one per line as
 //! `file:line: [rule-id] message`; the exit code is non-zero when any
 //! finding survives its suppressions, so CI can gate on it.
@@ -40,6 +40,11 @@ const HOT_LOOP_FILES: [&str; 3] = [
     "crates/core/src/enumerate_scoped.rs",
     "crates/core/src/solver.rs",
 ];
+
+/// Kernel-hot solver files: bitset intersect+len pairs here must go
+/// through the fused kernel layer (`crates/bigraph/src/kernels.rs`), not
+/// two passes over the words.
+const KERNEL_FILES: [&str; 2] = ["crates/core/src/dense.rs", "crates/core/src/verify.rs"];
 
 fn usage() -> &'static str {
     "usage: mbb-lint [--workspace] [--root <dir>]\n\n\
@@ -142,6 +147,9 @@ fn run(root: &Path) -> Result<Vec<Finding>, String> {
         }
         if HOT_LOOP_FILES.contains(&rel.as_str()) {
             rules::check_hot_clock(&rel, &lines, &mut findings);
+        }
+        if KERNEL_FILES.contains(&rel.as_str()) {
+            rules::check_kernel_scalar(&rel, &lines, &mut findings);
         }
         rules::check_lock_order(&rel, &lines, &lock_classes, &mut findings);
     }

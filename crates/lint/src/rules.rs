@@ -1,4 +1,4 @@
-//! The four workspace rules, each with a stable id used in diagnostics
+//! The five workspace rules, each with a stable id used in diagnostics
 //! and in `// mbb-lint: allow(<id>) <reason>` suppressions:
 //!
 //! * `relaxed-justify` — every `Ordering::Relaxed` in production code
@@ -10,6 +10,10 @@
 //!   hot-loop files; deadlines go through the sampled `SearchBudget`.
 //! * `lock-order` — lock classes from `docs/lock_order.txt` must be
 //!   acquired in listed order within a function.
+//! * `kernel-scalar` — in kernel-hot solver files, an `.intersect_with(`
+//!   followed within [`KERNEL_WINDOW`] lines by `.len()` on the same
+//!   receiver must be fused into one kernel pass
+//!   (`BitSet::and_assign_count` / `intersection_len`).
 //!
 //! Plus `suppression-reason`, emitted when a suppression comment omits
 //! its mandatory reason text.
@@ -310,6 +314,72 @@ pub fn check_lock_order(
     }
 }
 
+/// How many lines after an `.intersect_with(` call a `.len()` on the same
+/// receiver still reads as the unfused two-pass idiom. Four lines cover
+/// the `let mut x = y.clone(); x.intersect_with(&z); ... x.len()` shape
+/// without reaching into unrelated code further down.
+pub const KERNEL_WINDOW: usize = 4;
+
+/// The identifier (or field) the method-call text in `s` ends with.
+fn trailing_ident(s: &str) -> &str {
+    let trimmed = s.trim_end();
+    let start = trimmed
+        .rfind(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .map_or(0, |p| p + 1);
+    &trimmed[start..]
+}
+
+/// `kernel-scalar`: in kernel-hot solver files, `x.intersect_with(y)`
+/// followed shortly by `x.len()` walks the words twice where the fused
+/// kernels (`BitSet::and_assign_count`, `intersection_len`) do one pass —
+/// exactly the split the kernel layer exists to remove.
+pub fn check_kernel_scalar(file: &str, lines: &[SourceLine], out: &mut Vec<Finding>) {
+    for idx in 0..lines.len() {
+        let line = &lines[idx];
+        if line.in_test {
+            continue;
+        }
+        let Some(at) = line.code.find(".intersect_with(") else {
+            continue;
+        };
+        let recv = trailing_ident(&line.code[..at]);
+        if recv.is_empty() {
+            continue;
+        }
+        let needle = format!("{recv}.len()");
+        let end = (idx + 1 + KERNEL_WINDOW).min(lines.len());
+        for later in idx..end {
+            // On the intersect line itself only the text after the call
+            // counts (a preceding `x.len()` is not the unfused pair).
+            let code: &str = if later == idx {
+                &line.code[at..]
+            } else {
+                &lines[later].code
+            };
+            if lines[later].in_test || !code.contains(&needle) {
+                continue;
+            }
+            emit(
+                lines,
+                idx,
+                Finding {
+                    file: file.to_string(),
+                    line: line.number,
+                    rule: "kernel-scalar",
+                    message: format!(
+                        "`{recv}.intersect_with(..)` followed by `{needle}` (line {}) — \
+                         fuse into one kernel pass via `BitSet::and_assign_count` or \
+                         `intersection_len` (crates/bigraph/src/kernels.rs)",
+                        lines[later].number
+                    ),
+                },
+                out,
+            );
+            break;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +519,54 @@ mod tests {
             check_lock_order("t.rs", &lines, &classes(), &mut out);
             assert!(out.is_empty(), "{src}");
         }
+    }
+
+    #[test]
+    fn kernel_scalar_flags_unfused_pair() {
+        let src =
+            "let mut row = base.clone();\nrow.intersect_with(&cand);\nif row.len() > best {\n";
+        let got = run(src, check_kernel_scalar);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "kernel-scalar");
+        assert_eq!(got[0].line, 2);
+        assert!(
+            got[0].message.contains("and_assign_count"),
+            "{}",
+            got[0].message
+        );
+    }
+
+    #[test]
+    fn kernel_scalar_flags_same_line_pair() {
+        let src = "row.intersect_with(&cand); let n = row.len();\n";
+        assert_eq!(run(src, check_kernel_scalar).len(), 1);
+    }
+
+    #[test]
+    fn kernel_scalar_requires_matching_receiver() {
+        let src = "row.intersect_with(&cand);\nif other.len() > best {\n";
+        assert!(run(src, check_kernel_scalar).is_empty());
+    }
+
+    #[test]
+    fn kernel_scalar_window_is_bounded() {
+        let src = "row.intersect_with(&cand);\nlet a = 1;\nlet b = 2;\nlet c = 3;\nlet d = 4;\nif row.len() > best {\n";
+        assert!(run(src, check_kernel_scalar).is_empty());
+    }
+
+    #[test]
+    fn kernel_scalar_ignores_fused_calls_and_tests() {
+        let fused = "let n = row.and_assign_count(&cand);\n";
+        assert!(run(fused, check_kernel_scalar).is_empty());
+        let in_test =
+            "#[cfg(test)]\nmod tests {\n  fn t() { row.intersect_with(&c);\n  row.len(); }\n}\n";
+        assert!(run(in_test, check_kernel_scalar).is_empty());
+    }
+
+    #[test]
+    fn kernel_scalar_suppression_with_reason() {
+        let src = "// mbb-lint: allow(kernel-scalar) cold path, clarity wins\nrow.intersect_with(&cand);\nlet n = row.len();\n";
+        assert!(run(src, check_kernel_scalar).is_empty());
     }
 
     #[test]

@@ -1,0 +1,335 @@
+//! Differential tests for the fused bitset kernels.
+//!
+//! Every dispatched kernel in `mbb_bigraph::kernels` must be bit-for-bit
+//! identical to the scalar reference loops in `kernels::reference`, on every
+//! backend the host CPU offers (`Reference`, `Blocked`, and — with the `simd`
+//! feature — `Sse2`/`Avx2`). The suite drives random word vectors with
+//! ragged tails (`capacity % 64 != 0`), empty/full extremes, and single-bit
+//! deltas, then closes the loop at solver level: `dense_mbb` must return the
+//! same maximum balanced biclique whichever backend is live.
+//!
+//! Backend forcing mutates a process-wide static, so every test that calls
+//! `force_backend` serialises through [`backend_lock`] and restores the
+//! default dispatch on exit (panic included) via [`ForcedBackend`].
+
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use mbb_bigraph::bitset::BitSet;
+use mbb_bigraph::kernels::{self, available_backends, force_backend, Backend};
+use mbb_bigraph::local::LocalGraph;
+use mbb_core::dense::dense_mbb;
+use proptest::bool::ANY;
+use proptest::prelude::*;
+
+/// Global lock serialising tests that force a kernel backend.
+fn backend_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    match LOCK.get_or_init(|| Mutex::new(())).lock() {
+        Ok(guard) => guard,
+        // A test that panicked while holding the lock poisons it; the forced
+        // backend is still restored by `ForcedBackend::drop`, so the lock
+        // state itself is fine to reuse.
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// RAII guard: forces `backend` on construction, restores runtime dispatch
+/// on drop so a panicking test cannot leak a forced backend into the next.
+struct ForcedBackend;
+
+impl ForcedBackend {
+    fn new(backend: Backend) -> Self {
+        assert!(
+            force_backend(Some(backend)),
+            "backend {} unavailable on this host",
+            backend.name()
+        );
+        ForcedBackend
+    }
+}
+
+impl Drop for ForcedBackend {
+    fn drop(&mut self) {
+        force_backend(None);
+    }
+}
+
+/// Runs `check` once per backend available on this host, serialised against
+/// every other backend-forcing test in the binary.
+fn with_each_backend(mut check: impl FnMut(Backend)) {
+    let _serial = backend_lock();
+    for backend in available_backends() {
+        let _forced = ForcedBackend::new(backend);
+        check(backend);
+    }
+}
+
+/// Packs `bits` (little-endian bit order) into 64-bit words, leaving any
+/// tail bits beyond `bits.len()` zero, exactly like `BitSet` storage.
+fn pack(bits: &[bool]) -> Vec<u64> {
+    let words = bits.len().div_ceil(64).max(1);
+    let mut out = vec![0u64; words];
+    for (i, &bit) in bits.iter().enumerate() {
+        if bit {
+            out[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    out
+}
+
+/// Strategy: a pair of equal-capacity random bit vectors whose capacity
+/// sweeps word boundaries (ragged tails and multi-word lengths).
+fn word_pairs() -> impl Strategy<Value = (Vec<u64>, Vec<u64>, usize)> {
+    (1usize..=310).prop_flat_map(|cap| {
+        (
+            proptest::collection::vec(ANY, cap),
+            proptest::collection::vec(ANY, cap),
+        )
+            .prop_map(move |(a, b)| (pack(&a), pack(&b), cap))
+    })
+}
+
+/// Asserts every dispatched kernel on the live backend agrees with the
+/// scalar reference implementation for the word pair `(a, b)`.
+fn assert_kernels_match(backend: Backend, a: &[u64], b: &[u64]) {
+    let tag = backend.name();
+    assert_eq!(
+        kernels::popcount(a),
+        kernels::reference::popcount(a),
+        "popcount diverged on {tag}"
+    );
+    assert_eq!(
+        kernels::and_popcount(a, b),
+        kernels::reference::and_popcount(a, b),
+        "and_popcount diverged on {tag}"
+    );
+    assert_eq!(
+        kernels::andnot_popcount(a, b),
+        kernels::reference::andnot_popcount(a, b),
+        "andnot_popcount diverged on {tag}"
+    );
+    assert_eq!(
+        kernels::first_and(a, b),
+        kernels::reference::first_and(a, b),
+        "first_and diverged on {tag}"
+    );
+    assert_eq!(
+        kernels::last_and(a, b),
+        kernels::reference::last_and(a, b),
+        "last_and diverged on {tag}"
+    );
+    assert_eq!(
+        kernels::first_andnot(a, b),
+        kernels::reference::first_andnot(a, b),
+        "first_andnot diverged on {tag}"
+    );
+
+    // Mutating kernels: identical counts AND identical resulting words.
+    for (name, fused, scalar) in [
+        (
+            "and_assign_count",
+            kernels::and_assign_count as fn(&mut [u64], &[u64]) -> usize,
+            kernels::reference::and_assign_count as fn(&mut [u64], &[u64]) -> usize,
+        ),
+        (
+            "or_assign_count",
+            kernels::or_assign_count,
+            kernels::reference::or_assign_count,
+        ),
+        (
+            "andnot_assign_count",
+            kernels::andnot_assign_count,
+            kernels::reference::andnot_assign_count,
+        ),
+    ] {
+        let mut fused_words = a.to_vec();
+        let mut scalar_words = a.to_vec();
+        let fused_count = fused(&mut fused_words, b);
+        let scalar_count = scalar(&mut scalar_words, b);
+        assert_eq!(fused_count, scalar_count, "{name} count diverged on {tag}");
+        assert_eq!(fused_words, scalar_words, "{name} words diverged on {tag}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    // Scalar vs fused vs SIMD, bit for bit, on random ragged-tail inputs.
+    #[test]
+    fn dispatched_kernels_match_reference(pair in word_pairs()) {
+        let (a, b, _cap) = pair;
+        with_each_backend(|backend| assert_kernels_match(backend, &a, &b));
+    }
+
+    // Flipping a single bit must shift every kernel's answer exactly the
+    // way the reference loops say it should — on every backend.
+    #[test]
+    fn single_bit_deltas_track_reference(pair in word_pairs(), flip in 0usize..=309) {
+        let (a, b, cap) = pair;
+        let i = flip % cap;
+        let mut a_flipped = a.clone();
+        a_flipped[i / 64] ^= 1u64 << (i % 64);
+        with_each_backend(|backend| {
+            assert_kernels_match(backend, &a_flipped, &b);
+            // The delta between original and flipped must be internally
+            // consistent: exactly one bit of |a| moved.
+            let before = kernels::popcount(&a);
+            let after = kernels::popcount(&a_flipped);
+            assert_eq!(
+                before.abs_diff(after),
+                1,
+                "single-bit flip changed popcount by != 1 on {}",
+                backend.name()
+            );
+        });
+    }
+
+    // Batched multi-row AND agrees with the reference fold for any stack
+    // of rows, including the empty stack (accumulator unchanged).
+    #[test]
+    fn multi_and_matches_reference(
+        cap in 0usize..=310,
+        raw_rows in proptest::collection::vec(
+            proptest::collection::vec(ANY, 0..=310),
+            0..6
+        ),
+        acc in proptest::collection::vec(ANY, 0..=310),
+    ) {
+        let mut acc_bits = acc;
+        acc_bits.resize(cap, true);
+        let packed_rows: Vec<Vec<u64>> = raw_rows
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.resize(cap, false);
+                pack(&r)
+            })
+            .collect();
+        with_each_backend(|backend| {
+            let rows_ref: Vec<&[u64]> = packed_rows.iter().map(|r| r.as_slice()).collect();
+            let mut fused_acc = pack(&acc_bits);
+            let mut scalar_acc = pack(&acc_bits);
+            let fused = kernels::multi_and_popcount(&mut fused_acc, &rows_ref);
+            let scalar = kernels::reference::multi_and_popcount(&mut scalar_acc, &rows_ref);
+            assert_eq!(fused, scalar, "multi_and count diverged on {}", backend.name());
+            assert_eq!(
+                fused_acc,
+                scalar_acc,
+                "multi_and words diverged on {}",
+                backend.name()
+            );
+        });
+    }
+
+    // Survivor scans through the `BitSet` surface agree with iterating the
+    // materialised intersection, independent of backend.
+    #[test]
+    fn bitset_scans_match_materialised_sets(
+        cap in 1usize..=200,
+        a_bits in proptest::collection::vec(ANY, 200usize),
+        b_bits in proptest::collection::vec(ANY, 200usize),
+    ) {
+        let mut a = BitSet::new(cap);
+        let mut b = BitSet::new(cap);
+        for (i, &bit) in a_bits.iter().take(cap).enumerate() {
+            if bit {
+                a.insert(i);
+            }
+        }
+        for (i, &bit) in b_bits.iter().take(cap).enumerate() {
+            if bit {
+                b.insert(i);
+            }
+        }
+        with_each_backend(|_| {
+            let mut both = a.clone();
+            both.intersect_with(&b);
+            assert_eq!(a.intersection_len(&b), both.len());
+            assert_eq!(
+                a.first_intersection(&b),
+                both.iter().next()
+            );
+            assert_eq!(
+                a.last_intersection(&b),
+                both.iter().last()
+            );
+            let mut only_a = a.clone();
+            only_a.subtract(&b);
+            assert_eq!(a.difference_len(&b), only_a.len());
+            assert_eq!(
+                a.first_difference(&b),
+                only_a.iter().next()
+            );
+        });
+    }
+
+    // Solver-level closure: `dense_mbb` must find the same maximum balanced
+    // biclique under every backend — scalar reference, blocked, and (with
+    // the `simd` feature) the wide paths.
+    #[test]
+    fn dense_mbb_identical_across_backends(
+        nl in 1usize..=9,
+        nr in 1usize..=9,
+        edges in proptest::collection::vec((0u32..9, 0u32..9), 0..=40),
+    ) {
+        let mut local = LocalGraph::new(nl, nr);
+        for &(u, v) in &edges {
+            if (u as usize) < nl && (v as usize) < nr {
+                local.add_edge(u, v);
+            }
+        }
+        let mut results = Vec::new();
+        with_each_backend(|backend| {
+            let (best, _stats) = dense_mbb(&local, 0);
+            results.push((backend, best));
+        });
+        let (first_backend, first) = &results[0];
+        for (backend, best) in &results[1..] {
+            assert_eq!(
+                (&best.left, &best.right),
+                (&first.left, &first.right),
+                "dense_mbb diverged: {} vs {}",
+                backend.name(),
+                first_backend.name()
+            );
+        }
+    }
+}
+
+/// The full-scan extremes deserve deterministic (non-random) coverage at
+/// each word-boundary capacity, on every backend.
+#[test]
+fn empty_and_full_extremes_every_backend() {
+    for cap in [0usize, 1, 63, 64, 65, 127, 128, 191, 256, 300] {
+        let empty = pack(&vec![false; cap]);
+        let full = pack(&vec![true; cap]);
+        with_each_backend(|backend| {
+            assert_kernels_match(backend, &empty, &full);
+            assert_kernels_match(backend, &full, &empty);
+            assert_kernels_match(backend, &full, &full);
+            assert_kernels_match(backend, &empty, &empty);
+            assert_eq!(
+                kernels::popcount(&full),
+                cap,
+                "full popcount at cap {cap} on {}",
+                backend.name()
+            );
+        });
+    }
+}
+
+/// `force_backend` rejects backends the host cannot run and reports the
+/// forced backend through `active_backend`.
+#[test]
+fn force_backend_roundtrip() {
+    let _serial = backend_lock();
+    let available = available_backends();
+    assert!(available.contains(&Backend::Reference));
+    assert!(available.contains(&Backend::Blocked));
+    for backend in available.iter().copied() {
+        let _forced = ForcedBackend::new(backend);
+        assert_eq!(kernels::active_backend(), backend);
+    }
+    // After every guard dropped, dispatch falls back to runtime detection.
+    assert!(available.contains(&kernels::active_backend()));
+}
