@@ -223,4 +223,44 @@ mod tests {
         assert!(run(&malformed).is_err());
         let _ = std::fs::remove_dir_all(dir);
     }
+
+    /// The trajectory gate itself: `--check` must accept the committed
+    /// BENCH_kernels.json as-is and reject a copy whose checksum field
+    /// is hand-corrupted — proving the cross-backend validation really
+    /// reads the checksums rather than only the schema.
+    #[test]
+    fn check_mode_rejects_corrupted_committed_checksum() {
+        let committed =
+            std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json");
+        let committed = committed.to_string_lossy().into_owned();
+        let pristine = BenchKernelsOptions {
+            check: Some(committed.clone()),
+            ..parse("").unwrap()
+        };
+        run(&pristine).expect("the committed report must validate");
+
+        // Corrupt exactly one checksum digit, textually — the file is
+        // otherwise byte-identical, so only checksum validation can
+        // catch it.
+        let text = std::fs::read_to_string(&committed).unwrap();
+        let marker = "\"checksum\": ";
+        let at = text.find(marker).expect("committed report has checksums") + marker.len();
+        let digit = text[at..].chars().next().expect("digit after marker");
+        let flipped = if digit == '9' { '1' } else { '9' };
+        let mut corrupted = text.clone();
+        corrupted.replace_range(at..at + 1, &flipped.to_string());
+        assert_ne!(corrupted, text);
+
+        let dir = std::env::temp_dir().join("mbb-bench-kernels-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupted.json");
+        std::fs::write(&path, corrupted).unwrap();
+        let check = BenchKernelsOptions {
+            check: Some(path.to_string_lossy().into_owned()),
+            ..parse("").unwrap()
+        };
+        let err = run(&check).expect_err("a corrupted checksum must be rejected");
+        assert!(err.contains("checksum"), "unexpected error: {err}");
+        let _ = std::fs::remove_dir_all(dir);
+    }
 }

@@ -11,6 +11,7 @@ pub const USAGE: &str = "\
 usage: mbb serve --shard <id>=<edge-list-file> [--shard ...]
                  [--workers <N>] [--queue-depth <N>] [--fairness-burst <N>]
                  [--stats]
+                 [--listen <addr>] [--unix <path>] [--max-conns <N>]
 
 Builds one engine session per --shard (routable by its <id>), then stays
 resident: one JSON request per stdin line, one JSON event per stdout
@@ -38,7 +39,19 @@ Control lines manage the resident fleet without a restart:
 --workers 0 uses one worker per core (default 1). --stats prints a final
 stats line at EOF. Shards and reload sources resolve through the graph
 store (.mbbg caches apply; MBB_CACHE=off disables). The wire schema is
-documented in docs/SERVING.md (\"Resident mode\").";
+documented in docs/SERVING.md (\"Resident mode\").
+
+Socket mode (requires a build with --features socket): --listen binds a
+TCP address (port 0 picks a free port), --unix a Unix-domain socket
+path; both may be given. Each client connection carries its own JSONL
+stream into the same shared admission queue — EDF, backpressure,
+shedding and fairness hold across connections — and responses return on
+the originating connection. At most --max-conns clients are served
+concurrently (default 64; later clients get one
+{\"error_kind\": \"overloaded\"} line). On startup a single
+{\"listening\": ...} line reports the resolved address; the server then
+runs until killed. stdin is not read in socket mode. See
+docs/SERVING.md (\"Socket mode\").";
 
 /// Parsed `serve` options.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +66,12 @@ pub struct ServeOptions {
     pub fairness_burst: usize,
     /// Emit a final stats line at EOF.
     pub stats: bool,
+    /// TCP listen address (socket mode).
+    pub listen: Option<String>,
+    /// Unix-domain socket path (socket mode).
+    pub unix: Option<String>,
+    /// Concurrent-connection cap in socket mode.
+    pub max_conns: usize,
 }
 
 impl ServeOptions {
@@ -65,6 +84,9 @@ impl ServeOptions {
             queue_depth: defaults.queue_depth,
             fairness_burst: defaults.fairness_burst,
             stats: false,
+            listen: None,
+            unix: None,
+            max_conns: 64,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -101,6 +123,14 @@ impl ServeOptions {
                     options.fairness_burst =
                         number("--fairness-burst", value_of("--fairness-burst")?)?;
                 }
+                "--listen" => options.listen = Some(value_of("--listen")?),
+                "--unix" => options.unix = Some(value_of("--unix")?),
+                "--max-conns" => {
+                    options.max_conns = number("--max-conns", value_of("--max-conns")?)?;
+                    if options.max_conns == 0 {
+                        return Err("--max-conns must be at least 1".to_string());
+                    }
+                }
                 other => return Err(format!("unknown option {other:?}")),
             }
         }
@@ -111,13 +141,9 @@ impl ServeOptions {
     }
 }
 
-/// Runs the resident loop over explicit input/output streams — the
-/// testable core of [`run`].
-pub fn run_with<R: BufRead, W: Write + Send>(
-    options: &ServeOptions,
-    input: R,
-    output: W,
-) -> Result<(), String> {
+/// Builds the configured fleet + server (shared by the stdin and
+/// socket front-ends).
+fn build_server(options: &ServeOptions) -> Result<StreamServer, String> {
     let store = GraphStore::from_env();
     let mut fleet = ShardedFleet::new();
     for (id, path) in &options.shards {
@@ -131,15 +157,72 @@ pub fn run_with<R: BufRead, W: Write + Send>(
         fairness_burst: options.fairness_burst,
         stats_on_exit: options.stats,
     };
-    let server = StreamServer::new(fleet, config).with_store(store);
+    Ok(StreamServer::new(fleet, config).with_store(store))
+}
+
+/// Runs the resident loop over explicit input/output streams — the
+/// testable core of [`run`].
+pub fn run_with<R: BufRead, W: Write + Send>(
+    options: &ServeOptions,
+    input: R,
+    output: W,
+) -> Result<(), String> {
+    let server = build_server(options)?;
     server.serve(input, output).map_err(|e| e.to_string())?;
     Ok(())
 }
 
-/// Runs the subcommand resident on stdin/stdout until EOF. Events are
-/// written as they happen, so the returned string is empty.
+/// Socket mode: bind the configured listeners, announce them on one
+/// stdout line, and serve until killed.
+#[cfg(feature = "socket")]
+fn run_socket(options: &ServeOptions) -> Result<(), String> {
+    use mbb_serve::socket::SocketFrontEnd;
+    let server = build_server(options)?;
+    let mut front = SocketFrontEnd::new(server).with_max_conns(options.max_conns);
+    if let Some(addr) = &options.listen {
+        front = front.with_tcp(addr.clone());
+    }
+    if let Some(path) = &options.unix {
+        front = front.with_unix(path.clone());
+    }
+    let bound = front.bind().map_err(|e| e.to_string())?;
+    // One machine-readable announcement so clients (and the CI smoke)
+    // can discover the resolved address — essential with port 0.
+    let mut announce = Vec::new();
+    if let Some(addr) = bound.tcp_addr() {
+        announce.push(format!("\"listening\":\"{addr}\""));
+    }
+    if let Some(path) = bound.unix_path() {
+        announce.push(format!("\"unix\":{:?}", path.display().to_string()));
+    }
+    let shards: Vec<String> = options
+        .shards
+        .iter()
+        .map(|(id, _)| format!("{id:?}"))
+        .collect();
+    announce.push(format!("\"shards\":[{}]", shards.join(",")));
+    println!("{{{}}}", announce.join(","));
+    // Flush so a piped consumer sees the line before the first client.
+    let _ = std::io::stdout().flush();
+    bound.serve();
+    Ok(())
+}
+
+#[cfg(not(feature = "socket"))]
+fn run_socket(_options: &ServeOptions) -> Result<(), String> {
+    Err("socket mode requires a build with --features socket (cargo build -p mbb-cli --features socket)"
+        .to_string())
+}
+
+/// Runs the subcommand: socket mode when `--listen`/`--unix` is given,
+/// otherwise resident on stdin/stdout until EOF. Events are written as
+/// they happen, so the returned string is empty.
 pub fn run(options: &ServeOptions) -> Result<String, String> {
-    run_with(options, std::io::stdin().lock(), std::io::stdout())?;
+    if options.listen.is_some() || options.unix.is_some() {
+        run_socket(options)?;
+    } else {
+        run_with(options, std::io::stdin().lock(), std::io::stdout())?;
+    }
     Ok(String::new())
 }
 
@@ -179,6 +262,30 @@ mod tests {
         assert!(parse("--shard a=x.txt --queue-depth 0").is_err());
         assert!(parse("--shard a=x.txt --workers many").is_err());
         assert!(parse("--shard a=x.txt --frobnicate").is_err());
+        assert!(parse("--shard a=x.txt --max-conns 0").is_err());
+        assert!(parse("--shard a=x.txt --listen").is_err());
+    }
+
+    #[test]
+    fn parses_socket_options() {
+        let o = parse("--shard a=x.txt").unwrap();
+        assert_eq!(o.listen, None);
+        assert_eq!(o.unix, None);
+        assert_eq!(o.max_conns, 64);
+
+        let o = parse("--shard a=x.txt --listen 127.0.0.1:0 --unix /tmp/mbb.sock --max-conns 2")
+            .unwrap();
+        assert_eq!(o.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(o.unix.as_deref(), Some("/tmp/mbb.sock"));
+        assert_eq!(o.max_conns, 2);
+    }
+
+    #[cfg(not(feature = "socket"))]
+    #[test]
+    fn socket_mode_without_the_feature_is_a_clear_error() {
+        let options = parse("--shard a=x.txt --listen 127.0.0.1:0").unwrap();
+        let err = run(&options).unwrap_err();
+        assert!(err.contains("--features socket"), "{err}");
     }
 
     #[test]

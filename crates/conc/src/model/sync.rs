@@ -402,6 +402,14 @@ macro_rules! model_atomic {
                 })
             }
 
+            pub fn fetch_sub(&self, delta: $ty, _order: Ordering) -> $ty {
+                self.op(stringify!($name), |v| {
+                    let old = *v;
+                    *v = v.wrapping_sub(delta);
+                    old
+                })
+            }
+
             pub fn fetch_max(&self, value: $ty, _order: Ordering) -> $ty {
                 self.op(stringify!($name), |v| {
                     let old = *v;

@@ -103,6 +103,33 @@ fn fetch_add_increment_survives_enumeration() {
     assert!(report.exhausted);
 }
 
+/// The decrement twin (used by the serve connection gauge): paired
+/// fetch_add/fetch_sub must reconcile to the starting value under every
+/// interleaving.
+#[test]
+fn fetch_sub_reconciles_against_fetch_add() {
+    let report = explore(ExploreConfig::auto(2), || {
+        let n = Arc::new(AtomicUsize::new(10));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let n = Arc::clone(&n);
+                thread::spawn(move || {
+                    if i == 0 {
+                        n.fetch_add(3, Ordering::Relaxed); // relaxed: model test
+                    } else {
+                        n.fetch_sub(3, Ordering::Relaxed); // relaxed: model test
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(n.load(Ordering::Relaxed), 10); // relaxed: model test
+    });
+    assert!(report.exhausted);
+}
+
 /// ABBA lock ordering: the checker must produce a Deadlock failure
 /// naming both blocked threads.
 #[test]

@@ -27,10 +27,11 @@ use rules::{Finding, LockClass};
 
 /// Wire-facing serve sources: a panic here kills a worker serving a
 /// socket/stdin session instead of producing an error line.
-const WIRE_FILES: [&str; 3] = [
+const WIRE_FILES: [&str; 4] = [
     "crates/serve/src/jsonl.rs",
     "crates/serve/src/stream.rs",
     "crates/serve/src/socket.rs",
+    "crates/serve/src/mux.rs",
 ];
 
 /// Solver hot-loop files: per-node work lives here, so raw wall-clock

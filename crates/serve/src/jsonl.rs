@@ -450,6 +450,10 @@ fn serve_stats_value(stats: &ServeStats) -> Value {
         ("rejected".into(), Value::UInt(stats.rejected)),
         ("parse_errors".into(), Value::UInt(stats.parse_errors)),
         ("reloads".into(), Value::UInt(stats.reloads)),
+        ("disconnected".into(), Value::UInt(stats.disconnected)),
+        ("connections".into(), Value::UInt(stats.connections)),
+        ("active_conns".into(), Value::UInt(stats.active_conns)),
+        ("disconnects".into(), Value::UInt(stats.disconnects)),
         ("queue_depth".into(), Value::UInt(stats.queue_depth as u64)),
         (
             "max_queue_depth".into(),
@@ -471,7 +475,8 @@ fn serve_stats_value(stats: &ServeStats) -> Value {
 /// `"error_kind"` discriminator: `"invalid"` (validation/routing
 /// rejection), `"shed"` (admission control refused to execute),
 /// `"parse"` (unparseable input line), `"reload"` (a reload that
-/// failed).
+/// failed), `"disconnected"` (the originating socket connection went
+/// away before the request could execute).
 pub fn encode_stream_event(event: &StreamEvent) -> String {
     match event {
         StreamEvent::Response(response) => encode_response(response),
@@ -488,6 +493,21 @@ pub fn encode_stream_event(event: &StreamEvent) -> String {
             fields.push(("kind".into(), Value::String((*kind).to_string())));
             fields.push(("error".into(), Value::String(reason.clone())));
             fields.push(("error_kind".into(), Value::String("shed".into())));
+            Value::Object(fields).to_string()
+        }
+        StreamEvent::Disconnected {
+            id,
+            graph,
+            kind,
+            reason,
+        } => {
+            let mut fields = vec![("id".to_string(), Value::UInt(*id))];
+            if let Some(graph) = graph {
+                fields.push(("graph".into(), Value::String(graph.clone())));
+            }
+            fields.push(("kind".into(), Value::String((*kind).to_string())));
+            fields.push(("error".into(), Value::String(reason.clone())));
+            fields.push(("error_kind".into(), Value::String("disconnected".into())));
             Value::Object(fields).to_string()
         }
         StreamEvent::ParseError { line, message } => Value::Object(vec![
@@ -803,6 +823,17 @@ mod tests {
         let value: Value = serde_json::from_str(&drained).unwrap();
         assert_eq!(value["control"].as_str(), Some("drain"));
         assert_eq!(value["completed"].as_u64(), Some(12));
+
+        let disconnected = encode_stream_event(&StreamEvent::Disconnected {
+            id: 9,
+            graph: Some("g".into()),
+            kind: "solve",
+            reason: "originating connection disconnected".into(),
+        });
+        let value: Value = serde_json::from_str(&disconnected).unwrap();
+        assert_eq!(value["id"].as_u64(), Some(9));
+        assert_eq!(value["graph"].as_str(), Some("g"));
+        assert_eq!(value["error_kind"].as_str(), Some("disconnected"));
     }
 
     #[test]
@@ -815,6 +846,10 @@ mod tests {
             rejected: 1,
             parse_errors: 2,
             reloads: 1,
+            disconnected: 1,
+            connections: 3,
+            active_conns: 2,
+            disconnects: 1,
             queue_depth: 0,
             max_queue_depth: 5,
             total_queue_wait: Duration::from_millis(30),
@@ -836,6 +871,10 @@ mod tests {
         assert_eq!(stats["completed"].as_u64(), Some(8));
         assert_eq!(stats["shed"].as_u64(), Some(1));
         assert_eq!(stats["reloads"].as_u64(), Some(1));
+        assert_eq!(stats["disconnected"].as_u64(), Some(1));
+        assert_eq!(stats["connections"].as_u64(), Some(3));
+        assert_eq!(stats["active_conns"].as_u64(), Some(2));
+        assert_eq!(stats["disconnects"].as_u64(), Some(1));
         assert_eq!(stats["max_queue_depth"].as_u64(), Some(5));
         let shard = &stats["shards"].as_array().unwrap()[0];
         assert_eq!(shard["graph"].as_str(), Some("g"));

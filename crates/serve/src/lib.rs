@@ -23,8 +23,11 @@
 //! JSONL request *stream* with a global cross-batch EDF admission queue
 //! — bounded depth with backpressure, load-shedding of blown-budget
 //! requests, per-tenant fairness, and graceful drain/reload via control
-//! lines (`mbb serve` on the CLI). A socket front-end is stubbed behind
-//! the `socket` cargo feature.
+//! lines (`mbb serve` on the CLI). Behind the `socket` cargo feature,
+//! the `socket` module exposes the same loop over a multiplexed TCP /
+//! Unix-domain listener: N concurrent JSONL connections fan into the
+//! one shared admission queue, and responses are routed back to the
+//! originating connection by a [`mux`] registry.
 //!
 //! The semantics (fairness, deadlines that include queue wait, the
 //! amortisation argument, the resident wire schema) are documented in
@@ -69,6 +72,7 @@
 pub mod batch;
 pub mod fleet;
 pub mod jsonl;
+pub mod mux;
 pub mod request;
 #[cfg(feature = "socket")]
 pub mod socket;

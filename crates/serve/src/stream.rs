@@ -6,11 +6,11 @@
 //!
 //! `run_batch` drains one `Vec` of requests and returns; deadline order
 //! only exists *within* that call. A [`StreamServer`] stays up: requests
-//! arrive one JSONL line at a time (stdin first; a socket front-end is
-//! stubbed behind the `socket` feature), enter one **global admission
-//! queue** shared by every request ever admitted, and responses are
-//! emitted as they complete. The admission queue is where the service
-//! semantics live:
+//! arrive one JSONL line at a time (from stdin, or from N concurrent
+//! socket clients behind the `socket` feature — see `crate::socket`),
+//! enter one **global admission queue** shared by every request ever
+//! admitted, and responses are emitted as they complete. The admission
+//! queue is where the service semantics live:
 //!
 //! * **Cross-batch EDF.** The queue is ordered by absolute deadline
 //!   (admission instant + `deadline_ms`), earliest first; deadline-free
@@ -133,6 +133,21 @@ pub enum StreamEvent {
         /// What was wrong.
         message: String,
     },
+    /// A queued request cancelled because its originating connection
+    /// disconnected before dispatch (socket mode). Never executed; in
+    /// practice the line is undeliverable (the connection is gone), so
+    /// this event mostly feeds the `disconnected` counter and embedded
+    /// sinks.
+    Disconnected {
+        /// The request's id, echoed.
+        id: u64,
+        /// The shard it would have run on.
+        graph: Option<String>,
+        /// The request's kind label.
+        kind: &'static str,
+        /// Why it was dropped.
+        reason: String,
+    },
     /// Answer to a `reload` control line.
     ReloadAck {
         /// The shard that was (or failed to be) reloaded.
@@ -143,7 +158,7 @@ pub enum StreamEvent {
     /// Answer to a `drain` control line: everything admitted before it
     /// has completed.
     Drained {
-        /// Requests completed (executed or shed) so far.
+        /// Requests retired (executed, shed, or disconnected) so far.
         completed: u64,
     },
     /// Answer to a `stats` control line (or the final end-of-input
@@ -191,6 +206,16 @@ pub struct ServeStats {
     pub parse_errors: u64,
     /// Shard engine swaps performed.
     pub reloads: u64,
+    /// Requests cancelled (queued or popped, never executed) because
+    /// their originating connection disconnected.
+    pub disconnected: u64,
+    /// Socket connections accepted since server start (0 in stdin mode).
+    pub connections: u64,
+    /// Socket connections currently open.
+    pub active_conns: u64,
+    /// Connections that ended abruptly (read error, or a write failure
+    /// detected by the connection's pump) rather than by a clean EOF.
+    pub disconnects: u64,
     /// Requests queued at snapshot time.
     pub queue_depth: usize,
     /// High-water mark of the queue depth.
@@ -226,6 +251,9 @@ pub struct StreamJob {
     deadline: Option<Instant>,
     admitted: Instant,
     seq: u64,
+    /// The originating connection ([`crate::mux::LOCAL_CONN`] for the
+    /// local stdin stream) — the response mux routes by this.
+    conn: u64,
 }
 
 impl StreamJob {
@@ -249,7 +277,16 @@ impl StreamJob {
             deadline,
             admitted,
             seq: 0, // assigned under the queue lock
+            conn: crate::mux::LOCAL_CONN,
         }
+    }
+
+    /// Re-binds a synthetic job to a connection id (tests/models only —
+    /// the serve paths set the id at admission).
+    #[doc(hidden)]
+    pub fn with_conn(mut self, conn: u64) -> StreamJob {
+        self.conn = conn;
+        self
     }
 
     /// The request id this job carries.
@@ -268,6 +305,23 @@ impl StreamJob {
     #[doc(hidden)]
     pub fn deadline(&self) -> Option<Instant> {
         self.deadline
+    }
+
+    /// The originating connection id.
+    #[doc(hidden)]
+    pub fn conn(&self) -> u64 {
+        self.conn
+    }
+
+    /// The typed event reporting this job as cancelled-by-disconnect.
+    #[doc(hidden)]
+    pub fn disconnect_event(&self) -> StreamEvent {
+        StreamEvent::Disconnected {
+            id: self.request.id,
+            graph: Some(self.shard_id.clone()),
+            kind: self.request.kind.label(),
+            reason: "originating connection disconnected".to_string(),
+        }
     }
 }
 
@@ -338,6 +392,12 @@ struct QueueState {
     shed: u64,
     rejected: u64,
     parse_errors: u64,
+    /// Requests cancelled because their connection disconnected.
+    disconnected: u64,
+    /// Connection lifecycle counters (socket mode; zero over stdin).
+    connections: u64,
+    closed_conns: u64,
+    disconnects: u64,
     max_depth: usize,
     total_queue_wait: Duration,
     max_queue_wait: Duration,
@@ -370,6 +430,9 @@ pub enum Completion {
         /// Dispatch-to-response time.
         service: Duration,
     },
+    /// Popped with a dead originating connection: never executed, its
+    /// would-be response had nowhere to go.
+    Disconnected,
 }
 
 /// Observable queue counters for tests and model checks (the public
@@ -420,6 +483,10 @@ impl Admission {
                 shed: 0,
                 rejected: 0,
                 parse_errors: 0,
+                disconnected: 0,
+                connections: 0,
+                closed_conns: 0,
+                disconnects: 0,
                 max_depth: 0,
                 total_queue_wait: Duration::ZERO,
                 max_queue_wait: Duration::ZERO,
@@ -539,11 +606,73 @@ impl Admission {
                 state.max_queue_wait = state.max_queue_wait.max(queue_wait);
                 state.total_service += service;
             }
+            Completion::Disconnected => {
+                state.disconnected += 1;
+            }
         }
         state.in_flight -= 1;
         if state.depth == 0 && state.in_flight == 0 {
             self.idle.notify_all();
         }
+    }
+
+    /// Removes every queued (not yet popped) job admitted by `conn` and
+    /// returns them — called when a connection disconnects abruptly.
+    /// The cancelled jobs count as `disconnected`, their queue slots
+    /// free immediately (waking blocked producers), and a drain waiting
+    /// on quiescence observes them as retired. In-flight jobs are *not*
+    /// touched: they finish on their worker and the response mux drops
+    /// the undeliverable lines.
+    #[doc(hidden)]
+    pub fn cancel_conn(&self, conn: u64) -> Vec<StreamJob> {
+        let mut state = self.state.lock();
+        let mut cancelled = Vec::new();
+        let shard_count = state.heaps.len();
+        for shard in 0..shard_count {
+            let heap = std::mem::take(&mut state.heaps[shard]);
+            let (gone, keep): (Vec<Pending>, Vec<Pending>) =
+                heap.into_vec().into_iter().partition(|p| p.0.conn == conn);
+            state.heaps[shard] = keep.into_iter().collect();
+            cancelled.extend(gone.into_iter().map(|p| p.0));
+        }
+        // Cancellation preserves EDF order among survivors (heap rebuilt
+        // from the same keys); only the counters change.
+        let n = cancelled.len();
+        state.depth -= n;
+        state.disconnected += n as u64;
+        let quiescent = state.depth == 0 && state.in_flight == 0;
+        drop(state);
+        if n > 0 {
+            self.space.notify_all();
+            if quiescent {
+                self.idle.notify_all();
+            }
+        }
+        cancelled.sort_by_key(|job| job.seq);
+        cancelled
+    }
+
+    /// Connection lifecycle accounting (socket front-end).
+    #[doc(hidden)]
+    pub fn note_conn_opened(&self) {
+        self.state.lock().connections += 1;
+    }
+
+    /// Marks one connection closed; `abrupt` distinguishes a detected
+    /// disconnect from a clean EOF.
+    #[doc(hidden)]
+    pub fn note_conn_closed(&self, abrupt: bool) {
+        let mut state = self.state.lock();
+        state.closed_conns += 1;
+        if abrupt {
+            state.disconnects += 1;
+        }
+    }
+
+    /// Counts one unparseable input line (the reader emits the event).
+    #[doc(hidden)]
+    pub fn note_parse_error(&self) {
+        self.state.lock().parse_errors += 1;
     }
 
     /// Blocks until everything admitted so far has completed.
@@ -553,7 +682,7 @@ impl Admission {
         while state.depth > 0 || state.in_flight > 0 {
             state = self.idle.wait(state);
         }
-        state.completed + state.shed
+        state.completed + state.shed + state.disconnected
     }
 
     #[doc(hidden)]
@@ -676,17 +805,18 @@ impl StreamServer {
         input: R,
         sink: impl Fn(StreamEvent) + Sync,
     ) -> ServeStats {
-        let admission = Admission::new(self.fleet.len(), &self.config);
-        // Reuse baseline per shard; refreshed on reload because a swapped
-        // session restarts its counters at zero.
-        let baselines = Mutex::new(self.fleet.index_stats());
+        let admission = self.new_admission();
+        let baselines = self.baselines();
         let workers = resolve_threads(self.config.workers);
+        // Local mode: one implicit always-alive connection.
+        let conn_sink = |_conn: u64, event: StreamEvent| sink(event);
+        let alive = |_conn: u64| true;
 
         std::thread::scope(|scope| {
             for _ in 0..workers {
-                scope.spawn(|| worker_loop(&admission, &sink));
+                scope.spawn(|| worker_loop(&admission, &conn_sink, &alive));
             }
-            self.reader_loop(input, &admission, &baselines, &sink);
+            self.reader_loop(input, &admission, &baselines, &conn_sink);
             admission.close();
             // Scope exit joins the workers: they drain the queue first.
         });
@@ -698,6 +828,17 @@ impl StreamServer {
         stats
     }
 
+    /// The admission queue a serve loop (stdin or socket) runs over.
+    pub(crate) fn new_admission(&self) -> Admission {
+        Admission::new(self.fleet.len(), &self.config)
+    }
+
+    /// Index-reuse baseline per shard; refreshed on reload because a
+    /// swapped session restarts its counters at zero.
+    pub(crate) fn baselines(&self) -> Mutex<Vec<IndexStats>> {
+        Mutex::new(self.fleet.index_stats())
+    }
+
     /// The admission thread: parses lines, routes/validates/sheds, and
     /// handles control requests inline (control lines take effect in
     /// input order relative to the admissions around them).
@@ -706,7 +847,7 @@ impl StreamServer {
         input: R,
         admission: &Admission,
         baselines: &Mutex<Vec<IndexStats>>,
-        sink: &(impl Fn(StreamEvent) + Sync),
+        sink: &(impl Fn(u64, StreamEvent) + Sync),
     ) {
         for (index, line) in input.lines().enumerate() {
             let line_no = index + 1;
@@ -716,22 +857,57 @@ impl StreamServer {
                 // semantics); everything admitted still completes.
                 Err(_) => break,
             };
-            let trimmed = line.trim();
-            if trimmed.is_empty() || trimmed.starts_with('#') {
-                continue;
-            }
-            match parse_stream_line(trimmed, line_no) {
-                Err(e) => {
-                    admission.state.lock().parse_errors += 1;
-                    sink(StreamEvent::ParseError {
+            self.process_line(
+                &line,
+                line_no,
+                crate::mux::LOCAL_CONN,
+                admission,
+                baselines,
+                sink,
+                || {},
+            );
+        }
+    }
+
+    /// Handles one input line on behalf of connection `conn`: comments
+    /// and blanks are skipped, parse failures become typed events,
+    /// control verbs run inline, and requests are admitted.
+    /// `on_request` runs for request lines *before* admission (and
+    /// before any synchronous rejection/shed event) — the socket reader
+    /// uses it to open the connection's outstanding-event bracket
+    /// race-free.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn process_line(
+        &self,
+        line: &str,
+        line_no: usize,
+        conn: u64,
+        admission: &Admission,
+        baselines: &Mutex<Vec<IndexStats>>,
+        sink: &(impl Fn(u64, StreamEvent) + Sync),
+        on_request: impl FnOnce(),
+    ) {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            return;
+        }
+        match parse_stream_line(trimmed, line_no) {
+            Err(e) => {
+                admission.note_parse_error();
+                sink(
+                    conn,
+                    StreamEvent::ParseError {
                         line: line_no,
                         message: e.to_string(),
-                    });
-                }
-                Ok(StreamLine::Control(control)) => {
-                    self.handle_control(control, admission, baselines, sink)
-                }
-                Ok(StreamLine::Request(request)) => self.admit(request, admission, sink),
+                    },
+                );
+            }
+            Ok(StreamLine::Control(control)) => {
+                self.handle_control(control, conn, admission, baselines, sink)
+            }
+            Ok(StreamLine::Request(request)) => {
+                on_request();
+                self.admit(request, conn, admission, sink)
             }
         }
     }
@@ -739,19 +915,19 @@ impl StreamServer {
     fn admit(
         &self,
         request: QueryRequest,
+        conn: u64,
         admission: &Admission,
-        sink: &(impl Fn(StreamEvent) + Sync),
+        sink: &(impl Fn(u64, StreamEvent) + Sync),
     ) {
         let arrived = Instant::now();
         let shard = match self.fleet.route(&request) {
             Ok(shard) => shard,
             Err(e) => {
                 admission.state.lock().rejected += 1;
-                sink(StreamEvent::Response(Box::new(rejected(
-                    &request,
-                    None,
-                    e.to_string(),
-                ))));
+                sink(
+                    conn,
+                    StreamEvent::Response(Box::new(rejected(&request, None, e.to_string()))),
+                );
                 return;
             }
         };
@@ -761,11 +937,10 @@ impl StreamServer {
         let shard_id = self.fleet.shards()[shard].id().to_string();
         if let Err(reason) = validate(engine.graph(), &request) {
             admission.state.lock().rejected += 1;
-            sink(StreamEvent::Response(Box::new(rejected(
-                &request,
-                Some(shard_id),
-                reason,
-            ))));
+            sink(
+                conn,
+                StreamEvent::Response(Box::new(rejected(&request, Some(shard_id), reason))),
+            );
             return;
         }
         // Admission-time shedding: a zero budget can never be met — the
@@ -775,12 +950,15 @@ impl StreamServer {
             state.shed += 1;
             state.served[shard].1 += 1;
             drop(state);
-            sink(StreamEvent::Shed {
-                id: request.id,
-                graph: Some(shard_id),
-                kind: request.kind.label(),
-                reason: "deadline budget exhausted on arrival".to_string(),
-            });
+            sink(
+                conn,
+                StreamEvent::Shed {
+                    id: request.id,
+                    graph: Some(shard_id),
+                    kind: request.kind.label(),
+                    reason: "deadline budget exhausted on arrival".to_string(),
+                },
+            );
             return;
         }
         let deadline = request.deadline.map(|d| arrived + d);
@@ -792,23 +970,28 @@ impl StreamServer {
             deadline,
             admitted: arrived,
             seq: 0, // assigned under the queue lock
+            conn,
         });
     }
 
     fn handle_control(
         &self,
         control: ControlRequest,
+        conn: u64,
         admission: &Admission,
         baselines: &Mutex<Vec<IndexStats>>,
-        sink: &(impl Fn(StreamEvent) + Sync),
+        sink: &(impl Fn(u64, StreamEvent) + Sync),
     ) {
         match control {
             ControlRequest::Stats => {
-                sink(StreamEvent::Stats(self.snapshot(admission, baselines)));
+                sink(
+                    conn,
+                    StreamEvent::Stats(self.snapshot(admission, baselines)),
+                );
             }
             ControlRequest::Drain => {
                 let completed = admission.drain();
-                sink(StreamEvent::Drained { completed });
+                sink(conn, StreamEvent::Drained { completed });
             }
             ControlRequest::Reload { graph, source } => {
                 let result = self
@@ -826,12 +1009,16 @@ impl StreamServer {
                         }
                     })
                     .map_err(|e| e.to_string());
-                sink(StreamEvent::ReloadAck { graph, result });
+                sink(conn, StreamEvent::ReloadAck { graph, result });
             }
         }
     }
 
-    fn snapshot(&self, admission: &Admission, baselines: &Mutex<Vec<IndexStats>>) -> ServeStats {
+    pub(crate) fn snapshot(
+        &self,
+        admission: &Admission,
+        baselines: &Mutex<Vec<IndexStats>>,
+    ) -> ServeStats {
         // Lock-order contract (docs/lock_order.txt): shard engine
         // RwLocks strictly before the admission-queue mutex. All
         // fleet reads — `index_stats` takes each shard's engine read
@@ -871,6 +1058,10 @@ impl StreamServer {
             rejected: state.rejected,
             parse_errors: state.parse_errors,
             reloads: total_reloads,
+            disconnected: state.disconnected,
+            connections: state.connections,
+            active_conns: state.connections - state.closed_conns,
+            disconnects: state.disconnects,
             queue_depth: state.depth,
             max_queue_depth: state.max_depth,
             total_queue_wait: state.total_queue_wait,
@@ -887,21 +1078,39 @@ impl StreamServer {
 /// `#[doc(hidden)]` public so the `conc_models` tests can run the real
 /// worker body on model threads.
 #[doc(hidden)]
-pub fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) {
+pub fn worker_loop(
+    admission: &Admission,
+    sink: &(impl Fn(u64, StreamEvent) + Sync),
+    alive: &(impl Fn(u64) -> bool + Sync),
+) {
     while let Some(job) = admission.pop() {
         let started = Instant::now();
+        // A job whose originating connection died while it was queued
+        // is cancelled, not executed: the response could never be
+        // delivered, so the cycles would be pure waste. The typed
+        // event still flows to the sink for accounting.
+        if !alive(job.conn) {
+            let conn = job.conn;
+            let event = job.disconnect_event();
+            sink(conn, event);
+            admission.finish(Completion::Disconnected);
+            continue;
+        }
         // Dispatch-time shedding: the budget expired while queued. The
         // engine would only return an empty DeadlineExceeded shell, so
         // the service refuses the work outright — cheaper, and a typed
         // signal the client can react to (back off, re-submit).
         if job.deadline.is_some_and(|d| d <= started) {
             let shard = job.shard;
-            sink(StreamEvent::Shed {
-                id: job.request.id,
-                graph: Some(job.shard_id),
-                kind: job.request.kind.label(),
-                reason: "deadline budget exhausted while queued".to_string(),
-            });
+            sink(
+                job.conn,
+                StreamEvent::Shed {
+                    id: job.request.id,
+                    graph: Some(job.shard_id),
+                    kind: job.request.kind.label(),
+                    reason: "deadline budget exhausted while queued".to_string(),
+                },
+            );
             admission.finish(Completion::Shed { shard });
             continue;
         }
@@ -919,9 +1128,10 @@ pub fn worker_loop(admission: &Admission, sink: &(impl Fn(StreamEvent) + Sync)) 
             stats,
         };
         let shard = job.shard;
+        let conn = job.conn;
         let search_nodes = response.search_nodes();
         let service = response.service;
-        sink(StreamEvent::Response(Box::new(response)));
+        sink(conn, StreamEvent::Response(Box::new(response)));
         admission.finish(Completion::Executed {
             shard,
             search_nodes,
@@ -951,6 +1161,7 @@ mod tests {
             deadline: deadline.map(|d| now + d),
             admitted: now,
             seq: 0,
+            conn: crate::mux::LOCAL_CONN,
         }
     }
 
@@ -1049,6 +1260,65 @@ not json\n\
         assert!(events
             .iter()
             .any(|e| matches!(e, StreamEvent::ParseError { line: 4, .. })));
+    }
+
+    #[test]
+    fn cancel_conn_removes_only_that_connections_queued_jobs() {
+        let config = StreamConfig::default();
+        let admission = Admission::new(2, &config);
+        let now = Instant::now();
+        admission.push(job(0, 1, None, now).with_conn(7));
+        admission.push(job(1, 2, None, now).with_conn(7));
+        admission.push(job(0, 3, None, now).with_conn(8));
+        admission.push(job(1, 4, Some(Duration::from_secs(1)), now).with_conn(7));
+        let cancelled = admission.cancel_conn(7);
+        let ids: Vec<u64> = cancelled.iter().map(|j| j.request.id).collect();
+        assert_eq!(ids, vec![1, 2, 4], "cancelled in admission order");
+        // The survivor still pops, EDF/queue accounting intact.
+        assert_eq!(pop_ids(&admission, 1), vec![3]);
+        let state = admission.state.lock();
+        assert_eq!(state.disconnected, 3);
+        assert_eq!(state.depth, 0);
+    }
+
+    #[test]
+    fn cancel_conn_wakes_drain_waiters() {
+        let config = StreamConfig::default();
+        let admission = Admission::new(1, &config);
+        let now = Instant::now();
+        admission.push(job(0, 1, None, now).with_conn(5));
+        std::thread::scope(|scope| {
+            let drainer = scope.spawn(|| admission.drain());
+            // Give the drainer a moment to block on the idle condvar.
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(admission.cancel_conn(5).len(), 1);
+            assert_eq!(drainer.join().unwrap(), 1, "disconnected counts as retired");
+        });
+    }
+
+    #[test]
+    fn worker_skips_jobs_whose_connection_died() {
+        let config = StreamConfig::default();
+        let admission = Admission::new(1, &config);
+        let now = Instant::now();
+        admission.push(job(0, 1, None, now).with_conn(3));
+        admission.push(job(0, 2, None, now).with_conn(4));
+        admission.close();
+        let events = Mutex::new(Vec::new());
+        let sink = |conn: u64, event: StreamEvent| events.lock().push((conn, event));
+        // Connection 3 is dead; 4 is alive.
+        worker_loop(&admission, &sink, &|conn| conn != 3);
+        let events = events.into_inner();
+        assert_eq!(events.len(), 2);
+        assert!(events
+            .iter()
+            .any(|(conn, e)| *conn == 3 && matches!(e, StreamEvent::Disconnected { id: 1, .. })));
+        assert!(events
+            .iter()
+            .any(|(conn, e)| *conn == 4 && matches!(e, StreamEvent::Response(r) if r.id == 2)));
+        let state = admission.state.lock();
+        assert_eq!(state.disconnected, 1);
+        assert_eq!(state.completed, 1);
     }
 
     #[test]

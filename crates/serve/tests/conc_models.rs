@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use mbb_conc::model::{explore, ExploreConfig, Strategy};
 use mbb_conc::thread;
+use mbb_serve::mux::ConnRegistry;
 use mbb_serve::stream::{worker_loop, Admission, Completion, StreamConfig, StreamEvent, StreamJob};
 use mbb_serve::{QueryKind, QueryRequest};
 
@@ -98,12 +99,13 @@ fn sheds_never_execute_and_queue_settles() {
             thread::spawn(move || {
                 // No model ops run inside this sink (std mutex only), so
                 // holding it never interleaves with scheduler state.
-                let sink = |event: StreamEvent| match event {
+                let sink = |_conn: u64, event: StreamEvent| match event {
                     StreamEvent::Response(r) => responses.lock().unwrap().push(r.id),
                     StreamEvent::Shed { id, .. } => sheds.lock().unwrap().push(id),
                     _ => {}
                 };
-                worker_loop(&admission, &sink);
+                let alive = |_conn: u64| true;
+                worker_loop(&admission, &sink, &alive);
             })
         };
         let producer = {
@@ -343,6 +345,171 @@ fn single_job_handoff_survives_bounded_dfs() {
         "DFS sweep too shallow: {} schedules",
         report.distinct_schedules
     );
+}
+
+/// The response mux (socket front-end): two connections, each with a
+/// producer delivering its own responses through the shared registry
+/// while per-connection pumps write them out. In every schedule: no
+/// line is lost, no line crosses to the other connection's writer, and
+/// per-connection order is preserved.
+#[test]
+fn mux_loses_nothing_and_never_cross_delivers() {
+    let report = explore(sampled(0x6d_75_78), || {
+        let registry: Arc<ConnRegistry<Vec<u8>>> = Arc::new(ConnRegistry::new());
+        let a = registry.register(Vec::new());
+        let b = registry.register(Vec::new());
+        let pumps: Vec<_> = [Arc::clone(&a), Arc::clone(&b)]
+            .into_iter()
+            .map(|conn| thread::spawn(move || conn.pump()))
+            .collect();
+        let producers: Vec<_> = [Arc::clone(&a), Arc::clone(&b)]
+            .into_iter()
+            .map(|conn| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || {
+                    for n in 1..=2u32 {
+                        conn.begin();
+                        // Deliver through the registry, exactly as the
+                        // worker sink does.
+                        let target = registry.get(conn.id()).expect("registered");
+                        assert!(target.send(&format!("c{}-{}", conn.id(), n)));
+                        target.finish();
+                    }
+                })
+            })
+            .collect();
+        for p in producers {
+            p.join().unwrap();
+        }
+        for conn in [&a, &b] {
+            assert!(conn.await_idle(), "no disconnect in this model");
+            conn.close();
+        }
+        for p in pumps {
+            p.join().unwrap();
+        }
+        for conn in [&a, &b] {
+            let id = conn.id();
+            let written = conn.inspect_writer(|w| String::from_utf8(w.clone()).unwrap());
+            assert_eq!(
+                written,
+                format!("c{id}-1\nc{id}-2\n"),
+                "connection {id} must see exactly its own lines, in order"
+            );
+            registry.deregister(id);
+        }
+        assert_eq!(registry.active(), 0);
+    });
+    assert_broad(&report);
+}
+
+/// Disconnect racing delivery: one thread sends a connection's response
+/// while another marks it dead (the pump hit a broken pipe). In every
+/// interleaving the system settles — `await_idle` never hangs, the
+/// pump exits, and a dead connection's outbox is empty — whichever side
+/// won the race.
+#[test]
+fn mux_disconnect_during_send_always_settles() {
+    let report = explore(sampled(0x64_65_61_64), || {
+        let registry: Arc<ConnRegistry<Vec<u8>>> = Arc::new(ConnRegistry::new());
+        let conn = registry.register(Vec::new());
+        conn.begin();
+        let pump = {
+            let conn = Arc::clone(&conn);
+            thread::spawn(move || conn.pump())
+        };
+        let sender = {
+            let conn = Arc::clone(&conn);
+            thread::spawn(move || {
+                let delivered = conn.send("r1");
+                conn.finish();
+                delivered
+            })
+        };
+        let killer = {
+            let conn = Arc::clone(&conn);
+            thread::spawn(move || conn.mark_dead())
+        };
+        let delivered = sender.join().unwrap();
+        killer.join().unwrap();
+        // mark_dead ran, so the wait always resolves (possibly false).
+        let clean = conn.await_idle();
+        assert!(!clean, "a dead connection must report the disconnect");
+        conn.close();
+        pump.join().unwrap();
+        assert!(conn.is_dead());
+        assert!(!registry.is_alive(conn.id()), "dead conns are not alive");
+        let written = conn.inspect_writer(|w| String::from_utf8(w.clone()).unwrap());
+        if !delivered {
+            assert!(
+                written.is_empty(),
+                "a refused send must never reach the wire: {written:?}"
+            );
+        }
+        // Delivered lines may or may not have been flushed before the
+        // death mark cleared the outbox — both are valid; what is never
+        // valid is a duplicated or corrupted line.
+        assert!(written == "r1\n" || written.is_empty(), "{written:?}");
+    });
+    assert_broad(&report);
+}
+
+/// Disconnect racing the worker's pop: a consumer drains the real queue
+/// while `cancel_conn` concurrently rips out one connection's queued
+/// jobs. In every schedule each job retires exactly once — popped or
+/// cancelled, never both, never lost — and the queue is empty after.
+#[test]
+fn cancel_conn_races_pop_without_losing_jobs() {
+    let engine = tiny_engine();
+    let base = Instant::now();
+    let report = explore(sampled(0x63_61_6e), move || {
+        let admission = Arc::new(Admission::new(1, &StreamConfig::default()));
+        admission.push(job(1, 0, &engine, None, base).with_conn(7));
+        admission.push(job(2, 0, &engine, None, base).with_conn(8));
+        admission.push(job(3, 0, &engine, None, base).with_conn(7));
+        admission.close();
+        let consumer = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                let mut popped = Vec::new();
+                while let Some(job) = admission.pop() {
+                    popped.push(job.id());
+                    admission.finish(Completion::Untracked);
+                }
+                popped
+            })
+        };
+        let canceller = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                admission
+                    .cancel_conn(7)
+                    .into_iter()
+                    .map(|job| job.id())
+                    .collect::<Vec<u64>>()
+            })
+        };
+        let mut popped = consumer.join().unwrap();
+        let cancelled = canceller.join().unwrap();
+        assert!(
+            !popped.contains(&2) || !cancelled.contains(&2),
+            "job 2 belongs to conn 8 and can never be cancelled"
+        );
+        let mut retired = popped.clone();
+        retired.extend(&cancelled);
+        retired.sort_unstable();
+        assert_eq!(
+            retired,
+            vec![1, 2, 3],
+            "each job retires exactly once (popped {popped:?}, cancelled {cancelled:?})"
+        );
+        assert!(popped.contains(&2), "conn 8's job always executes");
+        popped.sort_unstable();
+        let snap = admission.queue_snapshot();
+        assert_eq!(snap.depth, 0, "no job left behind");
+        assert_eq!(snap.in_flight, 0);
+    });
+    assert_broad(&report);
 }
 
 /// Coverage gate from the acceptance criteria: ≥1000 **distinct**
