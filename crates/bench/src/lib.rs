@@ -24,13 +24,15 @@
 
 pub mod args;
 pub mod kernels;
+pub mod obs;
 pub mod report;
 pub mod runner;
 pub mod standin_cache;
 
 pub use args::Args;
 pub use kernels::{run_kernel_bench, KernelBenchOptions};
-pub use report::{fmt_seconds, KernelBenchReport, Table};
+pub use obs::{run_obs_bench, ObsBenchOptions, MAX_OVERHEAD_PCT};
+pub use report::{fmt_seconds, KernelBenchReport, ObsBenchReport, Table};
 pub use runner::{run_timed, run_with_timeout, TimedOutcome};
 pub use standin_cache::StandInCache;
 

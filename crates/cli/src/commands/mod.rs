@@ -7,6 +7,7 @@
 
 pub mod anchored;
 pub mod bench_kernels;
+pub mod bench_obs;
 pub mod enumerate;
 pub mod frontier;
 pub mod generate;
@@ -15,6 +16,7 @@ pub mod serve;
 pub mod serve_batch;
 pub mod stats;
 pub mod topk;
+pub mod trace;
 
 use mbb_store::{GraphStore, LoadedGraph};
 
@@ -42,7 +44,9 @@ commands:
   frontier   Pareto frontier of feasible biclique sizes
   serve-batch  run a JSONL query batch over sharded engine sessions
   serve      resident JSONL stream service with admission control
+  trace      replay a request file with spans on, print per-stage times
   bench-kernels  time the bitset kernels per backend, write BENCH_kernels.json
+  bench-obs  measure span-instrumentation overhead, write BENCH_obs.json
 
 Graph inputs accept an edge list or a .mbbg binary cache; a fresh cache
 next to an edge list is used automatically (MBB_CACHE=off disables).
@@ -107,11 +111,23 @@ pub fn dispatch(command: &str, args: &[String]) -> Result<String, String> {
             }
             serve::run(&serve::ServeOptions::parse(args)?)
         }
+        "trace" => {
+            if wants_help {
+                return Ok(format!("{}\n", trace::USAGE));
+            }
+            trace::run(&trace::TraceOptions::parse(args)?)
+        }
         "bench-kernels" => {
             if wants_help {
                 return Ok(format!("{}\n", bench_kernels::USAGE));
             }
             bench_kernels::run(&bench_kernels::BenchKernelsOptions::parse(args)?)
+        }
+        "bench-obs" => {
+            if wants_help {
+                return Ok(format!("{}\n", bench_obs::USAGE));
+            }
+            bench_obs::run(&bench_obs::BenchObsOptions::parse(args)?)
         }
         other => Err(format!("unknown command {other:?}")),
     }
@@ -131,7 +147,9 @@ pub fn is_command(name: &str) -> bool {
             | "frontier"
             | "serve-batch"
             | "serve"
+            | "trace"
             | "bench-kernels"
+            | "bench-obs"
     )
 }
 
@@ -164,7 +182,9 @@ mod tests {
             "frontier",
             "serve-batch",
             "serve",
+            "trace",
             "bench-kernels",
+            "bench-obs",
         ] {
             let text = dispatch(cmd, &["--help".to_string()]).unwrap();
             assert!(text.contains("usage:"), "{cmd}");

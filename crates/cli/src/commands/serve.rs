@@ -2,7 +2,10 @@
 //! until EOF, with cross-batch EDF admission control.
 
 use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
+use mbb_obs as obs;
 use mbb_serve::{ShardedFleet, StreamConfig, StreamServer};
 use mbb_store::GraphStore;
 
@@ -10,7 +13,7 @@ use mbb_store::GraphStore;
 pub const USAGE: &str = "\
 usage: mbb serve --shard <id>=<edge-list-file> [--shard ...]
                  [--workers <N>] [--queue-depth <N>] [--fairness-burst <N>]
-                 [--stats]
+                 [--stats] [--trace-file <out.json>]
                  [--listen <addr>] [--unix <path>] [--max-conns <N>]
 
 Builds one engine session per --shard (routable by its <id>), then stays
@@ -40,6 +43,14 @@ Control lines manage the resident fleet without a restart:
 stats line at EOF. Shards and reload sources resolve through the graph
 store (.mbbg caches apply; MBB_CACHE=off disables). The wire schema is
 documented in docs/SERVING.md (\"Resident mode\").
+
+--trace-file turns span recording on and streams every completed span —
+parse, admission wait, queue, the solver stages, encode, outbox — to
+FILE as a Chrome trace_event JSON array (load via chrome://tracing or
+Perfetto). The array is closed at EOF; in socket mode the server runs
+until killed, so the trailing `]` may be missing — both viewers accept
+that. A `{\"control\": \"metrics\"}` line answers with latency histogram
+quantiles; see docs/OBSERVABILITY.md.
 
 Socket mode (requires a build with --features socket): --listen binds a
 TCP address (port 0 picks a free port), --unix a Unix-domain socket
@@ -72,6 +83,8 @@ pub struct ServeOptions {
     pub unix: Option<String>,
     /// Concurrent-connection cap in socket mode.
     pub max_conns: usize,
+    /// Stream completed spans to this path as Chrome trace_event JSON.
+    pub trace_file: Option<String>,
 }
 
 impl ServeOptions {
@@ -87,6 +100,7 @@ impl ServeOptions {
             listen: None,
             unix: None,
             max_conns: 64,
+            trace_file: None,
         };
         let mut iter = args.iter();
         while let Some(arg) = iter.next() {
@@ -125,6 +139,7 @@ impl ServeOptions {
                 }
                 "--listen" => options.listen = Some(value_of("--listen")?),
                 "--unix" => options.unix = Some(value_of("--unix")?),
+                "--trace-file" => options.trace_file = Some(value_of("--trace-file")?),
                 "--max-conns" => {
                     options.max_conns = number("--max-conns", value_of("--max-conns")?)?;
                     if options.max_conns == 0 {
@@ -142,8 +157,8 @@ impl ServeOptions {
 }
 
 /// Builds the configured fleet + server (shared by the stdin and
-/// socket front-ends).
-fn build_server(options: &ServeOptions) -> Result<StreamServer, String> {
+/// socket front-ends, and by `mbb trace`).
+pub(crate) fn build_server(options: &ServeOptions) -> Result<StreamServer, String> {
     let store = GraphStore::from_env();
     let mut fleet = ShardedFleet::new();
     for (id, path) in &options.shards {
@@ -160,6 +175,75 @@ fn build_server(options: &ServeOptions) -> Result<StreamServer, String> {
     Ok(StreamServer::new(fleet, config).with_store(store))
 }
 
+/// Background collector for `--trace-file`: enables span recording and
+/// streams completed spans to a Chrome trace_event JSON file while the
+/// serve loop runs.
+struct TraceFileWorker {
+    stop: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<std::io::Result<u64>>,
+    path: String,
+}
+
+impl TraceFileWorker {
+    /// Creates the file, turns span recording on, and starts the drain
+    /// thread (~5 ms cadence — rings hold 4096 records per thread, so
+    /// even a busy fleet is drained long before overflow).
+    fn start(path: &str) -> Result<TraceFileWorker, String> {
+        let file = std::fs::File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut writer = obs::TraceWriter::new(std::io::BufWriter::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        obs::enable();
+        let stop = Arc::new(AtomicBool::new(false));
+        let observed = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut failed: Option<std::io::Error> = None;
+            loop {
+                // Order matters: read the flag *before* draining, so the
+                // final pass (after the serve loop emitted its last
+                // span) still sweeps every ring.
+                let stopping = observed.load(Ordering::SeqCst);
+                obs::drain(|record| {
+                    if failed.is_none() {
+                        if let Err(e) = writer.write(&record) {
+                            failed = Some(e);
+                        }
+                    }
+                });
+                if stopping {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            if let Some(e) = failed {
+                return Err(e);
+            }
+            let spans = writer.events();
+            writer.finish()?;
+            Ok(spans)
+        });
+        Ok(TraceFileWorker {
+            stop,
+            handle,
+            path: path.to_string(),
+        })
+    }
+
+    /// Stops recording, joins the drain thread (one final sweep), and
+    /// reports the span count on stderr — stdout belongs to the wire.
+    fn finish(self) -> Result<(), String> {
+        obs::disable();
+        self.stop.store(true, Ordering::SeqCst);
+        match self.handle.join() {
+            Ok(Ok(spans)) => {
+                eprintln!("trace: wrote {spans} spans to {}", self.path);
+                Ok(())
+            }
+            Ok(Err(e)) => Err(format!("{}: {e}", self.path)),
+            Err(_) => Err(format!("{}: trace collector panicked", self.path)),
+        }
+    }
+}
+
 /// Runs the resident loop over explicit input/output streams — the
 /// testable core of [`run`].
 pub fn run_with<R: BufRead, W: Write + Send>(
@@ -168,7 +252,17 @@ pub fn run_with<R: BufRead, W: Write + Send>(
     output: W,
 ) -> Result<(), String> {
     let server = build_server(options)?;
-    server.serve(input, output).map_err(|e| e.to_string())?;
+    let tracer = options
+        .trace_file
+        .as_deref()
+        .map(TraceFileWorker::start)
+        .transpose()?;
+    let served = server.serve(input, output).map_err(|e| e.to_string());
+    // Always join the collector (the final drain closes the JSON
+    // array), but a serve-loop error outranks a trace-file one.
+    let traced = tracer.map(TraceFileWorker::finish).transpose();
+    served?;
+    traced?;
     Ok(())
 }
 
@@ -186,6 +280,11 @@ fn run_socket(options: &ServeOptions) -> Result<(), String> {
         front = front.with_unix(path.clone());
     }
     let bound = front.bind().map_err(|e| e.to_string())?;
+    let tracer = options
+        .trace_file
+        .as_deref()
+        .map(TraceFileWorker::start)
+        .transpose()?;
     // One machine-readable announcement so clients (and the CI smoke)
     // can discover the resolved address — essential with port 0.
     let mut announce = Vec::new();
@@ -205,6 +304,9 @@ fn run_socket(options: &ServeOptions) -> Result<(), String> {
     // Flush so a piped consumer sees the line before the first client.
     let _ = std::io::stdout().flush();
     bound.serve();
+    // serve() runs until the process is killed; if it ever returns,
+    // close the trace cleanly.
+    tracer.map(TraceFileWorker::finish).transpose()?;
     Ok(())
 }
 

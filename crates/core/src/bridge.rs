@@ -14,6 +14,8 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use mbb_obs as obs;
+
 use mbb_bigraph::core_decomp::core_decomposition;
 use mbb_bigraph::graph::{BipartiteGraph, Side, Vertex};
 use mbb_bigraph::subgraph::induce_by_ids;
@@ -183,6 +185,11 @@ pub fn bridge_mbb_budgeted(
         if budget.probe() {
             break;
         }
+        // One span per centre: cheap next to the per-centre induction
+        // work, and the per-centre cost profile is exactly what the
+        // bridging-stage analysis needs (dropped on overflow, never
+        // blocking — see mbb_obs::ring).
+        let span = obs::span(obs::Stage::BridgeCentre);
         let (survivor, improvement) = process_center(
             graph,
             &rank,
@@ -192,6 +199,7 @@ pub fn bridge_mbb_budgeted(
             config,
             &mut stats,
         );
+        drop(span);
         if let Some(better) = improvement {
             if better.half_size() > best.half_size() {
                 best = better;
@@ -255,6 +263,8 @@ fn bridge_parallel(
                             // incumbent bound; a stale value only prunes
                             // less. Results flow through `best`'s mutex.
                             let bound = best_half.load(Ordering::Relaxed);
+                            // Per-centre span, as in the serial loop.
+                            let span = obs::span(obs::Stage::BridgeCentre);
                             let (survivor, improvement) = process_center(
                                 graph,
                                 rank,
@@ -264,6 +274,7 @@ fn bridge_parallel(
                                 config,
                                 &mut stats,
                             );
+                            drop(span);
                             if let Some(better) = improvement {
                                 let mut guard = best.lock();
                                 if better.half_size() > guard.half_size() {

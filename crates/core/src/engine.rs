@@ -300,6 +300,7 @@ impl MbbEngine {
             return cached;
         }
         self.bicore.get_or_init(|| {
+            let _span = mbb_obs::span(mbb_obs::Stage::PreprocessBicore);
             let start = Instant::now();
             let decomposition = bicore_decomposition(&self.graph);
             self.note_preprocess(start);
@@ -319,6 +320,7 @@ impl MbbEngine {
             return cached;
         }
         self.order.get_or_init(|| {
+            let _span = mbb_obs::span(mbb_obs::Stage::PreprocessOrder);
             // The bidegeneracy order *is* the bicore peel order: derive it
             // from the cached decomposition instead of re-peeling. Timing
             // starts after that call — bicore() records its own build.
@@ -372,6 +374,7 @@ impl MbbEngine {
             return None;
         }
         Some(&**self.two_hop.get_or_init(|| {
+            let _span = mbb_obs::span(mbb_obs::Stage::PreprocessTwoHop);
             let start = Instant::now();
             let index = TwoHopIndex::build(&self.graph);
             self.note_preprocess(start);

@@ -4,6 +4,8 @@
 
 use std::time::Instant;
 
+use mbb_obs as obs;
+
 use mbb_bigraph::bicore::bicore_decomposition;
 use mbb_bigraph::graph::BipartiteGraph;
 use mbb_bigraph::local::LocalGraph;
@@ -219,7 +221,10 @@ impl MbbSolver {
                 stats.heuristic_global_half = outcome.best.half_size();
                 stats.heuristic_local_half = outcome.best.half_size();
                 stats.optimum_half = outcome.best.half_size();
-                stats.stage_seconds[0] = stage1_start.elapsed().as_secs_f64();
+                // mbb-lint: allow(hot-clock) stage-boundary timestamp, shared by stats and the obs span
+                let stage1_end = Instant::now();
+                stats.stage_seconds[0] = (stage1_end - stage1_start).as_secs_f64();
+                obs::record(obs::Stage::SolveHeuristic, stage1_start, stage1_end);
                 return SolveResult {
                     biclique: outcome.best,
                     stats,
@@ -235,7 +240,10 @@ impl MbbSolver {
             (incumbent, InducedSubgraph::identity(graph))
         };
         stats.heuristic_global_half = best.half_size();
-        stats.stage_seconds[0] = stage1_start.elapsed().as_secs_f64();
+        // mbb-lint: allow(hot-clock) stage-boundary timestamp, shared by stats and the obs span
+        let stage1_end = Instant::now();
+        stats.stage_seconds[0] = (stage1_end - stage1_start).as_secs_f64();
+        obs::record(obs::Stage::SolveHeuristic, stage1_start, stage1_end);
 
         // An empty reduced graph means the incumbent is optimal; an
         // exhausted budget means stage 1's best is all we may report.
@@ -292,7 +300,10 @@ impl MbbSolver {
         }
         stats.heuristic_local_half = best.half_size();
         stats.subgraphs_verified = bridged.survivors.len();
-        stats.stage_seconds[1] = stage2_start.elapsed().as_secs_f64();
+        // mbb-lint: allow(hot-clock) stage-boundary timestamp, shared by stats and the obs span
+        let stage2_end = Instant::now();
+        stats.stage_seconds[1] = (stage2_end - stage2_start).as_secs_f64();
+        obs::record(obs::Stage::SolveBridge, stage2_start, stage2_end);
 
         if bridged.survivors.is_empty() || budget.probe() {
             stats.stage = Stage::S2;
@@ -333,7 +344,10 @@ impl MbbSolver {
         }
         stats.stage = Stage::S3;
         stats.optimum_half = best.half_size();
-        stats.stage_seconds[2] = stage3_start.elapsed().as_secs_f64();
+        // mbb-lint: allow(hot-clock) stage-boundary timestamp, shared by stats and the obs span
+        let stage3_end = Instant::now();
+        stats.stage_seconds[2] = (stage3_end - stage3_start).as_secs_f64();
+        obs::record(obs::Stage::SolveVerify, stage3_start, stage3_end);
         SolveResult {
             biclique: best,
             stats,

@@ -26,6 +26,7 @@ use mbb_bigraph::core_decomp::{core_decomposition, k_core_mask};
 use mbb_bigraph::graph::{BipartiteGraph, Side};
 use mbb_bigraph::local::LocalGraph;
 use mbb_bigraph::subgraph::{induce_by_ids, induce_by_mask, InducedSubgraph};
+use mbb_obs as obs;
 use parking_lot::Mutex;
 
 use crate::biclique::Biclique;
@@ -224,6 +225,8 @@ pub fn verify_mbb_budgeted(
             if budget.probe() {
                 break;
             }
+            // One span per surviving subgraph's reduce-and-search.
+            let _span = obs::span(obs::Stage::DenseSearch);
             if let Some((candidate, search_stats)) = verify_one(
                 graph,
                 subgraph,
@@ -269,6 +272,8 @@ pub fn verify_mbb_budgeted(
                         break;
                     }
                     let bound = shared_best.lock().half_size();
+                    // Per-subgraph span, as in the serial walk.
+                    let _span = obs::span(obs::Stage::DenseSearch);
                     if let Some((candidate, search_stats)) =
                         verify_one(graph, &survivors[index], bound, config, &budget, 1)
                     {

@@ -7,7 +7,7 @@
 //! ```
 //!
 //! No external parser, no network, no extra dependencies: a line-level
-//! lexer ([`lexer`]) feeds five textual rules ([`rules`]) tuned to this
+//! lexer ([`lexer`]) feeds six textual rules ([`rules`]) tuned to this
 //! codebase's concurrency conventions. Diagnostics print one per line as
 //! `file:line: [rule-id] message`; the exit code is non-zero when any
 //! finding survives its suppressions, so CI can gate on it.
@@ -40,6 +40,15 @@ const HOT_LOOP_FILES: [&str; 3] = [
     "crates/core/src/enumerate.rs",
     "crates/core/src/enumerate_scoped.rs",
     "crates/core/src/solver.rs",
+];
+
+/// Solver inner-loop files: span/timer construction here would run per
+/// search node — instrumentation stays at the stage boundaries one
+/// level up (`solver.rs`, `engine.rs`).
+const OBS_HOT_FILES: [&str; 3] = [
+    "crates/core/src/dense.rs",
+    "crates/core/src/enumerate.rs",
+    "crates/core/src/enumerate_scoped.rs",
 ];
 
 /// Kernel-hot solver files: bitset intersect+len pairs here must go
@@ -148,6 +157,9 @@ fn run(root: &Path) -> Result<Vec<Finding>, String> {
         }
         if HOT_LOOP_FILES.contains(&rel.as_str()) {
             rules::check_hot_clock(&rel, &lines, &mut findings);
+        }
+        if OBS_HOT_FILES.contains(&rel.as_str()) {
+            rules::check_obs_hot_clock(&rel, &lines, &mut findings);
         }
         if KERNEL_FILES.contains(&rel.as_str()) {
             rules::check_kernel_scalar(&rel, &lines, &mut findings);

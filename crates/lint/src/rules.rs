@@ -1,4 +1,4 @@
-//! The five workspace rules, each with a stable id used in diagnostics
+//! The six workspace rules, each with a stable id used in diagnostics
 //! and in `// mbb-lint: allow(<id>) <reason>` suppressions:
 //!
 //! * `relaxed-justify` — every `Ordering::Relaxed` in production code
@@ -8,6 +8,11 @@
 //!   sources outside `#[cfg(test)]`.
 //! * `hot-clock` — no raw `Instant::now()` / `thread::sleep` in solver
 //!   hot-loop files; deadlines go through the sampled `SearchBudget`.
+//! * `obs-hot-clock` — no span/timer construction (`obs::span*`,
+//!   `obs::record*`, `Histogram::record_duration`, any `mbb_obs::` use)
+//!   in the solver's inner-loop files; spans belong at stage
+//!   boundaries (`solver.rs`, `engine.rs`), where one record covers
+//!   millions of nodes.
 //! * `lock-order` — lock classes from `docs/lock_order.txt` must be
 //!   acquired in listed order within a function.
 //! * `kernel-scalar` — in kernel-hot solver files, an `.intersect_with(`
@@ -262,6 +267,51 @@ pub fn check_hot_clock(file: &str, lines: &[SourceLine], out: &mut Vec<Finding>)
     }
 }
 
+/// Span/timer constructions that have no business inside the per-node
+/// loops: each one is a clock read (or two) plus a ring push.
+const OBS_TOKENS: [&str; 6] = [
+    "obs::span(",
+    "obs::span_for(",
+    "obs::record(",
+    "obs::record_for(",
+    ".record_duration(",
+    "mbb_obs",
+];
+
+/// `obs-hot-clock`: the observability facade is cheap, but not
+/// per-search-node cheap — a span is two `Instant::now()` calls and a
+/// ring push. In the solver's inner-loop files every line runs millions
+/// of times, so instrumentation must stay at the stage boundaries one
+/// level up. Same suppression mechanics as `hot-clock`.
+pub fn check_obs_hot_clock(file: &str, lines: &[SourceLine], out: &mut Vec<Finding>) {
+    for idx in 0..lines.len() {
+        let line = &lines[idx];
+        if line.in_test {
+            continue;
+        }
+        for token in OBS_TOKENS {
+            if line.code.contains(token) {
+                emit(
+                    lines,
+                    idx,
+                    Finding {
+                        file: file.to_string(),
+                        line: line.number,
+                        rule: "obs-hot-clock",
+                        message: format!(
+                            "`{token}..` in a solver inner-loop file — record the span \
+                             at the stage boundary (solver.rs/engine.rs) instead; a \
+                             per-node span is a clock read plus a ring push"
+                        ),
+                    },
+                    out,
+                );
+                break;
+            }
+        }
+    }
+}
+
 /// `lock-order`: within one function, after a **held** (`let`-bound)
 /// acquisition of a later class, any acquisition of an earlier class is
 /// a violation. Transient acquisitions (guard dropped within its own
@@ -479,6 +529,40 @@ mod tests {
         let got = run(src, check_hot_clock);
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].rule, "hot-clock");
+    }
+
+    #[test]
+    fn obs_hot_clock_flags_span_and_record_constructions() {
+        for src in [
+            "let _s = obs::span(obs::Stage::Dense);\n",
+            "let _s = obs::span_for(obs::Stage::Dense, id, conn);\n",
+            "obs::record(obs::Stage::Dense, start, end);\n",
+            "obs::record_for(obs::Stage::Dense, start, end, id, conn);\n",
+            "self.hist.record_duration(elapsed);\n",
+            "use mbb_obs as obs;\n",
+        ] {
+            let got = run(src, check_obs_hot_clock);
+            assert_eq!(got.len(), 1, "{src}");
+            assert_eq!(got[0].rule, "obs-hot-clock");
+        }
+    }
+
+    #[test]
+    fn obs_hot_clock_ignores_unrelated_code_and_tests() {
+        assert!(run("let n = self.records.len();\n", check_obs_hot_clock).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n  fn t() { obs::record(s, a, b); }\n}\n";
+        assert!(run(in_test, check_obs_hot_clock).is_empty());
+    }
+
+    #[test]
+    fn obs_hot_clock_suppression_with_reason() {
+        let src = "// mbb-lint: allow(obs-hot-clock) outer per-centre loop, bounded fan-out\n\
+                   obs::record(obs::Stage::BridgeCentre, start, end);\n";
+        assert!(run(src, check_obs_hot_clock).is_empty());
+        let bare = "obs::record(s, a, b); // mbb-lint: allow(obs-hot-clock)\n";
+        let got = run(bare, check_obs_hot_clock);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].rule, "suppression-reason");
     }
 
     fn classes() -> Vec<LockClass> {

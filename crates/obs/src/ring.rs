@@ -1,0 +1,322 @@
+//! The span transport: a lock-free single-producer/single-consumer
+//! ring of fixed-size records, one ring per instrumented thread.
+//!
+//! # Contract
+//!
+//! Each [`SpanRing`] has exactly **one producer** (the thread that owns
+//! it — the facade hands every thread its own ring) and **one
+//! consumer** (the collector draining all rings). Within that contract
+//! the ring is wait-free on both sides: a full ring makes
+//! [`SpanRing::push`] count a drop and return, it never blocks the hot
+//! path.
+//!
+//! # Ordering argument
+//!
+//! `head` is the producer's publication cursor, `tail` the consumer's.
+//! Both are monotone `u64` counters (slot = counter mod capacity).
+//!
+//! * **Producer:** reads `tail` with `Acquire` (so the consumer's
+//!   `Release` store of `tail` — which happens *after* its reads of the
+//!   freed slots — is visible before the producer overwrites those
+//!   slots), writes the record words `Relaxed`, then publishes with a
+//!   `Release` store of `head`.
+//! * **Consumer:** reads `head` with `Acquire` (pairing with the
+//!   producer's `Release`, so all word writes of published records
+//!   happen-before the reads), reads the words `Relaxed`, then frees
+//!   the slots with a `Release` store of `tail`.
+//!
+//! A slot is only rewritten when `head - tail < capacity`, i.e. after
+//! the consumer has published consumption of it; a slot is only read
+//! when `tail < head`, i.e. after the producer published it — so every
+//! `Relaxed` word access is ordered by one of the two Release/Acquire
+//! edges above. The `conc_models` tests (`crates/obs/tests/`) model-
+//! check exactly this protocol: no lost or duplicated records, and the
+//! dropped counter reconciling exactly, across ≥1000 schedules.
+//!
+//! The atomics come from the `mbb-conc` facade: `std` in normal
+//! builds, the model scheduler under `--cfg mbb_conc` (where they only
+//! work inside `model::explore` closures — which is fine, because the
+//! facade keeps spans disabled in those test binaries).
+
+use mbb_conc::sync::atomic::{AtomicU64, Ordering};
+
+/// `u64` words per packed [`SpanRecord`].
+pub const RECORD_WORDS: usize = 6;
+
+/// One completed span, as stored in the ring: fixed-size, `Copy`, no
+/// heap. Times are nanoseconds relative to the collector's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Global sequence stamp (allocation order across all threads).
+    pub seq: u64,
+    /// [`Stage`](crate::Stage) discriminant.
+    pub stage: u16,
+    /// Recording thread's obs-assigned id.
+    pub thread: u32,
+    /// Request id the span belongs to (0 = none).
+    pub request: u64,
+    /// Connection id the span belongs to (0 = local/none).
+    pub conn: u64,
+    /// Span start, nanoseconds since the collector epoch.
+    pub start_nanos: u64,
+    /// Span duration in nanoseconds.
+    pub duration_nanos: u64,
+}
+
+impl SpanRecord {
+    /// The span's end, nanoseconds since the collector epoch.
+    pub fn end_nanos(&self) -> u64 {
+        self.start_nanos.saturating_add(self.duration_nanos)
+    }
+
+    fn pack(&self) -> [u64; RECORD_WORDS] {
+        [
+            self.seq,
+            (self.stage as u64) << 32 | self.thread as u64,
+            self.request,
+            self.conn,
+            self.start_nanos,
+            self.duration_nanos,
+        ]
+    }
+
+    fn unpack(words: [u64; RECORD_WORDS]) -> SpanRecord {
+        SpanRecord {
+            seq: words[0],
+            stage: (words[1] >> 32) as u16,
+            thread: words[1] as u32,
+            request: words[2],
+            conn: words[3],
+            start_nanos: words[4],
+            duration_nanos: words[5],
+        }
+    }
+}
+
+/// A lock-free SPSC ring of [`SpanRecord`]s. See the module docs for
+/// the producer/consumer contract and the ordering argument.
+pub struct SpanRing {
+    /// `capacity * RECORD_WORDS` words; slot `i` = words
+    /// `[i*RECORD_WORDS, (i+1)*RECORD_WORDS)`.
+    slots: Box<[AtomicU64]>,
+    /// Producer cursor: records pushed (published) so far.
+    head: AtomicU64,
+    /// Consumer cursor: records drained so far.
+    tail: AtomicU64,
+    /// Records rejected because the ring was full.
+    dropped: AtomicU64,
+    /// Power of two.
+    capacity: u64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanRing {
+    /// A ring holding up to `capacity` records (rounded up to a power
+    /// of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> SpanRing {
+        let capacity = capacity.max(2).next_power_of_two() as u64;
+        SpanRing {
+            slots: (0..capacity as usize * RECORD_WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            head: AtomicU64::new(0),
+            tail: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    /// The ring's record capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity as usize
+    }
+
+    /// Producer side (owner thread only): appends `record`, or counts a
+    /// drop and returns `false` if the ring is full. Wait-free.
+    pub fn push(&self, record: &SpanRecord) -> bool {
+        // relaxed: the producer is the only writer of `head`; this is a
+        // read of its own last store.
+        let head = self.head.load(Ordering::Relaxed);
+        // Acquire pairs with the consumer's Release store in `drain`:
+        // the consumer's reads of freed slots happen-before our writes.
+        let tail = self.tail.load(Ordering::Acquire);
+        if head.wrapping_sub(tail) >= self.capacity {
+            // relaxed: independent monotone drop counter.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        let base = (head % self.capacity) as usize * RECORD_WORDS;
+        for (i, word) in record.pack().into_iter().enumerate() {
+            // relaxed: ordered by the Release store of `head` below.
+            self.slots[base + i].store(word, Ordering::Relaxed);
+        }
+        // Release publishes the slot words to the consumer's Acquire
+        // load of `head`.
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        true
+    }
+
+    /// Consumer side (collector only): pops every published record, in
+    /// push order, into `f`. Records pushed concurrently with the drain
+    /// are picked up by the next drain.
+    pub fn drain(&self, f: &mut impl FnMut(SpanRecord)) {
+        // relaxed: the consumer is the only writer of `tail`.
+        let tail = self.tail.load(Ordering::Relaxed);
+        // Acquire pairs with the producer's Release store of `head`.
+        let head = self.head.load(Ordering::Acquire);
+        let mut cursor = tail;
+        while cursor != head {
+            let base = (cursor % self.capacity) as usize * RECORD_WORDS;
+            let mut words = [0u64; RECORD_WORDS];
+            for (i, word) in words.iter_mut().enumerate() {
+                // relaxed: ordered by the Acquire load of `head` above.
+                *word = self.slots[base + i].load(Ordering::Relaxed);
+            }
+            // Free the slot before invoking `f`, so a panicking callback
+            // cannot desynchronise the cursor from the records it saw.
+            cursor = cursor.wrapping_add(1);
+            // Release: our slot reads happen-before the producer's
+            // Acquire load of `tail` lets it overwrite them.
+            self.tail.store(cursor, Ordering::Release);
+            f(SpanRecord::unpack(words));
+        }
+    }
+
+    /// Records rejected because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        // relaxed: point-in-time read of a monotone counter.
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Published-but-undrained record count (diagnostics).
+    pub fn len(&self) -> usize {
+        // relaxed: advisory snapshot; both cursors move monotonically.
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Relaxed);
+        head.wrapping_sub(tail) as usize
+    }
+
+    /// True when no published record is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64) -> SpanRecord {
+        SpanRecord {
+            seq,
+            stage: (seq % 14) as u16,
+            thread: 7,
+            request: seq * 10,
+            conn: 3,
+            start_nanos: seq * 1000,
+            duration_nanos: 42,
+        }
+    }
+
+    #[test]
+    fn pack_round_trips() {
+        let r = SpanRecord {
+            seq: u64::MAX,
+            stage: u16::MAX,
+            thread: u32::MAX,
+            request: 1,
+            conn: 2,
+            start_nanos: 3,
+            duration_nanos: 4,
+        };
+        assert_eq!(SpanRecord::unpack(r.pack()), r);
+    }
+
+    #[test]
+    fn push_then_drain_preserves_order_and_content() {
+        let ring = SpanRing::with_capacity(8);
+        for i in 0..5 {
+            assert!(ring.push(&rec(i)));
+        }
+        let mut out = Vec::new();
+        ring.drain(&mut |r| out.push(r));
+        assert_eq!(out, (0..5).map(rec).collect::<Vec<_>>());
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_without_blocking() {
+        let ring = SpanRing::with_capacity(4);
+        let mut pushed = 0;
+        for i in 0..10 {
+            if ring.push(&rec(i)) {
+                pushed += 1;
+            }
+        }
+        assert_eq!(pushed, 4);
+        assert_eq!(ring.dropped(), 6);
+        let mut out = Vec::new();
+        ring.drain(&mut |r| out.push(r));
+        // The *oldest* records survive; overflow is dropped at the tail.
+        assert_eq!(out, (0..4).map(rec).collect::<Vec<_>>());
+        // Space freed by the drain is reusable.
+        assert!(ring.push(&rec(99)));
+    }
+
+    #[test]
+    fn interleaved_push_drain_reconciles_exactly() {
+        let ring = SpanRing::with_capacity(4);
+        let mut drained = Vec::new();
+        let mut next = 0u64;
+        for round in 0..50 {
+            for _ in 0..(round % 7) {
+                ring.push(&rec(next));
+                next += 1;
+            }
+            ring.drain(&mut |r| drained.push(r.seq));
+        }
+        ring.drain(&mut |r| drained.push(r.seq));
+        // No duplicates, in order, and drained + dropped == pushed.
+        assert!(drained.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(drained.len() as u64 + ring.dropped(), next);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        assert_eq!(SpanRing::with_capacity(0).capacity(), 2);
+        assert_eq!(SpanRing::with_capacity(3).capacity(), 4);
+        assert_eq!(SpanRing::with_capacity(1024).capacity(), 1024);
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_loses_nothing() {
+        use std::sync::Arc;
+        let ring = Arc::new(SpanRing::with_capacity(64));
+        let total = 10_000u64;
+        let producer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..total {
+                    while !ring.push(&rec(i)) {
+                        std::thread::yield_now();
+                    }
+                }
+            })
+        };
+        let mut seen = Vec::with_capacity(total as usize);
+        while seen.len() < total as usize {
+            ring.drain(&mut |r| seen.push(r));
+            std::thread::yield_now();
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, (0..total).map(rec).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,210 @@
+//! Trace export: Chrome `trace_event` JSON (the array format that
+//! `chrome://tracing` and Perfetto load directly) and per-stage
+//! aggregation for the `mbb trace` table.
+
+use std::io::{self, Write};
+
+use crate::ring::SpanRecord;
+use crate::Stage;
+
+/// Microseconds with nanosecond precision, as Chrome's `ts`/`dur`
+/// fields expect.
+fn micros(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1000.0)
+}
+
+/// Streams [`SpanRecord`]s as one Chrome `trace_event` JSON array of
+/// complete (`"ph":"X"`) events. Stable fields per event: `name`
+/// (stage label), `cat`, `ph`, `ts`/`dur` (µs since the collector
+/// epoch), `pid`, `tid` (obs thread id), and `args` with `seq`,
+/// `request`, `conn`.
+///
+/// ```
+/// use mbb_obs::{SpanRecord, TraceWriter};
+/// let mut out = Vec::new();
+/// let mut w = TraceWriter::new(&mut out)?;
+/// w.write(&SpanRecord {
+///     seq: 0, stage: 11, thread: 1, request: 42, conn: 0,
+///     start_nanos: 1_500, duration_nanos: 2_000,
+/// })?;
+/// w.finish()?;
+/// assert!(String::from_utf8(out)?.contains("\"serve.execute\""));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TraceWriter<W: Write> {
+    out: W,
+    events: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Opens the JSON array.
+    pub fn new(mut out: W) -> io::Result<TraceWriter<W>> {
+        out.write_all(b"[")?;
+        Ok(TraceWriter { out, events: 0 })
+    }
+
+    /// Appends one span as a complete event.
+    pub fn write(&mut self, record: &SpanRecord) -> io::Result<()> {
+        let name = Stage::from_u16(record.stage).map_or("unknown", Stage::label);
+        let sep = if self.events == 0 { "\n" } else { ",\n" };
+        write!(
+            self.out,
+            "{sep}{{\"name\":\"{name}\",\"cat\":\"mbb\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":1,\"tid\":{tid},\"args\":{{\"seq\":{seq},\"request\":{request},\"conn\":{conn}}}}}",
+            ts = micros(record.start_nanos),
+            dur = micros(record.duration_nanos),
+            tid = record.thread,
+            seq = record.seq,
+            request = record.request,
+            conn = record.conn,
+        )?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Closes the array and flushes; returns the writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(b"\n]\n")?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Per-stage rollup of a drained record set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageAgg {
+    /// The stage.
+    pub stage: Stage,
+    /// Spans recorded for it.
+    pub count: u64,
+    /// Summed duration, nanoseconds.
+    pub total_nanos: u64,
+    /// Longest single span, nanoseconds.
+    pub max_nanos: u64,
+}
+
+impl StageAgg {
+    /// Mean span duration, nanoseconds.
+    pub fn mean_nanos(&self) -> u64 {
+        self.total_nanos.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Rolls records up per stage, in [`Stage::ALL`] order, skipping
+/// stages with no spans.
+pub fn aggregate(records: &[SpanRecord]) -> Vec<StageAgg> {
+    let mut per_stage = [(0u64, 0u64, 0u64); Stage::ALL.len()];
+    for r in records {
+        if let Some(slot) = per_stage.get_mut(r.stage as usize) {
+            slot.0 += 1;
+            slot.1 = slot.1.saturating_add(r.duration_nanos);
+            slot.2 = slot.2.max(r.duration_nanos);
+        }
+    }
+    Stage::ALL
+        .iter()
+        .zip(per_stage)
+        .filter(|(_, (count, _, _))| *count > 0)
+        .map(|(&stage, (count, total_nanos, max_nanos))| StageAgg {
+            stage,
+            count,
+            total_nanos,
+            max_nanos,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(stage: Stage, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            seq: start,
+            stage: stage as u16,
+            thread: 2,
+            request: 11,
+            conn: 1,
+            start_nanos: start,
+            duration_nanos: dur,
+        }
+    }
+
+    #[test]
+    fn golden_trace_event_json() {
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        w.write(&rec(Stage::QueueWait, 1_000, 2_500)).unwrap();
+        w.write(&rec(Stage::Execute, 3_500, 10_000)).unwrap();
+        assert_eq!(w.events(), 2);
+        w.finish().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // Byte-stable golden for the first event: downstream tooling
+        // keys on these exact fields.
+        assert!(text.contains(
+            "{\"name\":\"serve.queue\",\"cat\":\"mbb\",\"ph\":\"X\",\"ts\":1.000,\"dur\":2.500,\
+             \"pid\":1,\"tid\":2,\"args\":{\"seq\":1000,\"request\":11,\"conn\":1}}"
+        ));
+        // And the whole file is valid JSON of the expected shape.
+        let parsed: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = parsed.as_array().expect("top-level array");
+        assert_eq!(events.len(), 2);
+        for event in events {
+            assert_eq!(event.get("ph").and_then(|v| v.as_str()), Some("X"));
+            assert_eq!(event.get("cat").and_then(|v| v.as_str()), Some("mbb"));
+            assert!(event.get("ts").and_then(|v| v.as_f64()).is_some());
+            assert!(event.get("dur").and_then(|v| v.as_f64()).is_some());
+            let args = event.get("args").expect("args object");
+            assert!(args.get("request").and_then(|v| v.as_u64()).is_some());
+        }
+        assert_eq!(
+            events[1].get("name").and_then(|v| v.as_str()),
+            Some("serve.execute")
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let mut out = Vec::new();
+        TraceWriter::new(&mut out).unwrap().finish().unwrap();
+        let parsed: serde_json::Value =
+            serde_json::from_str(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(parsed.as_array().map(Vec::len), Some(0));
+    }
+
+    #[test]
+    fn unknown_stage_is_labelled_not_dropped() {
+        let mut out = Vec::new();
+        let mut w = TraceWriter::new(&mut out).unwrap();
+        let mut r = rec(Stage::Parse, 0, 1);
+        r.stage = 999;
+        w.write(&r).unwrap();
+        w.finish().unwrap();
+        assert!(String::from_utf8(out).unwrap().contains("\"unknown\""));
+    }
+
+    #[test]
+    fn aggregate_rolls_up_per_stage_in_taxonomy_order() {
+        let records = vec![
+            rec(Stage::Execute, 0, 10),
+            rec(Stage::QueueWait, 0, 5),
+            rec(Stage::Execute, 20, 30),
+        ];
+        let agg = aggregate(&records);
+        assert_eq!(agg.len(), 2);
+        assert_eq!(agg[0].stage, Stage::QueueWait);
+        assert_eq!((agg[0].count, agg[0].total_nanos), (1, 5));
+        assert_eq!(agg[1].stage, Stage::Execute);
+        assert_eq!(
+            (agg[1].count, agg[1].total_nanos, agg[1].max_nanos),
+            (2, 40, 30)
+        );
+        assert_eq!(agg[1].mean_nanos(), 20);
+        assert!(aggregate(&[]).is_empty());
+    }
+}

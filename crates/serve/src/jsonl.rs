@@ -23,7 +23,7 @@ use serde_json::Value;
 
 use crate::fleet::ServeError;
 use crate::request::{QueryKind, QueryOutcome, QueryRequest, QueryResponse};
-use crate::stream::{ServeStats, StreamEvent};
+use crate::stream::{MetricsReport, ServeStats, StreamEvent};
 
 // ---------------------------------------------------------------------
 // Request parsing.
@@ -170,6 +170,9 @@ pub fn parse_request_line(line: &str, line_no: usize) -> Result<QueryRequest, Se
 pub enum ControlRequest {
     /// `{"control": "stats"}` — emit a [`ServeStats`] snapshot line.
     Stats,
+    /// `{"control": "metrics"}` — emit a full observability snapshot:
+    /// the `stats` counters plus latency histogram quantiles.
+    Metrics,
     /// `{"control": "drain"}` — block admission until everything
     /// admitted so far has completed, then acknowledge.
     Drain,
@@ -225,6 +228,7 @@ pub fn parse_stream_line(line: &str, line_no: usize) -> Result<StreamLine, Serve
     };
     let control = match verb {
         "stats" => ControlRequest::Stats,
+        "metrics" => ControlRequest::Metrics,
         "drain" => ControlRequest::Drain,
         "reload" => ControlRequest::Reload {
             graph: string_field("graph")?,
@@ -543,7 +547,45 @@ pub fn encode_stream_event(event: &StreamEvent) -> String {
         StreamEvent::Stats(stats) => {
             Value::Object(vec![("stats".into(), serve_stats_value(stats))]).to_string()
         }
+        StreamEvent::Metrics(report) => {
+            Value::Object(vec![("metrics".into(), metrics_value(report))]).to_string()
+        }
     }
+}
+
+/// Milliseconds (3 decimals) from a nanosecond count — histogram values
+/// are recorded in nanoseconds, the wire speaks milliseconds like every
+/// other timing field.
+fn nanos_ms(nanos: u64) -> Value {
+    Value::Float((nanos as f64 / 1e6 * 1e3).round() / 1e3)
+}
+
+fn histogram_value(h: &mbb_obs::HistogramSnapshot) -> Value {
+    Value::Object(vec![
+        ("count".into(), Value::UInt(h.count)),
+        ("mean_ms".into(), nanos_ms(h.mean() as u64)),
+        ("p50_ms".into(), nanos_ms(h.p50())),
+        ("p90_ms".into(), nanos_ms(h.p90())),
+        ("p99_ms".into(), nanos_ms(h.p99())),
+        ("max_ms".into(), nanos_ms(h.max)),
+    ])
+}
+
+/// The `{"metrics": …}` payload: the exact `stats` object (same builder,
+/// so the two verbs can never drift), plus latency quantiles and the
+/// span-drop counter.
+fn metrics_value(report: &MetricsReport) -> Value {
+    Value::Object(vec![
+        ("stats".into(), serve_stats_value(&report.stats)),
+        (
+            "histograms".into(),
+            Value::Object(vec![
+                ("queue_wait_ms".into(), histogram_value(&report.queue_wait)),
+                ("service_ms".into(), histogram_value(&report.service)),
+            ]),
+        ),
+        ("spans_dropped".into(), Value::UInt(report.spans_dropped)),
+    ])
 }
 
 /// Encodes a whole [`BatchReport`](crate::BatchReport): one line per

@@ -184,12 +184,16 @@ impl<W: Write> Connection<W> {
                 return;
             };
             drop(inner);
+            // The pump thread has no request context; the outbox span is
+            // keyed by connection alone (request 0).
+            let span = mbb_obs::span_for(mbb_obs::Stage::Outbox, 0, self.id());
             let mut writer = self.writer.lock();
             let result = writer
                 .write_all(line.as_bytes())
                 .and_then(|()| writer.write_all(b"\n"))
                 .and_then(|()| writer.flush());
             drop(writer);
+            drop(span);
             if result.is_err() {
                 self.mark_dead();
                 return;

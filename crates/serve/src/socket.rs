@@ -253,7 +253,11 @@ impl BoundFrontEnd {
                     | StreamEvent::Disconnected { .. }
             );
             if let Some(conn) = registry.get(conn_id) {
+                // Workers call this inside their request context, so the
+                // encode span inherits the request/connection ids.
+                let encode_span = mbb_obs::span(mbb_obs::Stage::Encode);
                 let line = encode_stream_event(&event);
+                drop(encode_span);
                 conn.send(&line);
                 if retires {
                     conn.finish();

@@ -54,6 +54,7 @@ use mbb_conc::sync::{Condvar, Mutex};
 use mbb_core::engine::MbbEngine;
 use mbb_core::resolve_threads;
 use mbb_core::IndexStats;
+use mbb_obs as obs;
 use mbb_store::GraphStore;
 use std::sync::Arc;
 
@@ -164,6 +165,9 @@ pub enum StreamEvent {
     /// Answer to a `stats` control line (or the final end-of-input
     /// snapshot when [`StreamConfig::stats_on_exit`] is set).
     Stats(ServeStats),
+    /// Answer to a `metrics` control line: the full observability
+    /// snapshot — counters plus latency histogram quantiles.
+    Metrics(Box<MetricsReport>),
 }
 
 // ---------------------------------------------------------------------
@@ -231,6 +235,27 @@ pub struct ServeStats {
     pub index_reuse_hits: u64,
     /// Per-shard breakdown, in fleet shard order.
     pub per_shard: Vec<ShardServeStats>,
+}
+
+/// The `{"control": "metrics"}` payload: the plain [`ServeStats`]
+/// counters (wire-compatible with the `stats` verb) plus the
+/// log-bucketed latency distributions the totals can't express. The
+/// histograms live on the [`Admission`] queue and are recorded by
+/// [`Admission::finish`] from the same per-request durations that feed
+/// `total_queue_wait` / `total_service`, so the two views always agree
+/// on `count` and `sum`.
+#[derive(Debug, Clone)]
+pub struct MetricsReport {
+    /// The counter snapshot, identical to a `stats` answer.
+    pub stats: ServeStats,
+    /// Admission-to-dispatch wait distribution (nanosecond values).
+    pub queue_wait: obs::HistogramSnapshot,
+    /// Dispatch-to-response service-time distribution (nanosecond
+    /// values).
+    pub service: obs::HistogramSnapshot,
+    /// Span records dropped by full per-thread rings since tracing was
+    /// enabled (0 when tracing is off).
+    pub spans_dropped: u64,
 }
 
 // ---------------------------------------------------------------------
@@ -443,9 +468,24 @@ pub struct QueueSnapshot {
     pub admitted: u64,
     pub completed: u64,
     pub shed: u64,
+    pub rejected: u64,
+    pub disconnected: u64,
     pub depth: usize,
     pub in_flight: usize,
     pub max_depth: usize,
+}
+
+impl QueueSnapshot {
+    /// The conservation law every snapshot must satisfy: everything
+    /// admitted is either retired (completed, shed, or cancelled by a
+    /// disconnect) or still inside the queue/workers. `rejected` is
+    /// deliberately absent — rejection happens *before* admission.
+    /// Model-checked at every quiescent point in
+    /// `tests/conc_models.rs`.
+    pub fn is_balanced(&self) -> bool {
+        self.admitted
+            == self.completed + self.shed + self.disconnected + (self.depth + self.in_flight) as u64
+    }
 }
 
 /// The shared state of one `serve` call: the bounded admission queue
@@ -464,6 +504,12 @@ pub struct Admission {
     idle: Condvar,
     depth_limit: usize,
     fairness_burst: usize,
+    /// Latency distributions, recorded by [`finish`](Self::finish) from
+    /// the same durations that feed the `total_*` counters. Lock-free
+    /// (plain atomics) — kept outside `state` so recording never extends
+    /// the queue lock's hold time.
+    hist_queue_wait: obs::Histogram,
+    hist_service: obs::Histogram,
 }
 
 impl Admission {
@@ -498,6 +544,8 @@ impl Admission {
             idle: Condvar::new(),
             depth_limit: config.queue_depth.max(1),
             fairness_burst: config.fairness_burst,
+            hist_queue_wait: obs::Histogram::new(),
+            hist_service: obs::Histogram::new(),
         }
     }
 
@@ -586,6 +634,17 @@ impl Admission {
     /// wakes any drain waiter.
     #[doc(hidden)]
     pub fn finish(&self, completion: Completion) {
+        // Histogram recording happens before the lock: the histograms
+        // are atomic and must not lengthen the critical section.
+        if let Completion::Executed {
+            queue_wait,
+            service,
+            ..
+        } = completion
+        {
+            self.hist_queue_wait.record_duration(queue_wait);
+            self.hist_service.record_duration(service);
+        }
         let mut state = self.state.lock();
         match completion {
             Completion::Untracked => {}
@@ -691,6 +750,18 @@ impl Admission {
         self.work.notify_all();
     }
 
+    /// Snapshot of the admission-to-dispatch wait distribution.
+    #[doc(hidden)]
+    pub fn queue_wait_histogram(&self) -> obs::HistogramSnapshot {
+        self.hist_queue_wait.snapshot()
+    }
+
+    /// Snapshot of the dispatch-to-response service-time distribution.
+    #[doc(hidden)]
+    pub fn service_histogram(&self) -> obs::HistogramSnapshot {
+        self.hist_service.snapshot()
+    }
+
     /// Counter snapshot for tests and model checks.
     #[doc(hidden)]
     pub fn queue_snapshot(&self) -> QueueSnapshot {
@@ -699,6 +770,8 @@ impl Admission {
             admitted: state.admitted,
             completed: state.completed,
             shed: state.shed,
+            rejected: state.rejected,
+            disconnected: state.disconnected,
             depth: state.depth,
             in_flight: state.in_flight,
             max_depth: state.max_depth,
@@ -776,7 +849,11 @@ impl StreamServer {
     ) -> std::io::Result<ServeStats> {
         let sink = Mutex::new((output, None::<std::io::Error>));
         let stats = self.serve_with(input, |event| {
+            // Runs on the worker that completed the request, inside its
+            // span context — the encode span inherits the request ids.
+            let encode_span = obs::span(obs::Stage::Encode);
             let line = encode_stream_event(&event);
+            drop(encode_span);
             let mut guard = sink.lock();
             if guard.1.is_none() {
                 let result = guard
@@ -891,7 +968,12 @@ impl StreamServer {
         if trimmed.is_empty() || trimmed.starts_with('#') {
             return;
         }
-        match parse_stream_line(trimmed, line_no) {
+        // Request id is not known until the line parses; the parse span
+        // is keyed by connection alone (request 0).
+        let parse_span = obs::span_for(obs::Stage::Parse, 0, conn);
+        let parsed = parse_stream_line(trimmed, line_no);
+        drop(parse_span);
+        match parsed {
             Err(e) => {
                 admission.note_parse_error();
                 sink(
@@ -962,6 +1044,9 @@ impl StreamServer {
             return;
         }
         let deadline = request.deadline.map(|d| arrived + d);
+        // The admission-wait span covers the backpressure block inside
+        // `push` (plus the negligible enqueue itself).
+        let wait_span = obs::span_for(obs::Stage::AdmissionWait, request.id, conn);
         admission.push(StreamJob {
             request,
             shard,
@@ -972,6 +1057,7 @@ impl StreamServer {
             seq: 0, // assigned under the queue lock
             conn,
         });
+        drop(wait_span);
     }
 
     fn handle_control(
@@ -988,6 +1074,15 @@ impl StreamServer {
                     conn,
                     StreamEvent::Stats(self.snapshot(admission, baselines)),
                 );
+            }
+            ControlRequest::Metrics => {
+                let report = MetricsReport {
+                    stats: self.snapshot(admission, baselines),
+                    queue_wait: admission.queue_wait_histogram(),
+                    service: admission.service_histogram(),
+                    spans_dropped: obs::dropped_records(),
+                };
+                sink(conn, StreamEvent::Metrics(Box::new(report)));
             }
             ControlRequest::Drain => {
                 let completed = admission.drain();
@@ -1115,8 +1210,15 @@ pub fn worker_loop(
             continue;
         }
         let queue_wait = started.duration_since(job.admitted);
+        // All spans this worker emits while the job runs — including the
+        // solver-stage spans inside `execute_guarded` — carry the
+        // request/connection ids via the thread-local context.
+        let ctx = obs::context(job.request.id, job.conn);
+        obs::record(obs::Stage::QueueWait, job.admitted, started);
         let (outcome, termination, stats) =
             execute_guarded(&job.engine, &job.request, job.deadline);
+        let finished = Instant::now();
+        obs::record(obs::Stage::Execute, started, finished);
         let response = QueryResponse {
             id: job.request.id,
             shard: Some(job.shard_id),
@@ -1124,14 +1226,17 @@ pub fn worker_loop(
             outcome,
             termination,
             queue_wait,
-            service: started.elapsed(),
+            service: finished.duration_since(started),
             stats,
         };
         let shard = job.shard;
         let conn = job.conn;
         let search_nodes = response.search_nodes();
         let service = response.service;
+        // The context outlives the sink call so the encode span (taken
+        // inside wire-encoding sinks) inherits the ids too.
         sink(conn, StreamEvent::Response(Box::new(response)));
+        drop(ctx);
         admission.finish(Completion::Executed {
             shard,
             search_nodes,

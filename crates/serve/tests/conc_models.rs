@@ -574,3 +574,72 @@ fn explores_at_least_1000_distinct_schedules() {
         report.distinct_schedules
     );
 }
+
+/// The `ServeStats` conservation law, observed **mid-race**: while a
+/// worker executes jobs and a canceller rips out one connection's
+/// queued work, an observer repeatedly snapshots the counters. Every
+/// snapshot is taken under the state lock, so in every schedule and at
+/// every observation point the balance must hold exactly:
+/// `admitted == completed + shed + disconnected + depth + in_flight`
+/// (`rejected` is pre-admission and stays out of the law). This is the
+/// invariant the `{"control": "stats"}` / `{"control": "metrics"}`
+/// surfaces report from — a transiently unbalanced snapshot would mean
+/// the wire can publish books that don't close.
+#[test]
+fn stats_snapshot_balances_at_every_observation() {
+    let engine = tiny_engine();
+    let base = Instant::now();
+    let past = base;
+    let future = base + Duration::from_secs(3600);
+    let report = explore(sampled(0x62_61_6c), move || {
+        let admission = Arc::new(Admission::new(1, &StreamConfig::default()));
+        let worker = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                let sink = |_conn: u64, _event: StreamEvent| {};
+                let alive = |_conn: u64| true;
+                worker_loop(&admission, &sink, &alive);
+            })
+        };
+        let producer = {
+            let admission = Arc::clone(&admission);
+            let engine = Arc::clone(&engine);
+            thread::spawn(move || {
+                admission.push(job(1, 0, &engine, Some(future), base).with_conn(7));
+                admission.push(job(2, 0, &engine, Some(past), base));
+                admission.push(job(3, 0, &engine, None, base).with_conn(7));
+                admission.close();
+            })
+        };
+        let canceller = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || admission.cancel_conn(7).len() as u64)
+        };
+        let observer = {
+            let admission = Arc::clone(&admission);
+            thread::spawn(move || {
+                for _ in 0..3 {
+                    let snap = admission.queue_snapshot();
+                    assert!(snap.is_balanced(), "books don't close mid-race: {snap:?}");
+                }
+            })
+        };
+        producer.join().unwrap();
+        let cancelled = canceller.join().unwrap();
+        observer.join().unwrap();
+        worker.join().unwrap();
+
+        let snap = admission.queue_snapshot();
+        assert!(snap.is_balanced(), "final books don't close: {snap:?}");
+        assert_eq!(snap.admitted, 3);
+        assert_eq!((snap.depth, snap.in_flight), (0, 0), "fully retired");
+        assert_eq!(snap.disconnected, cancelled, "cancellations all counted");
+        assert_eq!(snap.rejected, 0, "nothing was rejected pre-admission");
+        assert_eq!(
+            snap.completed + snap.shed + snap.disconnected,
+            3,
+            "every admitted job retired exactly once: {snap:?}"
+        );
+    });
+    assert_broad(&report);
+}

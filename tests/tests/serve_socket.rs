@@ -570,3 +570,50 @@ fn abrupt_disconnect_cancels_queued_work_and_frees_the_pool() {
     );
     assert_eq!(stats.active_conns, 0);
 }
+
+/// `{"control": "metrics"}` over a live TCP connection: the answer must
+/// arrive on the asking connection, embed the counter snapshot, and
+/// expose millisecond histogram quantiles whose counts reconcile with
+/// the requests this exchange completed.
+#[test]
+fn metrics_control_over_socket_reports_quantiles() {
+    let server = start(
+        StreamConfig {
+            workers: 1,
+            ..StreamConfig::default()
+        },
+        4,
+        shard_graphs(),
+    );
+
+    let mut payload = jsonl(&[
+        QueryRequest::new(1, QueryKind::Solve).on_graph("alpha"),
+        QueryRequest::new(2, QueryKind::Solve).on_graph("beta"),
+    ]);
+    payload.push_str("{\"control\": \"drain\"}\n");
+    payload.push_str("{\"control\": \"metrics\"}\n");
+    let lines = exchange(server.addr, &payload);
+
+    let metrics = lines
+        .iter()
+        .find(|l| !l["metrics"].is_null())
+        .unwrap_or_else(|| panic!("no metrics line in {lines:?}"));
+    let m = &metrics["metrics"];
+    assert_eq!(m["stats"]["admitted"].as_u64(), Some(2));
+    assert_eq!(m["stats"]["completed"].as_u64(), Some(2));
+    assert!(m["spans_dropped"].as_u64().is_some());
+    for hist in ["queue_wait_ms", "service_ms"] {
+        let h = &m["histograms"][hist];
+        assert_eq!(h["count"].as_u64(), Some(2), "{hist}: {metrics}");
+        for field in ["mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"] {
+            assert!(h[field].as_f64().is_some(), "{hist}.{field}: {metrics}");
+        }
+        assert!(
+            h["p50_ms"].as_f64() <= h["p99_ms"].as_f64(),
+            "{hist}: quantiles monotone: {metrics}"
+        );
+    }
+
+    let stats = server.stop();
+    assert_eq!(stats.completed, 2);
+}

@@ -432,3 +432,118 @@ fn reload_while_in_flight_drops_nothing_and_splits_old_from_new() {
     assert_eq!(shard_g.served, 4);
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// `{"control": "metrics"}` round trip: after a drain, the metrics
+/// event must carry (a) the same counter snapshot the `stats` verb
+/// reports, (b) latency histograms whose counts equal the completed
+/// requests, with monotone quantiles, and (c) a wire encoding exposing
+/// the quantile fields in milliseconds under the frozen `"metrics"`
+/// envelope — while the `stats` sub-object stays byte-compatible with
+/// the standalone verb (same builder, so they cannot drift).
+#[test]
+fn metrics_control_reports_quantiles_and_matches_stats() {
+    let graph =
+        BipartiteGraph::from_edges(3, 3, (0u32..3).flat_map(|u| (0u32..3).map(move |v| (u, v))))
+            .unwrap();
+    let mut fleet = ShardedFleet::new();
+    fleet.add_shard("g", graph).unwrap();
+    let server = StreamServer::new(
+        fleet,
+        StreamConfig {
+            workers: 1,
+            ..StreamConfig::default()
+        },
+    );
+
+    let mut input = String::new();
+    for id in [1, 2, 3] {
+        input.push_str(
+            &(encode_request(&QueryRequest::new(id, QueryKind::Solve).on_graph("g")) + "\n"),
+        );
+    }
+    // Drain first so the worker has retired everything: the metrics
+    // snapshot that follows is then deterministic.
+    input.push_str("{\"control\": \"drain\"}\n");
+    input.push_str("{\"control\": \"metrics\"}\n");
+    input.push_str("{\"control\": \"stats\"}\n");
+
+    let events = Mutex::new(Vec::new());
+    server.serve_with(input.as_bytes(), |e| events.lock().unwrap().push(e));
+    let events = events.into_inner().unwrap();
+
+    let report = events
+        .iter()
+        .find_map(|e| match e {
+            StreamEvent::Metrics(m) => Some(m.clone()),
+            _ => None,
+        })
+        .expect("metrics control must be answered");
+    let stats = events
+        .iter()
+        .find_map(|e| match e {
+            StreamEvent::Stats(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("stats control must be answered");
+
+    // (a) The embedded counters match the standalone stats verb.
+    assert_eq!(report.stats.admitted, 3);
+    assert_eq!(report.stats.completed, 3);
+    assert_eq!(report.stats.admitted, stats.admitted);
+    assert_eq!(report.stats.completed, stats.completed);
+    assert_eq!(report.stats.shed, stats.shed);
+
+    // (b) Histogram counts reconcile with the counters; quantiles are
+    // monotone and the top quantile covers the recorded max.
+    for (name, h) in [
+        ("queue_wait", &report.queue_wait),
+        ("service", &report.service),
+    ] {
+        assert_eq!(h.count, 3, "{name}: one sample per completed request");
+        assert!(h.p50() <= h.p90(), "{name}");
+        assert!(h.p90() <= h.p99(), "{name}");
+        assert!(
+            h.quantile(1.0) >= h.max,
+            "{name}: q1.0 covers the max bucket"
+        );
+    }
+    assert!(report.service.sum > 0, "three solves take nonzero time");
+
+    // (c) Wire shape: quantile fields in ms under "metrics", stats
+    // sub-object identical to the standalone verb's payload.
+    let line = mbb_serve::jsonl::encode_stream_event(&StreamEvent::Metrics(report));
+    let value: serde_json::Value = serde_json::from_str(&line).unwrap();
+    let metrics = &value["metrics"];
+    assert_eq!(metrics["stats"]["admitted"].as_u64(), Some(3));
+    assert_eq!(metrics["stats"]["completed"].as_u64(), Some(3));
+    assert!(metrics["spans_dropped"].as_u64().is_some());
+    for hist in ["queue_wait_ms", "service_ms"] {
+        let h = &metrics["histograms"][hist];
+        assert_eq!(h["count"].as_u64(), Some(3), "{hist}");
+        for field in ["mean_ms", "p50_ms", "p90_ms", "p99_ms", "max_ms"] {
+            assert!(
+                h[field].as_f64().is_some(),
+                "{hist}.{field} missing: {line}"
+            );
+        }
+        assert!(
+            h["p50_ms"].as_f64() <= h["p99_ms"].as_f64(),
+            "{hist}: wire quantiles monotone"
+        );
+    }
+
+    // The nested stats object is rendered by the same builder as the
+    // standalone verb — the metrics line must contain the standalone
+    // line's `"stats":{...}` payload byte for byte (the wire-compat
+    // freeze: adding metrics must not perturb the stats schema).
+    let standalone = mbb_serve::jsonl::encode_stream_event(&StreamEvent::Stats(stats));
+    let standalone_body = standalone
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .expect("stats line is one object");
+    assert!(
+        line.contains(standalone_body),
+        "metrics must embed the exact stats payload:\n  metrics: {line}\n  stats:  {standalone}"
+    );
+}
